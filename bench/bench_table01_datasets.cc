@@ -1,0 +1,48 @@
+// Table 1: overview of the three campaign datasets — device counts per
+// OS and the share of cellular traffic on LTE.
+#include "analysis/volumes.h"
+#include "common.h"
+
+namespace {
+
+using namespace tokyonet;
+
+void print_reproduction() {
+  bench::print_header("bench_table01_datasets", "Table 1 (dataset overview)");
+  io::TextTable t({"year", "duration", "#And", "#iOS", "#total", "%LTE",
+                   "paper %LTE"});
+  const char* paper_lte[] = {"25%", "70%", "80%"};
+  for (Year y : kAllYears) {
+    const Dataset& ds = bench::campaign(y);
+    const analysis::DatasetOverview o = analysis::overview(ds);
+    t.add_row({std::string(to_string(y)),
+               std::to_string(ds.num_days()) + " days",
+               std::to_string(o.n_android), std::to_string(o.n_ios),
+               std::to_string(o.n_total),
+               io::TextTable::pct(o.lte_traffic_share, 0),
+               paper_lte[static_cast<int>(y)]});
+  }
+  t.print();
+  std::printf("\npaper panel: 1755 / 1676 / 1616 devices\n");
+}
+
+void BM_Overview2015(benchmark::State& state) {
+  const Dataset& ds = bench::campaign(Year::Y2015);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::overview(ds));
+  }
+}
+BENCHMARK(BM_Overview2015)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateCampaign(benchmark::State& state) {
+  // Times a full campaign simulation at a small, fixed scale so the
+  // benchmark itself stays fast.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_year(Year::Y2015, 0.05));
+  }
+}
+BENCHMARK(BM_SimulateCampaign)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+TOKYONET_BENCH_MAIN()

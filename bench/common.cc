@@ -1,0 +1,84 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tokyonet::bench {
+
+double bench_scale() {
+  static const double scale = [] {
+    if (const char* env = std::getenv("TOKYONET_BENCH_SCALE")) {
+      const double v = std::atof(env);
+      if (v > 0.0 && v <= 2.0) return v;
+    }
+    return 1.0;
+  }();
+  return scale;
+}
+
+const Dataset& campaign(Year year) {
+  static const Dataset* cache[kNumYears] = {};
+  const int i = static_cast<int>(year);
+  if (cache[i] == nullptr) {
+    cache[i] = new Dataset(sim::simulate_year(year, bench_scale()));
+  }
+  return *cache[i];
+}
+
+const analysis::ApClassification& classification(Year year) {
+  static const analysis::ApClassification* cache[kNumYears] = {};
+  const int i = static_cast<int>(year);
+  if (cache[i] == nullptr) {
+    cache[i] = new analysis::ApClassification(
+        analysis::classify_aps(campaign(year)));
+  }
+  return *cache[i];
+}
+
+const analysis::UpdateDetection& updates(Year year) {
+  static const analysis::UpdateDetection* cache[kNumYears] = {};
+  const int i = static_cast<int>(year);
+  if (cache[i] == nullptr) {
+    analysis::UpdateDetectOptions opt;
+    // March 10th is day 10 of the 2015 calendar; earlier years have no
+    // in-campaign release, so nothing may be detected.
+    opt.min_day = year == Year::Y2015 ? 9 : campaign(year).num_days();
+    cache[i] = new analysis::UpdateDetection(
+        analysis::detect_updates(campaign(year), opt));
+  }
+  return *cache[i];
+}
+
+const std::vector<analysis::UserDay>& days(Year year) {
+  static const std::vector<analysis::UserDay>* cache[kNumYears] = {};
+  const int i = static_cast<int>(year);
+  if (cache[i] == nullptr) {
+    analysis::UserDayOptions opt;
+    opt.update_bin_by_device = &updates(year).update_bin;
+    cache[i] = new std::vector<analysis::UserDay>(
+        analysis::user_days(campaign(year), opt));
+  }
+  return *cache[i];
+}
+
+void print_header(std::string_view experiment, std::string_view paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%.*s — reproduces %.*s\n", static_cast<int>(experiment.size()),
+              experiment.data(), static_cast<int>(paper_ref.size()),
+              paper_ref.data());
+  std::printf("panel scale: %.2f (set TOKYONET_BENCH_SCALE to change)\n",
+              bench_scale());
+  std::printf("================================================================\n");
+}
+
+int bench_main(int argc, char** argv, void (*print_reproduction)()) {
+  print_reproduction();
+  std::printf("\n-- analysis kernel timings --\n");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace tokyonet::bench

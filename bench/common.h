@@ -1,0 +1,54 @@
+// Shared infrastructure for the per-figure/per-table bench binaries.
+//
+// Each bench binary does two things:
+//   1. prints the reproduced rows/series of its paper table or figure
+//      (the "reproduction"), generated at TOKYONET_BENCH_SCALE (default
+//      1.0 = the paper's full panel); and
+//   2. registers google-benchmark timings for the analysis kernels it
+//      exercises.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "analysis/classify.h"
+#include "analysis/common.h"
+#include "analysis/update.h"
+#include "core/records.h"
+#include "io/table.h"
+#include "sim/simulator.h"
+
+namespace tokyonet::bench {
+
+/// Scale of the simulated panels (TOKYONET_BENCH_SCALE env override).
+[[nodiscard]] double bench_scale();
+
+/// Lazily simulated, cached campaign for `year` at bench_scale().
+[[nodiscard]] const Dataset& campaign(Year year);
+
+/// Cached AP classification for the bench campaign.
+[[nodiscard]] const analysis::ApClassification& classification(Year year);
+
+/// Cached update detection (2015: min_day = 9 per the public release
+/// date; other years: nothing to detect).
+[[nodiscard]] const analysis::UpdateDetection& updates(Year year);
+
+/// Cached per-user-day rollup with the paper's update-day exclusion.
+[[nodiscard]] const std::vector<analysis::UserDay>& days(Year year);
+
+/// Prints the standard bench header.
+void print_header(std::string_view experiment, std::string_view paper_ref);
+
+/// Runs the reproduction printer, then google-benchmark. Call from each
+/// binary's main().
+int bench_main(int argc, char** argv, void (*print_reproduction)());
+
+}  // namespace tokyonet::bench
+
+/// Boilerplate main for a bench binary with a `print_reproduction()`
+/// free function defined in the same translation unit.
+#define TOKYONET_BENCH_MAIN()                                        \
+  int main(int argc, char** argv) {                                  \
+    return tokyonet::bench::bench_main(argc, argv, &print_reproduction); \
+  }

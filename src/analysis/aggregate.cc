@@ -1,0 +1,95 @@
+#include "analysis/aggregate.h"
+
+#include "analysis/common.h"
+
+namespace tokyonet::analysis {
+namespace {
+
+constexpr double kBytesPerHourToMbps = 8.0 / 3600.0 / 1e6;
+
+[[nodiscard]] double stream_bytes(const Sample& s, Stream stream) noexcept {
+  switch (stream) {
+    case Stream::CellRx: return s.cell_rx;
+    case Stream::CellTx: return s.cell_tx;
+    case Stream::WifiRx: return s.wifi_rx;
+    case Stream::WifiTx: return s.wifi_tx;
+  }
+  return 0;
+}
+
+}  // namespace
+
+HourlySeries aggregate_series(const Dataset& ds, Stream stream) {
+  HourlySeries out;
+  out.mbps.assign(static_cast<std::size_t>(ds.num_days()) * 24, 0.0);
+  for (const Sample& s : ds.samples) {
+    const auto hour = static_cast<std::size_t>(s.bin / kBinsPerHour);
+    out.mbps[hour] += stream_bytes(s, stream);
+  }
+  for (double& v : out.mbps) v *= kBytesPerHourToMbps;
+  return out;
+}
+
+HourlySeries location_series(const Dataset& ds, const ApClassification& cls,
+                             LocationFilter filter, bool rx) {
+  HourlySeries out;
+  out.mbps.assign(static_cast<std::size_t>(ds.num_days()) * 24, 0.0);
+  for (const Sample& s : ds.samples) {
+    if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
+    if (cls.class_of(s.ap) != filter.ap_class) continue;
+    if (filter.office_only && !cls.is_office[value(s.ap)]) continue;
+    const auto hour = static_cast<std::size_t>(s.bin / kBinsPerHour);
+    out.mbps[hour] += rx ? s.wifi_rx : s.wifi_tx;
+  }
+  for (double& v : out.mbps) v *= kBytesPerHourToMbps;
+  return out;
+}
+
+WeekSplit weekday_weekend_split(const Dataset& ds, Stream stream) {
+  const HourlySeries series = aggregate_series(ds, stream);
+  double wd = 0, we = 0;
+  int wd_n = 0, we_n = 0;
+  for (int day = 0; day < ds.num_days(); ++day) {
+    for (int hour = 0; hour < 24; ++hour) {
+      const double v = series.mbps[static_cast<std::size_t>(day * 24 + hour)];
+      if (ds.calendar.is_weekend_day(day)) {
+        we += v;
+        ++we_n;
+      } else {
+        wd += v;
+        ++wd_n;
+      }
+    }
+  }
+  WeekSplit out;
+  if (wd_n > 0) out.weekday_mbps = wd / wd_n;
+  if (we_n > 0) out.weekend_mbps = we / we_n;
+  return out;
+}
+
+WifiLocationShares wifi_location_shares(const Dataset& ds,
+                                        const ApClassification& cls) {
+  double home = 0, publik = 0, office = 0, other = 0;
+  for (const Sample& s : ds.samples) {
+    if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
+    const double v = static_cast<double>(s.wifi_rx) + s.wifi_tx;
+    switch (cls.class_of(s.ap)) {
+      case ApClass::Home: home += v; break;
+      case ApClass::Public: publik += v; break;
+      case ApClass::Other:
+        (cls.is_office[value(s.ap)] ? office : other) += v;
+        break;
+    }
+  }
+  const double total = home + publik + office + other;
+  WifiLocationShares shares;
+  if (total > 0) {
+    shares.home = home / total;
+    shares.publik = publik / total;
+    shares.office = office / total;
+    shares.other = other / total;
+  }
+  return shares;
+}
+
+}  // namespace tokyonet::analysis

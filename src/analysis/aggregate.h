@@ -1,0 +1,68 @@
+// Aggregated traffic time series (Fig 2) and per-location WiFi traffic
+// series (Fig 11), in Mbps per campaign hour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/classify.h"
+#include "core/records.h"
+
+namespace tokyonet::analysis {
+
+/// Mbps per one-hour bin across the campaign.
+struct HourlySeries {
+  std::vector<double> mbps;  // size = num_days * 24
+
+  [[nodiscard]] double total_mb() const noexcept {
+    double sum = 0;
+    for (double v : mbps) sum += v;
+    return sum * 3600.0 / 8.0;  // Mbps-hours back to MB
+  }
+};
+
+/// Which traffic stream to aggregate.
+enum class Stream : std::uint8_t {
+  CellRx,
+  CellTx,
+  WifiRx,
+  WifiTx,
+};
+
+/// Fig 2: one aggregated series per stream.
+[[nodiscard]] HourlySeries aggregate_series(const Dataset& ds, Stream stream);
+
+/// Fig 11: WiFi traffic restricted to APs of one inferred class
+/// (office = ApClass::Other with the office flag).
+struct LocationFilter {
+  ApClass ap_class = ApClass::Home;
+  bool office_only = false;  // only meaningful with ApClass::Other
+};
+
+[[nodiscard]] HourlySeries location_series(const Dataset& ds,
+                                           const ApClassification& cls,
+                                           LocationFilter filter,
+                                           bool rx);
+
+/// §3.1: cellular traffic is smaller on weekends, WiFi the opposite.
+struct WeekSplit {
+  double weekday_mbps = 0;  // mean rate over weekday hours
+  double weekend_mbps = 0;
+};
+
+[[nodiscard]] WeekSplit weekday_weekend_split(const Dataset& ds,
+                                              Stream stream);
+
+/// Share summary used in §3.4.1: home / public / office share of total
+/// WiFi volume (95% / ~4% in the paper).
+struct WifiLocationShares {
+  double home = 0;
+  double publik = 0;
+  double office = 0;
+  double other = 0;  // non-office remainder of Other
+};
+
+[[nodiscard]] WifiLocationShares wifi_location_shares(
+    const Dataset& ds, const ApClassification& cls);
+
+}  // namespace tokyonet::analysis

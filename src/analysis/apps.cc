@@ -1,0 +1,101 @@
+#include "analysis/apps.h"
+
+#include <algorithm>
+
+namespace tokyonet::analysis {
+
+std::string_view to_string(AppContext c) noexcept {
+  switch (c) {
+    case AppContext::CellHome: return "Cell home";
+    case AppContext::CellOther: return "Cell other";
+    case AppContext::WifiHome: return "WiFi home";
+    case AppContext::WifiPublic: return "WiFi public";
+  }
+  return "?";
+}
+
+std::vector<AppBreakdown::Entry> AppBreakdown::top(AppContext context,
+                                                   bool rx, int n) const {
+  const auto& shares =
+      (rx ? rx_share : tx_share)[static_cast<std::size_t>(context)];
+  std::vector<Entry> entries;
+  for (int c = 0; c < kNumAppCategories; ++c) {
+    if (shares[static_cast<std::size_t>(c)] > 0) {
+      entries.push_back(
+          {static_cast<AppCategory>(c), shares[static_cast<std::size_t>(c)]});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.share > b.share; });
+  if (static_cast<int>(entries.size()) > n) entries.resize(static_cast<std::size_t>(n));
+  return entries;
+}
+
+AppBreakdown app_breakdown(const Dataset& ds, const ApClassification& cls,
+                           const std::vector<GeoCell>& home_cells,
+                           const AppBreakdownOptions& opt) {
+  AppBreakdown out;
+  AppBreakdown::Shares rx_sum{}, tx_sum{};
+
+  // Optional light-user filtering by (device, day).
+  const auto num_days = static_cast<std::size_t>(ds.num_days());
+  std::vector<bool> include_day;
+  if (opt.light_users_only) {
+    include_day.assign(ds.devices.size() * num_days, false);
+    for (const UserDay& d : *opt.days) {
+      include_day[value(d.device) * num_days +
+                  static_cast<std::size_t>(d.day)] =
+          opt.classes->classify(d) == UserClass::Light;
+    }
+  }
+
+  for (const Sample& s : ds.samples) {
+    if (s.app_count == 0) continue;
+    if (ds.devices[value(s.device)].os != Os::Android) continue;
+    if (opt.light_users_only &&
+        !include_day[value(s.device) * num_days +
+                     static_cast<std::size_t>(ds.calendar.day_of(s.bin))]) {
+      continue;
+    }
+
+    AppContext ctx = AppContext::CellOther;
+    if (s.wifi_state == WifiState::Associated && s.ap != kNoAp) {
+      switch (cls.class_of(s.ap)) {
+        case ApClass::Home: ctx = AppContext::WifiHome; break;
+        case ApClass::Public: ctx = AppContext::WifiPublic; break;
+        case ApClass::Other: continue;  // office/venue not tabulated
+      }
+    } else {
+      const GeoCell home = home_cells[value(s.device)];
+      ctx = (home != kNoGeoCell && s.geo_cell == home) ? AppContext::CellHome
+                                                       : AppContext::CellOther;
+    }
+
+    for (const AppTraffic& at : ds.apps_of(s)) {
+      const auto c = static_cast<std::size_t>(at.category);
+      rx_sum[static_cast<std::size_t>(ctx)][c] += at.rx_bytes;
+      tx_sum[static_cast<std::size_t>(ctx)][c] += at.tx_bytes;
+    }
+  }
+
+  for (int ctx = 0; ctx < kNumAppContexts; ++ctx) {
+    double rx_total = 0, tx_total = 0;
+    for (int c = 0; c < kNumAppCategories; ++c) {
+      rx_total += rx_sum[static_cast<std::size_t>(ctx)][static_cast<std::size_t>(c)];
+      tx_total += tx_sum[static_cast<std::size_t>(ctx)][static_cast<std::size_t>(c)];
+    }
+    for (int c = 0; c < kNumAppCategories; ++c) {
+      if (rx_total > 0) {
+        out.rx_share[static_cast<std::size_t>(ctx)][static_cast<std::size_t>(c)] =
+            rx_sum[static_cast<std::size_t>(ctx)][static_cast<std::size_t>(c)] / rx_total;
+      }
+      if (tx_total > 0) {
+        out.tx_share[static_cast<std::size_t>(ctx)][static_cast<std::size_t>(c)] =
+            tx_sum[static_cast<std::size_t>(ctx)][static_cast<std::size_t>(c)] / tx_total;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tokyonet::analysis

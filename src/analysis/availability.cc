@@ -1,0 +1,67 @@
+#include "analysis/availability.h"
+
+#include "analysis/common.h"
+
+namespace tokyonet::analysis {
+
+ScanAvailability scan_availability(const Dataset& ds) {
+  ScanAvailability out;
+  for (const Sample& s : ds.samples) {
+    if (s.wifi_state != WifiState::OnUnassociated) continue;
+    if (ds.devices[value(s.device)].os != Os::Android) continue;
+    out.all_24.push_back(s.scan_pub24_all);
+    out.strong_24.push_back(s.scan_pub24_strong);
+    out.all_5.push_back(s.scan_pub5_all);
+    out.strong_5.push_back(s.scan_pub5_strong);
+  }
+  return out;
+}
+
+OffloadOpportunity offload_opportunity(const Dataset& ds,
+                                       const OpportunityOptions& opt) {
+  OffloadOpportunity out;
+  double offloadable_sum = 0;  // of per-user shares
+  int offloadable_n = 0;
+
+  for (const DeviceInfo& dev : ds.devices) {
+    if (dev.os != Os::Android) continue;
+    const auto samples = ds.device_samples(dev.id);
+    if (samples.empty()) continue;
+
+    std::size_t unassoc = 0, unassoc_strong = 0;
+    double cell_rx_total = 0, cell_rx_covered = 0;
+    for (const Sample& s : samples) {
+      cell_rx_total += s.cell_rx / kBytesPerMb;
+      if (s.wifi_state != WifiState::OnUnassociated) continue;
+      ++unassoc;
+      const bool strong = s.scan_pub24_strong + s.scan_pub5_strong > 0;
+      unassoc_strong += strong;
+      if (strong) cell_rx_covered += s.cell_rx / kBytesPerMb;
+    }
+    const double avail_share =
+        static_cast<double>(unassoc) / static_cast<double>(samples.size());
+    if (avail_share < opt.available_state_share) continue;
+
+    ++out.num_wifi_available_users;
+    const double stable_share =
+        unassoc > 0 ? static_cast<double>(unassoc_strong) /
+                          static_cast<double>(unassoc)
+                    : 0;
+    if (stable_share >= opt.stable_bin_share) {
+      out.users_with_stable_opportunity += 1;
+      if (cell_rx_total > 0) {
+        offloadable_sum += cell_rx_covered / cell_rx_total;
+        ++offloadable_n;
+      }
+    }
+  }
+  if (out.num_wifi_available_users > 0) {
+    out.users_with_stable_opportunity /= out.num_wifi_available_users;
+  }
+  if (offloadable_n > 0) {
+    out.offloadable_cell_share = offloadable_sum / offloadable_n;
+  }
+  return out;
+}
+
+}  // namespace tokyonet::analysis

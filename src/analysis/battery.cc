@@ -1,0 +1,31 @@
+#include "analysis/battery.h"
+
+namespace tokyonet::analysis {
+
+BatteryAnalysis battery_analysis(const Dataset& ds) {
+  BatteryAnalysis out;
+  double sum = 0, off_sum = 0, on_sum = 0;
+  std::size_t n = 0, low = 0, off_n = 0, on_n = 0;
+  for (const Sample& s : ds.samples) {
+    out.mean_level.add(ds.calendar, s.bin, s.battery_pct, 1.0);
+    sum += s.battery_pct;
+    ++n;
+    low += s.battery_pct < 20;
+    if (s.wifi_state == WifiState::Off) {
+      off_sum += s.battery_pct;
+      ++off_n;
+    } else {
+      on_sum += s.battery_pct;
+      ++on_n;
+    }
+  }
+  if (n > 0) {
+    out.mean = sum / static_cast<double>(n);
+    out.low_share = static_cast<double>(low) / static_cast<double>(n);
+  }
+  if (off_n > 0) out.mean_wifi_off = off_sum / static_cast<double>(off_n);
+  if (on_n > 0) out.mean_wifi_on = on_sum / static_cast<double>(on_n);
+  return out;
+}
+
+}  // namespace tokyonet::analysis

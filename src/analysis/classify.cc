@@ -1,0 +1,165 @@
+#include "analysis/classify.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "net/essid.h"
+
+namespace tokyonet::analysis {
+namespace {
+
+/// Number of 10-minute bins in the nightly window.
+[[nodiscard]] int night_window_bins(const ClassifyOptions& opt) noexcept {
+  int hours = opt.night_to_hour - opt.night_from_hour;
+  if (hours <= 0) hours += 24;
+  return hours * kBinsPerHour;
+}
+
+}  // namespace
+
+ApClassification::Counts ApClassification::counts() const {
+  Counts c;
+  for (std::size_t i = 0; i < ap_class.size(); ++i) {
+    if (!associated[i]) continue;
+    ++c.total;
+    switch (ap_class[i]) {
+      case ApClass::Home: ++c.home; break;
+      case ApClass::Public: ++c.publik; break;
+      case ApClass::Other:
+        ++c.other;
+        if (is_office[i]) ++c.office;
+        break;
+    }
+  }
+  return c;
+}
+
+double ApClassification::home_ap_device_share() const {
+  if (home_ap_of_device.empty()) return 0;
+  std::size_t with = 0;
+  for (ApId id : home_ap_of_device) with += id != kNoAp;
+  return static_cast<double>(with) /
+         static_cast<double>(home_ap_of_device.size());
+}
+
+ApClassification classify_aps(const Dataset& ds, const ClassifyOptions& opt) {
+  ApClassification out;
+  const std::size_t n_aps = ds.aps.size();
+  out.ap_class.assign(n_aps, ApClass::Other);
+  out.associated.assign(n_aps, false);
+  out.is_office.assign(n_aps, false);
+  out.is_mobile.assign(n_aps, false);
+  out.home_ap_of_device.assign(ds.devices.size(), kNoAp);
+
+  const int window_bins = night_window_bins(opt);
+  const int min_bins = static_cast<int>(opt.home_presence_threshold *
+                                        window_bins);
+
+  // Per-AP aggregates collected in one pass.
+  std::vector<int> assoc_bins(n_aps, 0);
+  std::vector<int> office_window_bins_count(n_aps, 0);
+  std::vector<std::set<GeoCell>> cells_seen(n_aps);
+
+  std::unordered_map<std::uint32_t, int> night_counts;  // per device-day
+  std::unordered_map<std::uint32_t, int> home_votes;    // per device
+
+  for (const DeviceInfo& dev : ds.devices) {
+    home_votes.clear();
+    const auto samples = ds.device_samples(dev.id);
+
+    // Nightly windows: a window belongs to the day it starts in (22:00 of
+    // day d through 06:00 of day d+1).
+    int window_day = -1;
+    night_counts.clear();
+    auto flush_window = [&]() {
+      if (window_day < 0) return;
+      // Most-present AP in this night's window.
+      std::uint32_t best_ap = value(kNoAp);
+      int best = 0;
+      for (const auto& [ap, n] : night_counts) {
+        if (n > best) {
+          best = n;
+          best_ap = ap;
+        }
+      }
+      if (best >= min_bins && best_ap != value(kNoAp)) {
+        ++home_votes[best_ap];
+      }
+      night_counts.clear();
+      window_day = -1;
+    };
+
+    for (const Sample& s : samples) {
+      if (s.wifi_state == WifiState::Associated && s.ap != kNoAp) {
+        const std::size_t ap = value(s.ap);
+        out.associated[ap] = true;
+        ++assoc_bins[ap];
+        if (s.geo_cell != kNoGeoCell) cells_seen[ap].insert(s.geo_cell);
+        const bool weekday = !ds.calendar.is_weekend(s.bin);
+        if (weekday && ds.calendar.in_hour_window(s.bin, opt.office_from_hour,
+                                                  opt.office_to_hour)) {
+          ++office_window_bins_count[ap];
+        }
+      }
+
+      // Maintain the rolling nightly window.
+      const int hour = ds.calendar.hour_of(s.bin);
+      const bool in_night =
+          ds.calendar.in_hour_window(s.bin, opt.night_from_hour,
+                                     opt.night_to_hour);
+      if (in_night) {
+        const int day = ds.calendar.day_of(s.bin);
+        const int wd = hour >= opt.night_from_hour ? day : day - 1;
+        if (wd != window_day) {
+          flush_window();
+          window_day = wd;
+        }
+        if (s.wifi_state == WifiState::Associated && s.ap != kNoAp) {
+          ++night_counts[value(s.ap)];
+        }
+      } else if (window_day >= 0) {
+        flush_window();
+      }
+    }
+    flush_window();
+
+    // The device's home AP is its most frequent nightly candidate.
+    std::uint32_t best_ap = value(kNoAp);
+    int best = 0;
+    for (const auto& [ap, votes] : home_votes) {
+      if (votes > best) {
+        best = votes;
+        best_ap = ap;
+      }
+    }
+    if (best_ap != value(kNoAp)) {
+      out.home_ap_of_device[value(dev.id)] = ApId{best_ap};
+      out.ap_class[best_ap] = ApClass::Home;
+    }
+  }
+
+  // Non-home APs: public by ESSID, rest Other (with office/mobile
+  // estimation).
+  for (std::size_t i = 0; i < n_aps; ++i) {
+    if (!out.associated[i] || out.ap_class[i] == ApClass::Home) continue;
+    if (net::is_public_essid(ds.aps[i].essid)) {
+      out.ap_class[i] = ApClass::Public;
+      continue;
+    }
+    out.ap_class[i] = ApClass::Other;
+    if (static_cast<int>(cells_seen[i].size()) >= opt.mobile_min_cells) {
+      out.is_mobile[i] = true;
+      continue;
+    }
+    if (assoc_bins[i] >= opt.office_min_bins &&
+        office_window_bins_count[i] >=
+            opt.office_window_share * assoc_bins[i]) {
+      out.is_office[i] = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace tokyonet::analysis

@@ -1,0 +1,138 @@
+#include "analysis/common.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "stats/descriptive.h"
+
+namespace tokyonet::analysis {
+
+std::vector<UserDay> user_days(const Dataset& ds, const UserDayOptions& opt) {
+  const int num_days = ds.num_days();
+  std::vector<UserDay> out;
+  out.reserve(ds.devices.size() * static_cast<std::size_t>(num_days));
+
+  for (const DeviceInfo& dev : ds.devices) {
+    // Days to skip because of a detected OS update (§2: the update day
+    // and the next day are removed from the main analysis).
+    int skip_from = -1, skip_to = -1;
+    if (opt.update_bin_by_device != nullptr) {
+      const std::int32_t ub = (*opt.update_bin_by_device)[value(dev.id)];
+      if (ub >= 0) {
+        skip_from = ds.calendar.day_of(static_cast<TimeBin>(ub));
+        skip_to = skip_from + 1;
+      }
+    }
+
+    const std::size_t base = out.size();
+    for (int d = 0; d < num_days; ++d) {
+      UserDay ud;
+      ud.device = dev.id;
+      ud.day = d;
+      out.push_back(ud);
+    }
+    for (const Sample& s : ds.device_samples(dev.id)) {
+      if (opt.exclude_tethering && s.tethering) continue;
+      const int d = ds.calendar.day_of(s.bin);
+      if (d >= skip_from && d <= skip_to) continue;
+      UserDay& ud = out[base + static_cast<std::size_t>(d)];
+      ud.cell_rx_mb += s.cell_rx / kBytesPerMb;
+      ud.cell_tx_mb += s.cell_tx / kBytesPerMb;
+      ud.wifi_rx_mb += s.wifi_rx / kBytesPerMb;
+      ud.wifi_tx_mb += s.wifi_tx / kBytesPerMb;
+    }
+    if (skip_from >= 0) {
+      // Drop the skipped days entirely rather than keeping zero rows.
+      auto it = std::remove_if(
+          out.begin() + static_cast<std::ptrdiff_t>(base), out.end(),
+          [&](const UserDay& ud) {
+            return ud.day >= skip_from && ud.day <= skip_to;
+          });
+      out.erase(it, out.end());
+    }
+  }
+  return out;
+}
+
+UserClassifier::UserClassifier(const std::vector<UserDay>& days,
+                               double light_lo_pct, double light_hi_pct,
+                               double heavy_pct) {
+  std::vector<double> rx;
+  rx.reserve(days.size());
+  for (const UserDay& d : days) rx.push_back(d.total_rx_mb());
+  std::sort(rx.begin(), rx.end());
+  light_lo_ = stats::percentile_sorted(rx, light_lo_pct);
+  light_hi_ = stats::percentile_sorted(rx, light_hi_pct);
+  heavy_ = stats::percentile_sorted(rx, heavy_pct);
+}
+
+UserClass UserClassifier::classify(const UserDay& d) const noexcept {
+  const double rx = d.total_rx_mb();
+  if (rx >= heavy_) return UserClass::Heavy;
+  if (rx >= light_lo_ && rx <= light_hi_) return UserClass::Light;
+  return UserClass::Neither;
+}
+
+int WeeklyProfile::hour_of_week(const CampaignCalendar& cal,
+                                TimeBin bin) noexcept {
+  const int day = cal.day_of(bin);
+  const auto wd = static_cast<int>(cal.weekday_of_day(day));
+  // Monday-based weekday -> Saturday-based day-of-week index.
+  const int sat_based = (wd + 2) % 7;
+  return sat_based * 24 + cal.hour_of(bin);
+}
+
+void WeeklyProfile::add(const CampaignCalendar& cal, TimeBin bin, double num,
+                        double den) noexcept {
+  const int h = hour_of_week(cal, bin);
+  num_[h] += num;
+  den_[h] += den;
+}
+
+std::vector<double> WeeklyProfile::ratio_series() const {
+  std::vector<double> out(kHours, 0.0);
+  for (int h = 0; h < kHours; ++h) {
+    out[static_cast<std::size_t>(h)] = den_[h] > 0 ? num_[h] / den_[h] : 0.0;
+  }
+  return out;
+}
+
+std::vector<double> WeeklyProfile::num_series() const {
+  return std::vector<double>(num_, num_ + kHours);
+}
+
+double WeeklyProfile::mean_ratio() const noexcept {
+  double sum = 0;
+  int n = 0;
+  for (int h = 0; h < kHours; ++h) {
+    if (den_[h] > 0) {
+      sum += num_[h] / den_[h];
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+std::vector<GeoCell> infer_home_cells(const Dataset& ds) {
+  std::vector<GeoCell> out(ds.devices.size(), kNoGeoCell);
+  std::map<GeoCell, int> counts;
+  for (const DeviceInfo& dev : ds.devices) {
+    counts.clear();
+    for (const Sample& s : ds.device_samples(dev.id)) {
+      if (s.geo_cell == kNoGeoCell) continue;
+      if (!ds.calendar.in_hour_window(s.bin, 22, 6)) continue;
+      ++counts[s.geo_cell];
+    }
+    int best = 0;
+    for (const auto& [cell, n] : counts) {
+      if (n > best) {
+        best = n;
+        out[value(dev.id)] = cell;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tokyonet::analysis

@@ -1,0 +1,44 @@
+#include "analysis/macro.h"
+
+#include <cmath>
+
+namespace tokyonet::analysis {
+namespace {
+
+// RBB: logistic growth from ~630 Gbps (2006) toward a ~4.3 Tbps ceiling,
+// passing ~3.5 Tbps in 2015 (Fig 1's right edge).
+constexpr double kRbbCeiling = 4300.0;
+constexpr double kRbbMid = 2012.3;   // inflection year
+constexpr double kRbbRate = 0.38;    // 1/years
+
+// Cellular: exponential ramp that saturates; calibrated so that
+// cellular(2014.9) ~= 0.20 * rbb(2014.9) (§1).
+constexpr double kCellCeiling = 1400.0;
+constexpr double kCellMid = 2015.2;
+constexpr double kCellRate = 0.85;
+
+[[nodiscard]] double logistic(double x, double ceiling, double mid,
+                              double rate) noexcept {
+  return ceiling / (1.0 + std::exp(-rate * (x - mid)));
+}
+
+}  // namespace
+
+double rbb_download_gbps(double year) noexcept {
+  return logistic(year, kRbbCeiling, kRbbMid, kRbbRate);
+}
+
+double cellular_download_gbps(double year) noexcept {
+  return logistic(year, kCellCeiling, kCellMid, kCellRate);
+}
+
+std::vector<MacroPoint> macro_growth_series(int points_per_year) {
+  std::vector<MacroPoint> out;
+  const double step = 1.0 / points_per_year;
+  for (double y = 2006.0; y <= 2015.0 + 1e-9; y += step) {
+    out.push_back({y, rbb_download_gbps(y), cellular_download_gbps(y)});
+  }
+  return out;
+}
+
+}  // namespace tokyonet::analysis

@@ -1,0 +1,30 @@
+// Macro traffic-growth model (Fig 1): nationwide Japanese residential
+// broadband (RBB) vs cellular (3G+LTE) download volume, 2006-2015.
+//
+// The paper plots MIC statistics [34]; we model them with a logistic RBB
+// growth curve and an exponential-saturating cellular curve calibrated
+// to the paper's anchor fact: cellular reached 20% of RBB volume at the
+// end of 2014.
+#pragma once
+
+#include <vector>
+
+namespace tokyonet::analysis {
+
+struct MacroPoint {
+  double year = 0;        // e.g. 2014.5
+  double rbb_gbps = 0;    // residential broadband user download
+  double cell_gbps = 0;   // cellular user download (3G+LTE)
+};
+
+/// Modelled RBB download volume (Gbps) at fractional `year`.
+[[nodiscard]] double rbb_download_gbps(double year) noexcept;
+
+/// Modelled cellular download volume (Gbps) at fractional `year`.
+[[nodiscard]] double cellular_download_gbps(double year) noexcept;
+
+/// The Fig 1 series at `points_per_year` resolution over 2006-2015.
+[[nodiscard]] std::vector<MacroPoint> macro_growth_series(
+    int points_per_year = 2);
+
+}  // namespace tokyonet::analysis

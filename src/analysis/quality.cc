@@ -1,0 +1,195 @@
+#include "analysis/quality.h"
+
+#include <cstdlib>
+#include <map>
+
+#include "net/radio.h"
+#include "stats/descriptive.h"
+
+namespace tokyonet::analysis {
+
+stats::Histogram RssiAnalysis::home_pdf() const {
+  stats::Histogram h(-95, -20, 25);
+  for (double r : home_max_rssi) h.add(r);
+  return h;
+}
+
+stats::Histogram RssiAnalysis::public_pdf() const {
+  stats::Histogram h(-95, -20, 25);
+  for (double r : public_max_rssi) h.add(r);
+  return h;
+}
+
+RssiAnalysis rssi_analysis(const Dataset& ds, const ApClassification& cls) {
+  // Max RSSI per associated 2.4 GHz AP.
+  std::vector<double> max_rssi(ds.aps.size(), -1e9);
+  for (const Sample& s : ds.samples) {
+    if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
+    if (ds.aps[value(s.ap)].band != Band::B24GHz) continue;
+    max_rssi[value(s.ap)] =
+        std::max(max_rssi[value(s.ap)], static_cast<double>(s.rssi_dbm));
+  }
+
+  RssiAnalysis out;
+  for (std::size_t i = 0; i < ds.aps.size(); ++i) {
+    if (max_rssi[i] < -200) continue;
+    switch (cls.ap_class[i]) {
+      case ApClass::Home: out.home_max_rssi.push_back(max_rssi[i]); break;
+      case ApClass::Public: out.public_max_rssi.push_back(max_rssi[i]); break;
+      case ApClass::Other: break;
+    }
+  }
+  out.home_mean = stats::mean(out.home_max_rssi);
+  out.public_mean = stats::mean(out.public_max_rssi);
+  auto below = [](const std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    std::size_t n = 0;
+    for (double r : v) n += r < net::kStrongRssiDbm;
+    return static_cast<double>(n) / static_cast<double>(v.size());
+  };
+  out.home_below_70_share = below(out.home_max_rssi);
+  out.public_below_70_share = below(out.public_max_rssi);
+  return out;
+}
+
+ChannelAnalysis channel_analysis(const Dataset& ds,
+                                 const ApClassification& cls) {
+  ChannelAnalysis out;
+  std::array<double, 14> home{}, publik{};
+  double home_total = 0, public_total = 0;
+  for (const Sample& s : ds.samples) {
+    if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
+    if (ds.devices[value(s.device)].os != Os::Android) continue;
+    const ApInfo& ap = ds.aps[value(s.ap)];
+    if (ap.band != Band::B24GHz || ap.channel > 13) continue;
+    switch (cls.class_of(s.ap)) {
+      case ApClass::Home:
+        home[ap.channel] += 1;
+        home_total += 1;
+        break;
+      case ApClass::Public:
+        publik[ap.channel] += 1;
+        public_total += 1;
+        break;
+      case ApClass::Other:
+        break;
+    }
+  }
+  for (int c = 0; c < 14; ++c) {
+    out.home_pmf[static_cast<std::size_t>(c)] =
+        home_total > 0 ? home[static_cast<std::size_t>(c)] / home_total : 0;
+    out.public_pmf[static_cast<std::size_t>(c)] =
+        public_total > 0 ? publik[static_cast<std::size_t>(c)] / public_total
+                         : 0;
+  }
+  return out;
+}
+
+namespace {
+
+/// Most common device geolocation per AP while associated (2.4 GHz only).
+std::vector<GeoCell> ap_cells_24(const Dataset& ds) {
+  std::vector<std::map<GeoCell, int>> counts(ds.aps.size());
+  for (const Sample& s : ds.samples) {
+    if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
+    if (s.geo_cell == kNoGeoCell) continue;
+    if (ds.aps[value(s.ap)].band != Band::B24GHz) continue;
+    ++counts[value(s.ap)][s.geo_cell];
+  }
+  std::vector<GeoCell> out(ds.aps.size(), kNoGeoCell);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    int best = 0;
+    for (const auto& [cell, n] : counts[i]) {
+      if (n > best) {
+        best = n;
+        out[i] = cell;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+InterferenceAnalysis channel_interference(const Dataset& ds,
+                                          const ApClassification& cls,
+                                          int num_cells, int min_channel_gap) {
+  const std::vector<GeoCell> cells = ap_cells_24(ds);
+  // Bucket associated 2.4 GHz APs per cell, tagged with class+channel.
+  struct Entry {
+    ApClass klass;
+    int channel;
+  };
+  std::vector<std::vector<Entry>> by_cell(static_cast<std::size_t>(num_cells));
+  for (std::size_t i = 0; i < ds.aps.size(); ++i) {
+    if (!cls.associated[i] || cells[i] == kNoGeoCell) continue;
+    if (cells[i] >= num_cells) continue;
+    if (cls.ap_class[i] == ApClass::Other) continue;
+    by_cell[cells[i]].push_back(Entry{cls.ap_class[i], ds.aps[i].channel});
+  }
+
+  InterferenceAnalysis out;
+  int home_conflicts = 0, public_conflicts = 0;
+  for (const auto& bucket : by_cell) {
+    for (std::size_t a = 0; a < bucket.size(); ++a) {
+      for (std::size_t b = a + 1; b < bucket.size(); ++b) {
+        if (bucket[a].klass != bucket[b].klass) continue;
+        const bool overlap =
+            std::abs(bucket[a].channel - bucket[b].channel) < min_channel_gap;
+        if (bucket[a].klass == ApClass::Home) {
+          ++out.home_pairs;
+          home_conflicts += overlap;
+        } else {
+          ++out.public_pairs;
+          public_conflicts += overlap;
+        }
+      }
+    }
+  }
+  if (out.home_pairs > 0) {
+    out.home_conflict_share =
+        static_cast<double>(home_conflicts) / out.home_pairs;
+  }
+  if (out.public_pairs > 0) {
+    out.public_conflict_share =
+        static_cast<double>(public_conflicts) / out.public_pairs;
+  }
+  return out;
+}
+
+ApDensityMap ap_density_map(const Dataset& ds, const ApClassification& cls,
+                            ApClass which, int num_cells) {
+  // Most common device geolocation per AP while associated.
+  std::vector<std::map<GeoCell, int>> cells(ds.aps.size());
+  for (const Sample& s : ds.samples) {
+    if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
+    if (s.geo_cell == kNoGeoCell) continue;
+    if (cls.class_of(s.ap) != which) continue;
+    ++cells[value(s.ap)][s.geo_cell];
+  }
+
+  ApDensityMap out;
+  out.count_by_cell.assign(static_cast<std::size_t>(num_cells), 0);
+  for (std::size_t i = 0; i < ds.aps.size(); ++i) {
+    if (cells[i].empty()) continue;
+    GeoCell best_cell = kNoGeoCell;
+    int best = 0;
+    for (const auto& [cell, n] : cells[i]) {
+      if (n > best) {
+        best = n;
+        best_cell = cell;
+      }
+    }
+    if (best_cell != kNoGeoCell && best_cell < num_cells) {
+      ++out.count_by_cell[best_cell];
+    }
+  }
+  for (int n : out.count_by_cell) {
+    out.cells_with_ap += n >= 1;
+    out.cells_with_100 += n >= 100;
+    out.max_count = std::max(out.max_count, n);
+  }
+  return out;
+}
+
+}  // namespace tokyonet::analysis

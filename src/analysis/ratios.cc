@@ -1,0 +1,42 @@
+#include "analysis/ratios.h"
+
+namespace tokyonet::analysis {
+
+WifiRatios compute_wifi_ratios(const Dataset& ds,
+                               const std::vector<UserDay>& days,
+                               const UserClassifier& classes) {
+  WifiRatios r;
+
+  // (device, day) -> class lookup.
+  const auto num_days = static_cast<std::size_t>(ds.num_days());
+  std::vector<UserClass> klass(ds.devices.size() * num_days,
+                               UserClass::Neither);
+  for (const UserDay& d : days) {
+    klass[value(d.device) * num_days + static_cast<std::size_t>(d.day)] =
+        classes.classify(d);
+  }
+
+  const CampaignCalendar& cal = ds.calendar;
+  for (const Sample& s : ds.samples) {
+    const double wifi = s.wifi_rx / kBytesPerMb;
+    const double total = wifi + s.cell_rx / kBytesPerMb;
+    const bool assoc = s.wifi_state == WifiState::Associated;
+    const UserClass k =
+        klass[value(s.device) * num_days +
+              static_cast<std::size_t>(cal.day_of(s.bin))];
+
+    if (total > 0) r.traffic_all.add(cal, s.bin, wifi, total);
+    r.users_all.add(cal, s.bin, assoc ? 1.0 : 0.0, 1.0);
+
+    if (k == UserClass::Heavy) {
+      if (total > 0) r.traffic_heavy.add(cal, s.bin, wifi, total);
+      r.users_heavy.add(cal, s.bin, assoc ? 1.0 : 0.0, 1.0);
+    } else if (k == UserClass::Light) {
+      if (total > 0) r.traffic_light.add(cal, s.bin, wifi, total);
+      r.users_light.add(cal, s.bin, assoc ? 1.0 : 0.0, 1.0);
+    }
+  }
+  return r;
+}
+
+}  // namespace tokyonet::analysis

@@ -1,0 +1,30 @@
+// WiFi-traffic ratio and WiFi-user ratio (§3.3.2-§3.3.3, Figs 6-8).
+//
+// WiFi-traffic ratio: WiFi download / total download per one-hour bin.
+// WiFi-user ratio: share of devices associated with WiFi per bin.
+// Both are also split by user class (heavy hitters vs light users),
+// where class is assigned per user-day (§2).
+#pragma once
+
+#include <vector>
+
+#include "analysis/common.h"
+#include "core/records.h"
+
+namespace tokyonet::analysis {
+
+struct WifiRatios {
+  WeeklyProfile traffic_all;
+  WeeklyProfile users_all;
+  WeeklyProfile traffic_heavy;
+  WeeklyProfile traffic_light;
+  WeeklyProfile users_heavy;
+  WeeklyProfile users_light;
+};
+
+/// Computes all six weekly ratio profiles in one pass over the samples.
+[[nodiscard]] WifiRatios compute_wifi_ratios(const Dataset& ds,
+                                             const std::vector<UserDay>& days,
+                                             const UserClassifier& classes);
+
+}  // namespace tokyonet::analysis

@@ -1,0 +1,71 @@
+#include "analysis/surveytab.h"
+
+namespace tokyonet::analysis {
+
+Demographics demographics(const Dataset& ds) {
+  Demographics d;
+  for (const DeviceInfo& dev : ds.devices) {
+    if (!dev.recruited) continue;
+    const SurveyResponse& r = ds.survey[value(dev.id)];
+    ++d.percent[static_cast<std::size_t>(r.occupation)];
+    ++d.respondents;
+  }
+  if (d.respondents > 0) {
+    for (double& p : d.percent) p = p * 100.0 / d.respondents;
+  }
+  return d;
+}
+
+SurveyApUsage survey_ap_usage(const Dataset& ds) {
+  SurveyApUsage u;
+  int n = 0;
+  for (const DeviceInfo& dev : ds.devices) {
+    if (!dev.recruited) continue;
+    ++n;
+    const SurveyResponse& r = ds.survey[value(dev.id)];
+    for (int loc = 0; loc < kNumSurveyLocations; ++loc) {
+      switch (r.connected[loc]) {
+        case SurveyYesNo::Yes: ++u.yes[static_cast<std::size_t>(loc)]; break;
+        case SurveyYesNo::No: ++u.no[static_cast<std::size_t>(loc)]; break;
+        case SurveyYesNo::NotAnswered:
+          ++u.not_answered[static_cast<std::size_t>(loc)];
+          break;
+      }
+    }
+  }
+  if (n > 0) {
+    for (int loc = 0; loc < kNumSurveyLocations; ++loc) {
+      u.yes[static_cast<std::size_t>(loc)] *= 100.0 / n;
+      u.no[static_cast<std::size_t>(loc)] *= 100.0 / n;
+      u.not_answered[static_cast<std::size_t>(loc)] *= 100.0 / n;
+    }
+  }
+  return u;
+}
+
+SurveyReasons survey_reasons(const Dataset& ds) {
+  SurveyReasons out;
+  for (const DeviceInfo& dev : ds.devices) {
+    if (!dev.recruited) continue;
+    const SurveyResponse& r = ds.survey[value(dev.id)];
+    for (int loc = 0; loc < kNumSurveyLocations; ++loc) {
+      if (r.connected[loc] != SurveyYesNo::No) continue;
+      ++out.respondents[static_cast<std::size_t>(loc)];
+      for (int reason = 0; reason < kNumSurveyReasons; ++reason) {
+        if (r.gave_reason(static_cast<SurveyLocation>(loc),
+                          static_cast<SurveyReason>(reason))) {
+          ++out.percent[static_cast<std::size_t>(loc)][static_cast<std::size_t>(reason)];
+        }
+      }
+    }
+  }
+  for (int loc = 0; loc < kNumSurveyLocations; ++loc) {
+    if (out.respondents[static_cast<std::size_t>(loc)] == 0) continue;
+    for (double& p : out.percent[static_cast<std::size_t>(loc)]) {
+      p *= 100.0 / out.respondents[static_cast<std::size_t>(loc)];
+    }
+  }
+  return out;
+}
+
+}  // namespace tokyonet::analysis

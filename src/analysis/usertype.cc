@@ -1,0 +1,63 @@
+#include "analysis/usertype.h"
+
+namespace tokyonet::analysis {
+
+UserTypeStats user_type_stats(const Dataset& ds,
+                              const std::vector<UserDay>& days,
+                              double idle_mb) {
+  std::vector<double> cell_total(ds.devices.size(), 0.0);
+  std::vector<double> wifi_total(ds.devices.size(), 0.0);
+  std::size_t mixed_days = 0, mixed_above = 0;
+
+  for (const UserDay& d : days) {
+    cell_total[value(d.device)] += d.cell_rx_mb + d.cell_tx_mb;
+    wifi_total[value(d.device)] += d.wifi_rx_mb + d.wifi_tx_mb;
+  }
+
+  UserTypeStats s;
+  std::size_t cell_int = 0, wifi_int = 0, mixed = 0, active = 0;
+  std::vector<bool> is_mixed(ds.devices.size(), false);
+  for (std::size_t i = 0; i < ds.devices.size(); ++i) {
+    const bool cell_active = cell_total[i] > idle_mb;
+    const bool wifi_active = wifi_total[i] > idle_mb;
+    if (!cell_active && !wifi_active) continue;
+    ++active;
+    if (cell_active && !wifi_active) {
+      ++cell_int;
+    } else if (wifi_active && !cell_active) {
+      ++wifi_int;
+    } else {
+      ++mixed;
+      is_mixed[i] = true;
+    }
+  }
+  if (active > 0) {
+    s.cellular_intensive_frac = static_cast<double>(cell_int) / static_cast<double>(active);
+    s.wifi_intensive_frac = static_cast<double>(wifi_int) / static_cast<double>(active);
+    s.mixed_frac = static_cast<double>(mixed) / static_cast<double>(active);
+  }
+
+  for (const UserDay& d : days) {
+    if (!is_mixed[value(d.device)]) continue;
+    if (d.cell_rx_mb + d.wifi_rx_mb <= 0) continue;
+    ++mixed_days;
+    mixed_above += d.wifi_rx_mb > d.cell_rx_mb;
+  }
+  if (mixed_days > 0) {
+    s.mixed_above_diagonal_frac =
+        static_cast<double>(mixed_above) / static_cast<double>(mixed_days);
+  }
+  return s;
+}
+
+stats::LogHist2d user_day_heatmap(const std::vector<UserDay>& days,
+                                  int bins_per_decade) {
+  stats::LogHist2d h(-2.0, 3.0, bins_per_decade);
+  for (const UserDay& d : days) {
+    if (d.cell_rx_mb <= 0 && d.wifi_rx_mb <= 0) continue;
+    h.add(d.cell_rx_mb, d.wifi_rx_mb);
+  }
+  return h;
+}
+
+}  // namespace tokyonet::analysis

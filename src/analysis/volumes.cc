@@ -1,0 +1,99 @@
+#include "analysis/volumes.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace tokyonet::analysis {
+
+DatasetOverview overview(const Dataset& ds) {
+  DatasetOverview o;
+  for (const DeviceInfo& d : ds.devices) {
+    ++o.n_total;
+    (d.os == Os::Android ? o.n_android : o.n_ios) += 1;
+  }
+  std::uint64_t lte = 0, total = 0;
+  for (const Sample& s : ds.samples) {
+    if (s.cell_rx == 0) continue;
+    total += s.cell_rx;
+    if (s.tech == CellTech::Lte) lte += s.cell_rx;
+  }
+  o.lte_traffic_share = total > 0 ? static_cast<double>(lte) / static_cast<double>(total) : 0;
+  return o;
+}
+
+DailyVolumeStats daily_volume_stats(const std::vector<UserDay>& days,
+                                    double min_total_mb) {
+  std::vector<double> all, cell, wifi;
+  all.reserve(days.size());
+  cell.reserve(days.size());
+  wifi.reserve(days.size());
+  for (const UserDay& d : days) {
+    const double total = d.total_rx_mb();
+    if (total >= min_total_mb) all.push_back(total);
+    cell.push_back(d.cell_rx_mb);
+    wifi.push_back(d.wifi_rx_mb);
+  }
+  DailyVolumeStats s;
+  s.median_all = stats::median(all);
+  s.mean_all = stats::mean(all);
+  s.median_cell = stats::median(cell);
+  s.mean_cell = stats::mean(cell);
+  s.median_wifi = stats::median(wifi);
+  s.mean_wifi = stats::mean(wifi);
+  return s;
+}
+
+DailyVolumeFacts daily_volume_facts(const std::vector<UserDay>& days,
+                                    double cap_threshold_mb) {
+  DailyVolumeFacts f;
+  if (days.empty()) return f;
+  std::size_t zero_cell = 0, zero_wifi = 0, over = 0;
+
+  // 3-day rolling cellular download per device; `days` is ordered by
+  // (device, day).
+  for (std::size_t i = 0; i < days.size(); ++i) {
+    const UserDay& d = days[i];
+    zero_cell += d.cell_rx_mb + d.cell_tx_mb <= 0;
+    zero_wifi += d.wifi_rx_mb + d.wifi_tx_mb <= 0;
+    f.max_daily_rx_mb = std::max(f.max_daily_rx_mb, d.total_rx_mb());
+
+    double window = d.cell_rx_mb;
+    for (std::size_t k = 1; k <= 2 && k <= i; ++k) {
+      const UserDay& p = days[i - k];
+      if (p.device != d.device) break;
+      window += p.cell_rx_mb;
+    }
+    over += window > cap_threshold_mb;
+  }
+  const auto n = static_cast<double>(days.size());
+  f.zero_cell_share = static_cast<double>(zero_cell) / n;
+  f.zero_wifi_share = static_cast<double>(zero_wifi) / n;
+  f.over_cap_share = static_cast<double>(over) / n;
+  return f;
+}
+
+DailyVolumeCdfs daily_volume_cdfs(const std::vector<UserDay>& days,
+                                  double min_total_mb) {
+  std::vector<double> all_rx, all_tx, cell_rx, cell_tx, wifi_rx, wifi_tx;
+  for (const UserDay& d : days) {
+    if (d.total_rx_mb() >= min_total_mb) {
+      all_rx.push_back(d.total_rx_mb());
+      all_tx.push_back(d.total_tx_mb());
+    }
+    cell_rx.push_back(d.cell_rx_mb);
+    cell_tx.push_back(d.cell_tx_mb);
+    wifi_rx.push_back(d.wifi_rx_mb);
+    wifi_tx.push_back(d.wifi_tx_mb);
+  }
+  DailyVolumeCdfs c;
+  c.all_rx = stats::Ecdf(all_rx);
+  c.all_tx = stats::Ecdf(all_tx);
+  c.cell_rx = stats::Ecdf(cell_rx);
+  c.cell_tx = stats::Ecdf(cell_tx);
+  c.wifi_rx = stats::Ecdf(wifi_rx);
+  c.wifi_tx = stats::Ecdf(wifi_tx);
+  return c;
+}
+
+}  // namespace tokyonet::analysis

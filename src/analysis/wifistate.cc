@@ -1,0 +1,43 @@
+#include "analysis/wifistate.h"
+
+namespace tokyonet::analysis {
+
+WifiStateProfiles compute_wifi_states(const Dataset& ds) {
+  WifiStateProfiles p;
+  const CampaignCalendar& cal = ds.calendar;
+  for (const Sample& s : ds.samples) {
+    const Os os = ds.devices[value(s.device)].os;
+    const bool assoc = s.wifi_state == WifiState::Associated;
+    if (os == Os::Android) {
+      p.android_user.add(cal, s.bin, assoc ? 1.0 : 0.0, 1.0);
+      p.android_off.add(cal, s.bin,
+                        s.wifi_state == WifiState::Off ? 1.0 : 0.0, 1.0);
+      p.android_available.add(
+          cal, s.bin, s.wifi_state == WifiState::OnUnassociated ? 1.0 : 0.0,
+          1.0);
+    } else {
+      p.ios_user.add(cal, s.bin, assoc ? 1.0 : 0.0, 1.0);
+    }
+  }
+  return p;
+}
+
+std::array<double, kNumCarriers> ios_wifi_user_by_carrier(const Dataset& ds) {
+  std::array<double, kNumCarriers> assoc{};
+  std::array<double, kNumCarriers> total{};
+  for (const Sample& s : ds.samples) {
+    const DeviceInfo& dev = ds.devices[value(s.device)];
+    if (dev.os != Os::Ios) continue;
+    const auto c = static_cast<std::size_t>(dev.carrier);
+    total[c] += 1;
+    assoc[c] += s.wifi_state == WifiState::Associated;
+  }
+  std::array<double, kNumCarriers> out{};
+  for (int c = 0; c < kNumCarriers; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    if (total[i] > 0) out[i] = assoc[i] / total[i];
+  }
+  return out;
+}
+
+}  // namespace tokyonet::analysis

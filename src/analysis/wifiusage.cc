@@ -1,0 +1,183 @@
+#include "analysis/wifiusage.h"
+
+#include <algorithm>
+#include <set>
+#include <string_view>
+
+namespace tokyonet::analysis {
+
+ApsPerDay aps_per_day(const Dataset& ds, const std::vector<UserDay>& days,
+                      const UserClassifier& classes) {
+  const auto num_days = static_cast<std::size_t>(ds.num_days());
+  std::vector<UserClass> klass(ds.devices.size() * num_days,
+                               UserClass::Neither);
+  for (const UserDay& d : days) {
+    klass[value(d.device) * num_days + static_cast<std::size_t>(d.day)] =
+        classes.classify(d);
+  }
+
+  std::array<std::array<double, 4>, 3> counts{};
+  std::array<double, 3> totals{};
+
+  std::set<std::uint32_t> seen;
+  for (const DeviceInfo& dev : ds.devices) {
+    const auto samples = ds.device_samples(dev.id);
+    int cur_day = -1;
+    seen.clear();
+    auto flush = [&](int day) {
+      if (cur_day < 0 || seen.empty()) {
+        seen.clear();
+        cur_day = day;
+        return;
+      }
+      const auto k = std::min<std::size_t>(seen.size(), 4) - 1;
+      const UserClass uc =
+          klass[value(dev.id) * num_days + static_cast<std::size_t>(cur_day)];
+      counts[0][k] += 1;
+      totals[0] += 1;
+      if (uc == UserClass::Heavy) {
+        counts[1][k] += 1;
+        totals[1] += 1;
+      } else if (uc == UserClass::Light) {
+        counts[2][k] += 1;
+        totals[2] += 1;
+      }
+      seen.clear();
+      cur_day = day;
+    };
+    for (const Sample& s : samples) {
+      const int day = ds.calendar.day_of(s.bin);
+      if (day != cur_day) flush(day);
+      if (s.wifi_state == WifiState::Associated && s.ap != kNoAp) {
+        seen.insert(value(s.ap));
+      }
+    }
+    flush(-1);
+  }
+
+  ApsPerDay out;
+  for (int c = 0; c < 3; ++c) {
+    for (int k = 0; k < 4; ++k) {
+      out.share[static_cast<std::size_t>(c)][static_cast<std::size_t>(k)] =
+          totals[static_cast<std::size_t>(c)] > 0
+              ? counts[static_cast<std::size_t>(c)][static_cast<std::size_t>(k)] /
+                    totals[static_cast<std::size_t>(c)]
+              : 0;
+    }
+  }
+  return out;
+}
+
+HpoBreakdown hpo_breakdown(const Dataset& ds, const ApClassification& cls) {
+  HpoBreakdown out;
+  double total = 0;
+
+  std::set<std::pair<int, std::string_view>> essids;  // (class, essid)
+  for (const DeviceInfo& dev : ds.devices) {
+    const auto samples = ds.device_samples(dev.id);
+    int cur_day = -1;
+    essids.clear();
+    auto flush = [&](int day) {
+      if (cur_day >= 0 && !essids.empty()) {
+        std::array<int, 3> hpo{0, 0, 0};
+        for (const auto& [c, name] : essids) ++hpo[static_cast<std::size_t>(c)];
+        total += 1;
+        if (hpo[0] + hpo[1] + hpo[2] >= 4) {
+          out.four_plus += 1;
+        } else {
+          out.share[hpo] += 1;
+        }
+      }
+      essids.clear();
+      cur_day = day;
+    };
+    for (const Sample& s : samples) {
+      const int day = ds.calendar.day_of(s.bin);
+      if (day != cur_day) flush(day);
+      if (s.wifi_state == WifiState::Associated && s.ap != kNoAp) {
+        essids.emplace(static_cast<int>(cls.class_of(s.ap)),
+                       ds.aps[value(s.ap)].essid);
+      }
+    }
+    flush(-1);
+  }
+
+  if (total > 0) {
+    for (auto& [key, v] : out.share) v /= total;
+    out.four_plus /= total;
+  }
+  return out;
+}
+
+AssociationDurations association_durations(const Dataset& ds,
+                                           const ApClassification& cls) {
+  AssociationDurations out;
+  const double bin_hours = kMinutesPerBin / 60.0;
+
+  for (const DeviceInfo& dev : ds.devices) {
+    const auto samples = ds.device_samples(dev.id);
+    ApId run_ap = kNoAp;
+    int run_len = 0;
+    TimeBin prev_bin = 0;
+    auto flush = [&]() {
+      if (run_ap == kNoAp || run_len == 0) return;
+      const double hours = run_len * bin_hours;
+      switch (cls.class_of(run_ap)) {
+        case ApClass::Home: out.home_hours.push_back(hours); break;
+        case ApClass::Public: out.public_hours.push_back(hours); break;
+        case ApClass::Other:
+          if (cls.is_office[value(run_ap)]) {
+            out.office_hours.push_back(hours);
+          }
+          break;
+      }
+      run_ap = kNoAp;
+      run_len = 0;
+    };
+    for (const Sample& s : samples) {
+      const bool assoc = s.wifi_state == WifiState::Associated && s.ap != kNoAp;
+      const bool contiguous = run_len == 0 || s.bin == prev_bin + 1;
+      if (!assoc || !contiguous || (run_ap != kNoAp && s.ap != run_ap)) {
+        flush();
+      }
+      if (assoc) {
+        run_ap = s.ap;
+        ++run_len;
+      }
+      prev_bin = s.bin;
+    }
+    flush();
+  }
+  return out;
+}
+
+BandFractions band_fractions(const Dataset& ds, const ApClassification& cls) {
+  int home5 = 0, home_n = 0, office5 = 0, office_n = 0, pub5 = 0, pub_n = 0;
+  for (std::size_t i = 0; i < ds.aps.size(); ++i) {
+    if (!cls.associated[i]) continue;
+    const bool is5 = ds.aps[i].band == Band::B5GHz;
+    switch (cls.ap_class[i]) {
+      case ApClass::Home:
+        ++home_n;
+        home5 += is5;
+        break;
+      case ApClass::Public:
+        ++pub_n;
+        pub5 += is5;
+        break;
+      case ApClass::Other:
+        if (cls.is_office[i]) {
+          ++office_n;
+          office5 += is5;
+        }
+        break;
+    }
+  }
+  BandFractions f;
+  if (home_n > 0) f.home = static_cast<double>(home5) / home_n;
+  if (office_n > 0) f.office = static_cast<double>(office5) / office_n;
+  if (pub_n > 0) f.publik = static_cast<double>(pub5) / pub_n;
+  return f;
+}
+
+}  // namespace tokyonet::analysis

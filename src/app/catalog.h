@@ -1,0 +1,62 @@
+// Application-category traffic model (§3.6, Tables 6/7).
+//
+// When a simulated user consumes traffic in a 10-minute bin, the demand
+// is attributed to 1-3 Google-Play categories. Category volume shares
+// depend on the campaign year and the *context* — which interface the
+// traffic rides and where the user is — reproducing the paper's
+// observations: browsing dominates cellular, video exploded on home WiFi
+// from 2014, download/video grew on public WiFi, and upload-heavy online
+// storage (productivity) syncs only over WiFi.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/records.h"
+#include "core/types.h"
+#include "stats/rng.h"
+
+namespace tokyonet::app {
+
+/// Consumption context for category selection.
+enum class Context : std::uint8_t {
+  CellHome = 0,   // cellular while at home (no/unused home AP)
+  CellOther = 1,  // cellular elsewhere
+  WifiHome = 2,
+  WifiPublic = 3,
+  WifiOther = 4,  // office / venue / mobile hotspot
+};
+inline constexpr int kNumContexts = 5;
+
+/// Per-category upload/download character.
+struct CategoryShape {
+  AppCategory category;
+  /// E[tx] / E[rx] for this category (productivity > 1: sync uploads).
+  double tx_ratio;
+};
+
+/// Splits `demand_mb` of download demand across categories for one bin.
+///
+/// Returns 1-3 AppTraffic entries whose rx sum equals `demand_mb`
+/// (converted to bytes) and whose tx follows per-category ratios with
+/// multiplicative noise.
+class AppMixer {
+ public:
+  explicit AppMixer(Year year) noexcept;
+
+  /// Draws a category mix. `out` is appended to; returns total tx bytes.
+  std::uint64_t mix(Context context, double demand_mb, stats::Rng& rng,
+                    std::vector<AppTraffic>& out) const;
+
+  /// Expected volume share of `category` in `context` (for tests).
+  [[nodiscard]] double expected_share(Context context,
+                                      AppCategory category) const noexcept;
+
+ private:
+  Year year_;
+};
+
+/// Upload/download shape of a category (exposed for tests/docs).
+[[nodiscard]] double category_tx_ratio(AppCategory category) noexcept;
+
+}  // namespace tokyonet::app

@@ -1,0 +1,90 @@
+#include "core/clock.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace tokyonet {
+
+std::string_view to_string(Weekday d) noexcept {
+  switch (d) {
+    case Weekday::Monday: return "Mon";
+    case Weekday::Tuesday: return "Tue";
+    case Weekday::Wednesday: return "Wed";
+    case Weekday::Thursday: return "Thu";
+    case Weekday::Friday: return "Fri";
+    case Weekday::Saturday: return "Sat";
+    case Weekday::Sunday: return "Sun";
+  }
+  return "?";
+}
+
+std::int64_t days_from_civil(const Date& d) noexcept {
+  std::int64_t y = d.year;
+  const int m = d.month;
+  const int day = d.day;
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);  // [0, 399]
+  const unsigned doy = static_cast<unsigned>(
+      (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + day - 1);      // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;  // [0,146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+Date civil_from_days(std::int64_t z) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));
+  return Date{static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+              static_cast<int>(day)};
+}
+
+Weekday weekday_of(const Date& d) noexcept {
+  // 1970-01-01 was a Thursday (index 3 in Monday-based ordering).
+  const std::int64_t z = days_from_civil(d);
+  const std::int64_t wd = ((z % 7) + 7 + 3) % 7;
+  return static_cast<Weekday>(wd);
+}
+
+CampaignCalendar::CampaignCalendar(Date start, int num_days)
+    : start_(start), num_days_(num_days), start_weekday_(weekday_of(start)) {
+  assert(num_days >= 1);
+  assert(num_days * kBinsPerDay <= 65535);
+}
+
+Date CampaignCalendar::date_of_day(int day) const noexcept {
+  return civil_from_days(days_from_civil(start_) + day);
+}
+
+Weekday CampaignCalendar::weekday_of_day(int day) const noexcept {
+  const int wd = (static_cast<int>(start_weekday_) + day) % 7;
+  return static_cast<Weekday>(wd);
+}
+
+bool CampaignCalendar::is_weekend_day(int day) const noexcept {
+  const Weekday wd = weekday_of_day(day);
+  return wd == Weekday::Saturday || wd == Weekday::Sunday;
+}
+
+bool CampaignCalendar::in_hour_window(TimeBin bin, int from_hour,
+                                      int to_hour) const noexcept {
+  const int h = hour_of(bin);
+  if (from_hour <= to_hour) return h >= from_hour && h < to_hour;
+  return h >= from_hour || h < to_hour;  // wraps past midnight
+}
+
+std::string CampaignCalendar::day_label(int day) const {
+  const Date d = date_of_day(day);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%02d %s", d.day,
+                std::string(to_string(weekday_of_day(day))).c_str());
+  return buf;
+}
+
+}  // namespace tokyonet

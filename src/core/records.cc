@@ -1,0 +1,36 @@
+#include "core/records.h"
+
+#include <cassert>
+
+namespace tokyonet {
+
+void Dataset::build_index() {
+  device_offset_.assign(devices.size() + 1, 0);
+  for (const Sample& s : samples) {
+    assert(value(s.device) < devices.size());
+    ++device_offset_[value(s.device) + 1];
+  }
+  for (std::size_t i = 1; i < device_offset_.size(); ++i) {
+    device_offset_[i] += device_offset_[i - 1];
+  }
+#ifndef NDEBUG
+  // Verify (device, bin) ordering, the contract for device_samples().
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const Sample& a = samples[i - 1];
+    const Sample& b = samples[i];
+    assert(value(a.device) < value(b.device) ||
+           (a.device == b.device && a.bin <= b.bin));
+  }
+#endif
+}
+
+std::span<const Sample> Dataset::device_samples(DeviceId id) const {
+  assert(indexed());
+  const std::size_t d = value(id);
+  assert(d < devices.size());
+  const std::size_t begin = device_offset_[d];
+  const std::size_t end = device_offset_[d + 1];
+  return {samples.data() + begin, end - begin};
+}
+
+}  // namespace tokyonet

@@ -1,0 +1,156 @@
+#include "core/scenario.h"
+
+namespace tokyonet {
+namespace {
+
+// Occupation mix per year, from the paper's user survey (Table 2), in
+// enum order: government, office, engineer, worker(other), professional,
+// self-owned, part-timer, housewife, student, other.
+constexpr std::array<double, kNumOccupations> kOccupations2013{
+    2.1, 20.0, 16.7, 12.8, 2.4, 6.1, 9.0, 15.0, 9.6, 6.3};
+constexpr std::array<double, kNumOccupations> kOccupations2014{
+    3.4, 20.1, 14.7, 13.7, 2.0, 6.7, 10.1, 14.2, 8.3, 6.8};
+constexpr std::array<double, kNumOccupations> kOccupations2015{
+    2.4, 23.6, 16.6, 13.2, 2.8, 5.6, 10.6, 13.3, 2.7, 7.1};
+
+ScenarioConfig base_2013() {
+  ScenarioConfig c;
+  c.year = Year::Y2013;
+  c.start_date = Date{2013, 3, 7};  // Thu, as in Table 1
+  c.num_days = 16;
+  c.seed = 20130307;
+
+  c.population.n_android = 948;
+  c.population.n_ios = 807;
+  c.population.occupation_weights = kOccupations2013;
+
+  c.adoption.lte_device_share = 0.25;
+  c.adoption.home_ap_ownership = 0.66;
+  c.adoption.office_byod_rate = 0.24;
+  c.adoption.public_config_android = 0.18;
+  c.adoption.public_config_ios = 0.38;
+  c.adoption.cellular_intensive_frac = 0.35;
+  c.adoption.wifi_intensive_frac = 0.08;
+  c.adoption.wifi_off_mean = 0.50;
+  c.adoption.home_assoc_rate = 0.76;
+
+  c.deployment.n_public_aps = 12000;
+  c.deployment.n_venue_aps = 700;
+  c.deployment.n_mobile_aps = 200;
+  c.deployment.public_5ghz_frac = 0.15;
+  c.deployment.home_5ghz_frac = 0.08;
+  c.deployment.office_5ghz_frac = 0.10;
+  c.deployment.scan_density_peak = 14.0;
+  c.deployment.scan_strong_frac = 0.20;
+  c.deployment.scan_5ghz_frac = 0.10;
+  c.deployment.multi_provider_frac = 0.03;
+
+  c.demand.daily_mu_log_mb = 4.00;
+  c.demand.user_sigma = 0.85;
+  c.demand.day_sigma = 0.70;
+  c.demand.wifi_elasticity = 1.35;
+  c.demand.sync_users_frac = 0.10;
+  c.demand.sync_daily_mb = 15.0;
+  c.demand.budget_excess_factor = 0.25;
+
+  c.cap.relaxed = {false, false, false};
+  c.update.active = false;
+  return c;
+}
+
+ScenarioConfig base_2014() {
+  ScenarioConfig c = base_2013();
+  c.year = Year::Y2014;
+  c.start_date = Date{2014, 2, 28};  // Fri
+  c.num_days = 16;
+  c.seed = 20140228;
+
+  c.population.n_android = 887;
+  c.population.n_ios = 789;
+  c.population.occupation_weights = kOccupations2014;
+
+  c.adoption.lte_device_share = 0.70;
+  c.adoption.home_ap_ownership = 0.73;
+  c.adoption.public_config_android = 0.27;
+  c.adoption.public_config_ios = 0.47;
+  c.adoption.cellular_intensive_frac = 0.28;
+  c.adoption.wifi_off_mean = 0.45;
+  c.adoption.home_assoc_rate = 0.78;
+
+  c.deployment.n_public_aps = 20000;
+  c.deployment.n_venue_aps = 800;
+  c.deployment.n_mobile_aps = 220;
+  c.deployment.public_5ghz_frac = 0.35;
+  c.deployment.home_5ghz_frac = 0.12;
+  c.deployment.office_5ghz_frac = 0.14;
+  c.deployment.scan_density_peak = 20.0;
+  c.deployment.scan_strong_frac = 0.21;
+  c.deployment.scan_5ghz_frac = 0.25;
+  c.deployment.multi_provider_frac = 0.07;
+
+  c.demand.daily_mu_log_mb = 4.38;
+  c.demand.wifi_elasticity = 1.30;
+  c.demand.sync_users_frac = 0.18;
+  c.demand.sync_daily_mb = 22.0;
+  c.demand.budget_excess_factor = 0.06;
+  return c;
+}
+
+ScenarioConfig base_2015() {
+  ScenarioConfig c = base_2014();
+  c.year = Year::Y2015;
+  c.start_date = Date{2015, 2, 28};  // Sat, as on Fig 2's axis
+  c.num_days = 26;                   // covers the iOS 8.2 tail (Fig 18)
+  c.seed = 20150228;
+
+  c.population.n_android = 835;
+  c.population.n_ios = 781;
+  c.population.occupation_weights = kOccupations2015;
+
+  c.adoption.lte_device_share = 0.80;
+  c.adoption.home_ap_ownership = 0.79;
+  c.adoption.public_config_android = 0.35;
+  c.adoption.public_config_ios = 0.55;
+  c.adoption.cellular_intensive_frac = 0.22;
+  c.adoption.wifi_off_mean = 0.40;
+  c.adoption.home_assoc_rate = 0.87;
+
+  c.deployment.n_public_aps = 26000;
+  c.deployment.n_venue_aps = 900;
+  c.deployment.n_mobile_aps = 250;
+  c.deployment.public_5ghz_frac = 0.55;
+  c.deployment.home_5ghz_frac = 0.17;
+  c.deployment.office_5ghz_frac = 0.18;
+  c.deployment.scan_density_peak = 28.0;
+  c.deployment.scan_strong_frac = 0.22;
+  c.deployment.scan_5ghz_frac = 0.40;
+  c.deployment.multi_provider_frac = 0.12;
+
+  c.demand.daily_mu_log_mb = 4.78;
+  c.demand.wifi_elasticity = 1.30;
+  c.demand.sync_users_frac = 0.22;
+  c.demand.sync_daily_mb = 25.0;
+  c.demand.budget_excess_factor = 0.06;
+
+  // Two of three carriers relaxed the soft cap in Feb 2015 (§3.8).
+  c.cap.relaxed = {true, true, false};
+
+  c.update.active = true;
+  c.update.release_day = 10;  // March 10th, 2015
+  return c;
+}
+
+}  // namespace
+
+ScenarioConfig scenario_config(Year year, double scale) {
+  ScenarioConfig c;
+  switch (year) {
+    case Year::Y2013: c = base_2013(); break;
+    case Year::Y2014: c = base_2014(); break;
+    case Year::Y2015: c = base_2015(); break;
+  }
+  c.scale = scale;
+  return c;
+}
+
+}  // namespace tokyonet

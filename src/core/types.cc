@@ -1,0 +1,149 @@
+#include "core/types.h"
+
+namespace tokyonet {
+
+std::string_view to_string(Year y) noexcept {
+  switch (y) {
+    case Year::Y2013: return "2013";
+    case Year::Y2014: return "2014";
+    case Year::Y2015: return "2015";
+  }
+  return "?";
+}
+
+std::string_view to_string(Os os) noexcept {
+  switch (os) {
+    case Os::Android: return "Android";
+    case Os::Ios: return "iOS";
+  }
+  return "?";
+}
+
+std::string_view to_string(CellTech t) noexcept {
+  switch (t) {
+    case CellTech::None: return "none";
+    case CellTech::ThreeG: return "3G";
+    case CellTech::Lte: return "LTE";
+  }
+  return "?";
+}
+
+std::string_view to_string(Iface i) noexcept {
+  switch (i) {
+    case Iface::Cellular: return "cellular";
+    case Iface::Wifi: return "wifi";
+  }
+  return "?";
+}
+
+std::string_view to_string(WifiState s) noexcept {
+  switch (s) {
+    case WifiState::Off: return "wifi-off";
+    case WifiState::OnUnassociated: return "wifi-available";
+    case WifiState::Associated: return "wifi-user";
+  }
+  return "?";
+}
+
+std::string_view to_string(Band b) noexcept {
+  switch (b) {
+    case Band::B24GHz: return "2.4GHz";
+    case Band::B5GHz: return "5GHz";
+  }
+  return "?";
+}
+
+std::string_view to_string(ApPlacement p) noexcept {
+  switch (p) {
+    case ApPlacement::Home: return "home";
+    case ApPlacement::Public: return "public";
+    case ApPlacement::Office: return "office";
+    case ApPlacement::MobileHotspot: return "mobile";
+    case ApPlacement::OtherVenue: return "venue";
+  }
+  return "?";
+}
+
+std::string_view to_string(ApClass c) noexcept {
+  switch (c) {
+    case ApClass::Home: return "home";
+    case ApClass::Public: return "public";
+    case ApClass::Other: return "other";
+  }
+  return "?";
+}
+
+std::string_view to_string(AppCategory c) noexcept {
+  switch (c) {
+    case AppCategory::Browser: return "browser";
+    case AppCategory::Social: return "social";
+    case AppCategory::Video: return "video";
+    case AppCategory::Communication: return "comm.";
+    case AppCategory::News: return "news";
+    case AppCategory::Game: return "game";
+    case AppCategory::Music: return "music";
+    case AppCategory::Travel: return "travel";
+    case AppCategory::Shopping: return "shopping";
+    case AppCategory::Download: return "dload";
+    case AppCategory::Entertainment: return "entertain.";
+    case AppCategory::Tools: return "tools";
+    case AppCategory::Productivity: return "prod.";
+    case AppCategory::Lifestyle: return "life";
+    case AppCategory::Health: return "health";
+    case AppCategory::Business: return "busi.";
+    case AppCategory::Education: return "edu";
+    case AppCategory::Finance: return "finance";
+    case AppCategory::Photography: return "photo";
+    case AppCategory::Sports: return "sports";
+    case AppCategory::Weather: return "weather";
+    case AppCategory::Books: return "books";
+    case AppCategory::Medical: return "medical";
+    case AppCategory::Transport: return "transport";
+    case AppCategory::Personalization: return "personal.";
+    case AppCategory::Comics: return "comics";
+    case AppCategory::OsUpdate: return "os-update";
+    case AppCategory::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+std::string_view to_string(Occupation o) noexcept {
+  switch (o) {
+    case Occupation::GovernmentWorker: return "government worker";
+    case Occupation::OfficeWorker: return "office worker";
+    case Occupation::Engineer: return "engineer";
+    case Occupation::WorkerOther: return "worker (other)";
+    case Occupation::Professional: return "professional";
+    case Occupation::SelfOwnedBusiness: return "self-owned business";
+    case Occupation::PartTimer: return "part timer";
+    case Occupation::Housewife: return "housewife";
+    case Occupation::Student: return "student";
+    case Occupation::Other: return "other";
+  }
+  return "?";
+}
+
+std::string_view to_string(SurveyLocation l) noexcept {
+  switch (l) {
+    case SurveyLocation::Home: return "home";
+    case SurveyLocation::Office: return "office";
+    case SurveyLocation::Public: return "public";
+  }
+  return "?";
+}
+
+std::string_view to_string(SurveyReason r) noexcept {
+  switch (r) {
+    case SurveyReason::NoAvailableAps: return "No available APs";
+    case SurveyReason::DifficultToSetUp: return "Difficult to set up";
+    case SurveyReason::NoConfiguration: return "No configuration";
+    case SurveyReason::BatteryDrain: return "Battery drain";
+    case SurveyReason::Failed: return "Failed";
+    case SurveyReason::SecurityIssue: return "Security issue";
+    case SurveyReason::LteIsEnough: return "LTE is enough";
+    case SurveyReason::OtherReason: return "Other";
+  }
+  return "?";
+}
+
+}  // namespace tokyonet

@@ -1,0 +1,17 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+
+namespace tokyonet::geo {
+
+GeoCell Grid::cell_at(Point p) const noexcept {
+  const int x = std::clamp(static_cast<int>(p.x_km / kCellKm), 0, width_ - 1);
+  const int y = std::clamp(static_cast<int>(p.y_km / kCellKm), 0, height_ - 1);
+  return static_cast<GeoCell>(y * width_ + x);
+}
+
+Point Grid::center_of(GeoCell c) const noexcept {
+  return Point{(cell_x(c) + 0.5) * kCellKm, (cell_y(c) + 0.5) * kCellKm};
+}
+
+}  // namespace tokyonet::geo

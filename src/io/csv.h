@@ -1,0 +1,43 @@
+// CSV persistence for campaign datasets.
+//
+// Exports exactly the *observable* portion of a Dataset — what the
+// paper's measurement server would have stored: devices, the AP
+// directory, the 10-minute sample stream, the per-app records and the
+// survey. Simulator ground truth is deliberately not serialized, so a
+// round-tripped dataset is analyzable but not "cheatable".
+//
+// Layout of an export directory:
+//   meta.csv        one row: year, start date, days
+//   devices.csv     id, os, carrier, recruited
+//   aps.csv         id, bssid (hex), essid, band, channel
+//   samples.csv     device, bin, geo_cell, cell_rx/tx, wifi_rx/tx, ap,
+//                   tech, wifi_state, rssi, scan counts, app ref
+//   apps.csv        category, rx, tx (referenced by samples.csv ranges)
+//   survey.csv      device, occupation, connected x3, reason masks x3
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "core/records.h"
+
+namespace tokyonet::io {
+
+/// Result of a load/save operation; `ok()` is false on the first
+/// structural problem and `error` names it.
+struct CsvResult {
+  std::string error;
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+/// Writes `dataset`'s observable contents into `dir` (created if
+/// needed), overwriting existing files.
+[[nodiscard]] CsvResult save_dataset_csv(const Dataset& dataset,
+                                         const std::filesystem::path& dir);
+
+/// Loads a dataset previously written by save_dataset_csv. The returned
+/// dataset has an empty GroundTruth and a rebuilt sample index.
+[[nodiscard]] CsvResult load_dataset_csv(const std::filesystem::path& dir,
+                                         Dataset& out);
+
+}  // namespace tokyonet::io

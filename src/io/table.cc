@@ -1,0 +1,71 @@
+#include "io/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tokyonet::io {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TextTable::pct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+void TextTable::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%-*s%s", static_cast<int>(widths[c]), row[c].c_str(),
+                   c + 1 < row.size() ? "  " : "\n");
+    }
+  };
+  print_row(headers_);
+  std::size_t total = headers_.size() - 1;
+  for (std::size_t w : widths) total += w + 1;
+  for (std::size_t i = 0; i < total; ++i) std::fputc('-', out);
+  std::fputc('\n', out);
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_series(std::string_view caption, std::span<const double> x,
+                  std::span<const double> y, std::FILE* out, int max_rows) {
+  std::fprintf(out, "%.*s\n", static_cast<int>(caption.size()),
+               caption.data());
+  const std::size_t n = std::min(x.size(), y.size());
+  const std::size_t step =
+      n > static_cast<std::size_t>(max_rows)
+          ? (n + static_cast<std::size_t>(max_rows) - 1) / static_cast<std::size_t>(max_rows)
+          : 1;
+  for (std::size_t i = 0; i < n; i += step) {
+    std::fprintf(out, "  %12.4g  %12.4g\n", x[i], y[i]);
+  }
+}
+
+void print_series(std::string_view caption, std::span<const double> y,
+                  std::FILE* out, int max_rows) {
+  std::vector<double> x(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  print_series(caption, x, y, out, max_rows);
+}
+
+}  // namespace tokyonet::io

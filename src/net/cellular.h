@@ -1,0 +1,44 @@
+// Cellular access model: per-device radio technology (3G vs LTE) and the
+// Japanese soft bandwidth cap (§3.8) — 1 GB over the previous three days
+// triggers peak-hour throttling, which suppresses realized demand.
+#pragma once
+
+#include <vector>
+
+#include "core/scenario.h"
+#include "core/types.h"
+
+namespace tokyonet::net {
+
+/// Tracks rolling 3-day cellular download volume per device and answers
+/// whether (and how strongly) the carrier throttles a given day/hour.
+class CapTracker {
+ public:
+  CapTracker(const CapParams& params, std::size_t num_devices, int num_days);
+
+  /// Records cellular download volume for one device-day. Must be called
+  /// with non-decreasing days per device (the simulator runs day by day).
+  void add_download_mb(DeviceId device, int day, double mb);
+
+  /// Total cellular download of `device` over the three days before
+  /// `day` (the cap's lookback window).
+  [[nodiscard]] double lookback_mb(DeviceId device, int day) const noexcept;
+
+  /// True if `device` is over the threshold on `day`.
+  [[nodiscard]] bool capped_on(DeviceId device, int day) const noexcept;
+
+  /// Realized-demand multiplier for a cellular transfer by `device` on
+  /// `day` at `hour`. 1.0 when not capped or outside peak hours; the
+  /// configured suppression otherwise (relaxed carriers suppress less).
+  [[nodiscard]] double demand_multiplier(DeviceId device, Carrier carrier,
+                                         int day, int hour) const noexcept;
+
+  [[nodiscard]] const CapParams& params() const noexcept { return params_; }
+
+ private:
+  CapParams params_;
+  int num_days_;
+  std::vector<double> daily_mb_;  // [device * num_days + day]
+};
+
+}  // namespace tokyonet::net

@@ -1,0 +1,29 @@
+#include "net/radio.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tokyonet::net {
+
+double mean_rssi_dbm(const PathLossModel& model, double distance_m,
+                     Band band) noexcept {
+  const double d = std::max(distance_m, 1.0);
+  const double ref =
+      band == Band::B24GHz ? model.ref_loss_24_db : model.ref_loss_5_db;
+  const double pl = ref + 10.0 * model.exponent * std::log10(d);
+  return model.tx_power_dbm - pl;
+}
+
+double sample_rssi_dbm(const PathLossModel& model, double distance_m,
+                       Band band, stats::Rng& rng) noexcept {
+  const double rssi = mean_rssi_dbm(model, distance_m, band) +
+                      rng.normal(0.0, model.shadow_sigma_db);
+  return std::clamp(rssi, kMinRssiDbm, kMaxRssiDbm);
+}
+
+std::int8_t quantize_rssi(double rssi_dbm) noexcept {
+  const double clamped = std::clamp(rssi_dbm, kMinRssiDbm, kMaxRssiDbm);
+  return static_cast<std::int8_t>(std::lround(clamped));
+}
+
+}  // namespace tokyonet::net

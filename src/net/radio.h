@@ -1,0 +1,43 @@
+// Radio propagation model: log-distance path loss with lognormal
+// shadowing. Produces the RSSI values the measurement software reports
+// for associated and scanned APs (Figs 15, 17; §3.4.4, §3.5).
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "stats/rng.h"
+
+namespace tokyonet::net {
+
+/// RSSI threshold the paper uses for "strong enough to associate /
+/// acceptable quality" (§3.4.4, §3.5): -70 dBm.
+inline constexpr double kStrongRssiDbm = -70.0;
+
+/// Floor/ceiling reported by device radios.
+inline constexpr double kMinRssiDbm = -95.0;
+inline constexpr double kMaxRssiDbm = -25.0;
+
+/// Parameters of the log-distance path-loss model
+///   PL(d) = PL(d0) + 10 n log10(d/d0) + X_sigma.
+struct PathLossModel {
+  double tx_power_dbm = 16.0;     // typical consumer AP EIRP
+  double ref_loss_24_db = 40.0;   // free-space loss at 1 m, 2.4 GHz
+  double ref_loss_5_db = 47.0;    // ~7 dB worse at 5 GHz
+  double exponent = 3.0;          // indoor/urban mixed environment
+  double shadow_sigma_db = 6.0;   // lognormal shadowing
+};
+
+/// Deterministic mean RSSI (no shadowing) at `distance_m` metres.
+[[nodiscard]] double mean_rssi_dbm(const PathLossModel& model,
+                                   double distance_m, Band band) noexcept;
+
+/// RSSI sample including shadowing, clamped to the radio's report range.
+[[nodiscard]] double sample_rssi_dbm(const PathLossModel& model,
+                                     double distance_m, Band band,
+                                     stats::Rng& rng) noexcept;
+
+/// Clamp + round an RSSI to the int8 dBm the record schema stores.
+[[nodiscard]] std::int8_t quantize_rssi(double rssi_dbm) noexcept;
+
+}  // namespace tokyonet::net

@@ -1,0 +1,141 @@
+#include "sim/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tokyonet::sim {
+namespace {
+
+/// Bin index of h:mm.
+[[nodiscard]] constexpr int bin_at(int hour, int minute = 0) noexcept {
+  return hour * kBinsPerHour + minute / kMinutesPerBin;
+}
+
+void fill(DaySchedule& s, int from, int to, Where w) noexcept {
+  from = std::clamp(from, 0, kBinsPerDay);
+  to = std::clamp(to, 0, kBinsPerDay);
+  for (int b = from; b < to; ++b) s.where[static_cast<std::size_t>(b)] = w;
+}
+
+/// Context multiplier on personal phone use.
+[[nodiscard]] double where_factor(Where w) noexcept {
+  switch (w) {
+    case Where::Home: return 1.0;
+    case Where::Commute: return 1.5;  // phone out on the train
+    case Where::Office: return 0.45;  // working, sporadic personal use
+    case Where::Public: return 1.1;
+    case Where::Out: return 0.7;
+  }
+  return 1.0;
+}
+
+[[nodiscard]] int jitter_bin(stats::Rng& rng, int base, double sigma_bins) {
+  const double v = rng.normal(static_cast<double>(base), sigma_bins);
+  return std::clamp(static_cast<int>(std::lround(v)), 0, kBinsPerDay - 1);
+}
+
+}  // namespace
+
+double ScheduleBuilder::hour_activity(int hour) noexcept {
+  // Diurnal base curve: ramp from sleep, morning peak ~8h, lunch bump,
+  // afternoon plateau, strong evening peak 19-24h (the paper's cellular
+  // peaks at 8/12/19-21h and home-WiFi peak 23-01h emerge from this
+  // curve combined with location factors).
+  static constexpr double kCurve[24] = {
+      0.45, 0.18, 0.10, 0.08, 0.08, 0.12,  // 0-5h: night tail
+      0.35, 0.85, 1.00, 0.70, 0.60, 0.70,  // 6-11h: morning
+      0.95, 0.75, 0.60, 0.60, 0.70, 0.80,  // 12-17h: midday
+      0.95, 1.10, 1.15, 1.25, 1.30, 0.95,  // 18-23h: evening peak
+  };
+  return kCurve[((hour % 24) + 24) % 24];
+}
+
+DaySchedule ScheduleBuilder::build(const UserProfile& user, bool weekend,
+                                   stats::Rng& rng) {
+  DaySchedule s;
+  fill(s, 0, kBinsPerDay, Where::Home);
+
+  const bool works_today =
+      user.works && !weekend &&
+      (user.occupation != Occupation::PartTimer || rng.bernoulli(0.75));
+
+  if (works_today) {
+    if (user.occupation == Occupation::PartTimer) {
+      // A 4-6 h shift starting morning or late afternoon.
+      const int start =
+          jitter_bin(rng, rng.bernoulli(0.5) ? bin_at(9) : bin_at(17), 3);
+      const int len = static_cast<int>(24 + rng.uniform_int(13));  // 4-6 h
+      const int commute = 2 + static_cast<int>(rng.uniform_int(3));
+      fill(s, start - commute, start, Where::Commute);
+      fill(s, start, start + len, Where::Office);
+      fill(s, start + len, start + len + commute, Where::Commute);
+    } else {
+      const bool is_student = user.is_student;
+      const int leave =
+          jitter_bin(rng, is_student ? bin_at(7, 50) : bin_at(7, 20), 3.0);
+      const int commute_len =
+          is_student ? 3 + static_cast<int>(rng.uniform_int(3))
+                     : 4 + static_cast<int>(rng.uniform_int(5));  // 40-80 min
+      const int work_end = jitter_bin(
+          rng, is_student ? bin_at(16) : bin_at(18), is_student ? 4.0 : 9.0);
+      fill(s, leave, leave + commute_len, Where::Commute);
+      fill(s, leave + commute_len, work_end, Where::Office);
+      fill(s, work_end, work_end + commute_len, Where::Commute);
+
+      // Lunch break at a cafe / shop near the workplace.
+      if (rng.bernoulli(0.40)) {
+        const int lunch = jitter_bin(rng, bin_at(12, 10), 2.0);
+        fill(s, lunch, lunch + 2 + static_cast<int>(rng.uniform_int(3)),
+             Where::Public);
+      }
+      // Brief stop at a station shop bracketing the commute.
+      if (rng.bernoulli(0.30)) {
+        fill(s, leave + commute_len, leave + commute_len + 1, Where::Public);
+      }
+
+      // Optional evening stop at a public place on the way home.
+      const double stop_p = is_student ? 0.40 : 0.30;
+      if (rng.bernoulli(stop_p)) {
+        const int stop_start = work_end + commute_len;
+        const int stop_len = 3 + static_cast<int>(rng.uniform_int(4));
+        fill(s, stop_start, stop_start + stop_len, Where::Public);
+      }
+    }
+  } else if (weekend) {
+    // Weekend outings for everyone, with some probability.
+    if (rng.bernoulli(0.72)) {
+      const int n_outings = rng.bernoulli(0.35) ? 2 : 1;
+      for (int o = 0; o < n_outings; ++o) {
+        const int start = jitter_bin(rng, bin_at(o == 0 ? 11 : 16), 6.0);
+        const int len = 9 + static_cast<int>(rng.uniform_int(15));  // 1.5-4 h
+        const Where w = rng.bernoulli(0.7) ? Where::Public : Where::Out;
+        const int travel = 2 + static_cast<int>(rng.uniform_int(3));
+        fill(s, start - travel, start, Where::Out);
+        fill(s, start, start + len, w);
+        fill(s, start + len, start + len + travel, Where::Out);
+      }
+    }
+  } else {
+    // Weekday at home (housewives, non-working users): errands.
+    if (rng.bernoulli(0.65)) {
+      const int start =
+          jitter_bin(rng, rng.bernoulli(0.5) ? bin_at(10, 30) : bin_at(15), 4.0);
+      const int len = 6 + static_cast<int>(rng.uniform_int(7));  // 1-2 h
+      const Where w = rng.bernoulli(0.5) ? Where::Public : Where::Out;
+      fill(s, start, start + len, w);
+    }
+  }
+
+  // Activity intensity: diurnal curve x location factor x noise.
+  for (int b = 0; b < kBinsPerDay; ++b) {
+    const int hour = b / kBinsPerHour;
+    const double base = hour_activity(hour);
+    const double factor = where_factor(s.where[static_cast<std::size_t>(b)]);
+    const double noise = rng.lognormal(0.0, 0.35);
+    s.activity[static_cast<std::size_t>(b)] =
+        static_cast<float>(base * factor * noise);
+  }
+  return s;
+}
+
+}  // namespace tokyonet::sim

@@ -1,0 +1,46 @@
+// Daily activity schedules.
+//
+// Each simulated day, a user follows an occupation-dependent timeline of
+// locations (home / commute / office / public space / outdoors) with a
+// diurnal activity intensity. These timelines generate the paper's
+// temporal structure: cellular peaks at commute hours and noon, WiFi
+// peaks at home in the late evening (Fig 2, §3.1), and the short
+// public-AP association durations of Fig 13.
+#pragma once
+
+#include <array>
+
+#include "core/clock.h"
+#include "sim/user.h"
+#include "stats/rng.h"
+
+namespace tokyonet::sim {
+
+/// Where the user is during one 10-minute bin.
+enum class Where : std::uint8_t {
+  Home = 0,
+  Commute = 1,  // public transport, cellular-dominated
+  Office = 2,   // workplace or school
+  Public = 3,   // cafe / station / shop with potential public WiFi
+  Out = 4,      // outdoors, no WiFi opportunity
+};
+
+/// One simulated day for one user.
+struct DaySchedule {
+  std::array<Where, kBinsPerDay> where{};
+  /// Relative traffic-demand weight per bin (>= 0; not normalized).
+  std::array<float, kBinsPerDay> activity{};
+};
+
+/// Builds occupation- and weekday-dependent schedules.
+class ScheduleBuilder {
+ public:
+  /// Schedule for `user` on a day that is/isn't a weekend.
+  [[nodiscard]] static DaySchedule build(const UserProfile& user,
+                                         bool weekend, stats::Rng& rng);
+
+  /// Baseline hour-of-day activity curve (0..23); exposed for tests.
+  [[nodiscard]] static double hour_activity(int hour) noexcept;
+};
+
+}  // namespace tokyonet::sim

@@ -1,0 +1,595 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "app/catalog.h"
+#include "geo/region.h"
+#include "net/cellular.h"
+#include "net/deployment.h"
+#include "sim/schedule.h"
+#include "sim/survey.h"
+#include "sim/user.h"
+#include "stats/rng.h"
+
+namespace tokyonet::sim {
+namespace {
+
+using geo::Point;
+using net::Deployment;
+
+[[nodiscard]] std::uint32_t mb_to_bytes_u32(double mb) noexcept {
+  if (mb <= 0) return 0;
+  const double b = mb * 1e6;
+  return b >= 4.0e9 ? 0xF0000000u : static_cast<std::uint32_t>(b);
+}
+
+[[nodiscard]] std::uint8_t saturate_u8(double v) noexcept {
+  if (v <= 0) return 0;
+  return v >= 255 ? 255 : static_cast<std::uint8_t>(v);
+}
+
+/// Per-segment association state while a user dwells at one place.
+struct SegmentState {
+  Where where = Where::Home;
+  Point spot{};
+  ApId ap = kNoAp;
+  ApPlacement ap_placement = ApPlacement::Public;
+  double distance_m = 10.0;
+  /// Mean RSSI for this dwell: path loss at distance_m plus a shadowing
+  /// term drawn once per segment (shadowing is a property of the spot,
+  /// not of time; per-bin variation is small fast fading).
+  double rssi_base_dbm = -70.0;
+  bool wifi_off = false;
+};
+
+/// Everything needed while simulating one device.
+struct DeviceContext {
+  const UserProfile* user = nullptr;
+  stats::Rng rng;
+  bool updated = false;
+  double update_remaining_mb = 0;
+  std::int32_t update_bin = -1;
+  // Persistent radio conditions at fixed places: the phone sits in
+  // roughly the same spots at home/office every day, so distance and
+  // shadowing are per-device constants, not per-day draws.
+  double home_distance_m = 10.0;
+  double home_rssi_base = -60.0;
+  double office_distance_m = 12.0;
+  double office_rssi_base = -60.0;
+  /// Battery level carried across bins and days (charged overnight).
+  double battery = 100.0;
+};
+
+class CampaignRunner {
+ public:
+  CampaignRunner(const ScenarioConfig& config)
+      : config_(config),
+        root_rng_(config.seed),
+        region_(),
+        deployment_(config, region_, root_rng_),
+        mixer_(config.year) {}
+
+  Dataset run() {
+    Dataset ds;
+    ds.year = config_.year;
+    ds.calendar = CampaignCalendar(config_.start_date, config_.num_days);
+
+    stats::Rng pop_rng = root_rng_.fork(0xA11CE);
+    PopulationBuilder builder(config_, region_);
+    users_ = builder.build(deployment_, pop_rng);
+    PopulationBuilder::export_to(users_, region_, ds);
+
+    // Assign mobile hotspots now that the deployment is final.
+    assign_mobile_hotspots();
+
+    net::CapTracker cap(config_.cap, users_.size(), config_.num_days);
+
+    const auto n_bins = static_cast<std::size_t>(ds.calendar.num_bins());
+    ds.samples.reserve(users_.size() * n_bins);
+    ds.app_traffic.reserve(users_.size() * n_bins / 2);
+
+    for (const UserProfile& user : users_) {
+      DeviceContext ctx{&user, root_rng_.fork(0xD0D0 + value(user.id)), false,
+                        0, -1};
+      simulate_device(ctx, ds, cap);
+      ds.truth.devices[value(user.id)].update_bin = ctx.update_bin;
+    }
+
+    // Record ground-truth capped days.
+    for (const UserProfile& user : users_) {
+      auto& truth = ds.truth.devices[value(user.id)];
+      truth.capped_day.resize(static_cast<std::size_t>(config_.num_days));
+      for (int d = 0; d < config_.num_days; ++d) {
+        truth.capped_day[static_cast<std::size_t>(d)] =
+            cap.capped_on(user.id, d) ? 1 : 0;
+      }
+    }
+
+    deployment_.export_to(ds);
+    stats::Rng survey_rng = root_rng_.fork(0x50BE);
+    build_survey(config_, users_, survey_rng, ds);
+    ds.build_index();
+    return ds;
+  }
+
+ private:
+  void assign_mobile_hotspots() {
+    // Find the mobile-hotspot APs deployed up front and hand them to the
+    // users flagged as owners.
+    std::vector<ApId> mobile_aps;
+    for (std::size_t i = 0; i < deployment_.aps().size(); ++i) {
+      if (deployment_.aps()[i].placement == ApPlacement::MobileHotspot) {
+        mobile_aps.push_back(ApId{static_cast<std::uint32_t>(i)});
+      }
+    }
+    std::size_t next = 0;
+    for (UserProfile& u : users_) {
+      if (u.has_mobile_hotspot && next < mobile_aps.size()) {
+        u.mobile_ap = mobile_aps[next++];
+      } else {
+        u.has_mobile_hotspot = false;
+      }
+    }
+  }
+
+  /// Location of the user during a segment, by type of place.
+  [[nodiscard]] Point segment_spot(const UserProfile& user, Where where,
+                                   double commute_t, stats::Rng& rng) const {
+    switch (where) {
+      case Where::Home:
+        return user.home;
+      case Where::Office:
+        return user.office;
+      case Where::Commute:
+        return geo::TokyoRegion::along_path(user.home, user.office,
+                                            commute_t);
+      case Where::Public:
+      case Where::Out: {
+        // Near the workplace for workers on weekdays-evenings, otherwise
+        // around home (suburban shops/stations).
+        const Point anchor =
+            user.works && rng.bernoulli(0.45) ? user.office : user.home;
+        return Point{rng.normal(anchor.x_km, 2.5),
+                     rng.normal(anchor.y_km, 2.5)};
+      }
+    }
+    return user.home;
+  }
+
+  /// Decides WiFi state and association for a fresh segment.
+  void enter_segment(const UserProfile& user, SegmentState& seg,
+                     bool off_while_out, bool home_assoc_today,
+                     stats::Rng& rng) const {
+    seg.ap = kNoAp;
+    seg.wifi_off = false;
+
+    const bool always_off =
+        user.wifi_off_propensity >= 0.999;  // never-configured users
+    const double join_boost =
+        user.os == Os::Ios ? config_.adoption.ios_connect_boost : 1.0;
+
+    switch (seg.where) {
+      case Where::Home:
+        if (always_off || user.archetype == UserArchetype::CellularIntensive) {
+          // Never-configured users have nothing to join at home either.
+          seg.wifi_off = !user.leaves_wifi_on;
+        } else if (user.has_home_ap && home_assoc_today) {
+          // Users switch WiFi back on at home even on off-while-out days.
+          seg.ap = user.home_ap;
+          seg.ap_placement = ApPlacement::Home;
+        } else {
+          seg.wifi_off = off_while_out || !user.leaves_wifi_on;
+        }
+        break;
+      case Where::Office:
+        if (user.office_byod && rng.bernoulli(0.92 * std::min(1.0, join_boost))) {
+          seg.ap = user.office_ap;
+          seg.ap_placement = ApPlacement::Office;
+        } else {
+          seg.wifi_off = always_off ? !user.leaves_wifi_on
+                                    : (off_while_out || !user.leaves_wifi_on);
+        }
+        break;
+      case Where::Commute:
+        if (user.has_mobile_hotspot) {
+          seg.ap = user.mobile_ap;
+          seg.ap_placement = ApPlacement::MobileHotspot;
+        } else {
+          seg.wifi_off = always_off ? !user.leaves_wifi_on
+                                    : (off_while_out || !user.leaves_wifi_on);
+        }
+        break;
+      case Where::Public: {
+        const bool try_join = user.uses_public_wifi &&
+                              rng.bernoulli(std::min(1.0, 0.75 * join_boost));
+        if (try_join) {
+          if (const auto ap = deployment_.pick_public_ap(seg.spot, rng)) {
+            seg.ap = *ap;
+            seg.ap_placement = ApPlacement::Public;
+          }
+        }
+        if (seg.ap == kNoAp && !always_off &&
+            user.archetype != UserArchetype::CellularIntensive &&
+            rng.bernoulli(0.18)) {
+          // Occasionally a venue network (cafe/hotel guest WiFi).
+          if (const auto ap = deployment_.pick_venue_ap(seg.spot, rng)) {
+            seg.ap = *ap;
+            seg.ap_placement = ApPlacement::OtherVenue;
+          }
+        }
+        if (seg.ap == kNoAp) {
+          // Public-WiFi users keep the radio on hunting for hotspots.
+          seg.wifi_off = user.uses_public_wifi
+                             ? false
+                             : (always_off ? !user.leaves_wifi_on
+                                           : (off_while_out ||
+                                              !user.leaves_wifi_on));
+        }
+        break;
+      }
+      case Where::Out:
+        seg.wifi_off = always_off ? !user.leaves_wifi_on
+                                  : (off_while_out || !user.leaves_wifi_on);
+        break;
+    }
+    if (seg.ap != kNoAp) {
+      seg.distance_m = deployment_.draw_association_distance_m(
+          seg.ap_placement, rng);
+      const auto& ap = deployment_.ap(seg.ap);
+      seg.rssi_base_dbm = net::sample_rssi_dbm(
+          deployment_.path_loss(), seg.distance_m, ap.info.band, rng);
+    }
+  }
+
+  static void apply_persistent_radio(const DeviceContext& ctx,
+                                     SegmentState& seg) {
+    if (seg.ap == kNoAp) return;
+    const UserProfile& user = *ctx.user;
+    if (user.has_home_ap && seg.ap == user.home_ap) {
+      seg.distance_m = ctx.home_distance_m;
+      seg.rssi_base_dbm = ctx.home_rssi_base;
+    } else if (user.office_byod && seg.ap == user.office_ap) {
+      seg.distance_m = ctx.office_distance_m;
+      seg.rssi_base_dbm = ctx.office_rssi_base;
+    }
+  }
+
+  [[nodiscard]] app::Context context_of(const SegmentState& seg,
+                                        bool on_wifi) const noexcept {
+    if (!on_wifi) {
+      return seg.where == Where::Home ? app::Context::CellHome
+                                      : app::Context::CellOther;
+    }
+    switch (seg.ap_placement) {
+      case ApPlacement::Home: return app::Context::WifiHome;
+      case ApPlacement::Public: return app::Context::WifiPublic;
+      default: return app::Context::WifiOther;
+    }
+  }
+
+  void simulate_device(DeviceContext& ctx, Dataset& ds, net::CapTracker& cap) {
+    const UserProfile& user = *ctx.user;
+    const CampaignCalendar& cal = ds.calendar;
+    stats::Rng& rng = ctx.rng;
+    const DemandParams& demand = config_.demand;
+
+    if (user.has_home_ap) {
+      ctx.home_distance_m =
+          deployment_.draw_association_distance_m(ApPlacement::Home, rng);
+      ctx.home_rssi_base = net::sample_rssi_dbm(
+          deployment_.path_loss(), ctx.home_distance_m,
+          deployment_.ap(user.home_ap).info.band, rng);
+    }
+    if (user.office_byod) {
+      ctx.office_distance_m =
+          deployment_.draw_association_distance_m(ApPlacement::Office, rng);
+      ctx.office_rssi_base = net::sample_rssi_dbm(
+          deployment_.path_loss(), ctx.office_distance_m,
+          deployment_.ap(user.office_ap).info.band, rng);
+    }
+
+    for (int day = 0; day < cal.num_days(); ++day) {
+      const bool weekend = cal.is_weekend_day(day);
+      const DaySchedule sched = ScheduleBuilder::build(user, weekend, rng);
+
+      const double daily_mb =
+          std::exp(user.demand_mu + rng.normal(0.0, demand.day_sigma));
+      double activity_sum = 0;
+      for (float a : sched.activity) activity_sum += a;
+      if (activity_sum <= 0) activity_sum = 1;
+
+      const bool off_while_out = rng.bernoulli(user.wifi_off_propensity);
+      double cell_today_mb = 0;  // for self-rationing against the cap
+
+      // Occasional tethering day: a laptop rides the cellular link for a
+      // contiguous stretch of bins; hotspot mode keeps WiFi-as-client
+      // off for its duration.
+      int tether_from = -1, tether_to = -1;
+      if (user.is_tetherer && rng.bernoulli(0.10)) {
+        tether_from = 8 * kBinsPerHour +
+                      static_cast<int>(rng.uniform_int(13 * kBinsPerHour));
+        tether_to = tether_from + 3 + static_cast<int>(rng.uniform_int(10));
+      }
+      // Self-control varies day to day: some days users binge well past
+      // their usual cellular comfort zone, which is exactly how real
+      // heavy hitters trip the 3-day cap and then regress (Fig 19).
+      const double budget_today =
+          (user.has_home_ap ? demand.cell_budget_home_mb
+                            : demand.cell_budget_no_home_mb) *
+          rng.lognormal(0.0, 0.45);
+      const bool home_assoc_today = rng.bernoulli(
+          std::min(0.96, config_.adoption.home_assoc_rate *
+                             (user.os == Os::Ios ? 1.22 : 0.96)));
+      bool sync_done_today = false;
+      bool update_roll_done = false;
+
+      SegmentState seg;
+      seg.where = Where::Home;
+      seg.spot = user.home;
+      enter_segment(user, seg, off_while_out, home_assoc_today, rng);
+      apply_persistent_radio(ctx, seg);
+
+      // Track commute progress for geo interpolation.
+      int commute_seen = 0, commute_total = 0;
+      for (Where w : sched.where) commute_total += w == Where::Commute;
+
+      for (int b = 0; b < kBinsPerDay; ++b) {
+        const auto bin =
+            static_cast<TimeBin>(day * kBinsPerDay + b);
+        const Where where = sched.where[static_cast<std::size_t>(b)];
+        if (where != seg.where) {
+          seg.where = where;
+          const double t =
+              commute_total > 0
+                  ? static_cast<double>(commute_seen) / commute_total
+                  : 0.5;
+          seg.spot = segment_spot(user, where, t, rng);
+          enter_segment(user, seg, off_while_out, home_assoc_today, rng);
+          apply_persistent_radio(ctx, seg);
+        }
+        if (where == Where::Commute) ++commute_seen;
+
+        Sample s;
+        s.device = user.id;
+        s.bin = bin;
+        s.geo_cell = region_.grid().cell_at(seg.spot);
+
+        const bool tethering = b >= tether_from && b < tether_to;
+        if (tethering) {
+          // Hotspot mode: the client WiFi radio is unavailable.
+          s.tethering = true;
+        }
+
+        // Association churn: home/office links flap briefly (one-bin
+        // gaps, ~3%/bin, bounding Fig 13's duration tail); public
+        // sessions end early (portal timeouts, users moving on).
+        bool dropped_this_bin = false;
+        if (seg.ap != kNoAp) {
+          const bool is_public_like =
+              seg.ap_placement == ApPlacement::Public ||
+              seg.ap_placement == ApPlacement::OtherVenue;
+          if (is_public_like) {
+            if (rng.bernoulli(0.12)) seg.ap = kNoAp;  // session over
+          } else if (rng.bernoulli(0.03)) {
+            dropped_this_bin = true;  // transient flap, rejoin next bin
+          }
+        }
+        const bool on_wifi = seg.ap != kNoAp && !dropped_this_bin && !tethering;
+        s.wifi_state = on_wifi ? WifiState::Associated
+                       : (seg.wifi_off || tethering)
+                           ? WifiState::Off
+                           : WifiState::OnUnassociated;
+        if (on_wifi) {
+          s.ap = seg.ap;
+          s.rssi_dbm = net::quantize_rssi(seg.rssi_base_dbm +
+                                          rng.normal(0.0, 1.5));
+        }
+
+        // --- Demand for this bin -----------------------------------
+        const double share =
+            sched.activity[static_cast<std::size_t>(b)] / activity_sum;
+        double rx_mb = daily_mb * share;
+        std::uint64_t tx_bytes = 0;
+
+        if (on_wifi) {
+          double elasticity = demand.wifi_elasticity;
+          if (seg.ap_placement == ApPlacement::Office) elasticity *= 0.70;
+          // Public WiFi attracts deliberately heavy use (video, big
+          // downloads) -- users exploit the free fat pipe (§3.6, §4.4).
+          if (seg.ap_placement == ApPlacement::Public) elasticity *= 1.15;
+          rx_mb *= elasticity;
+        } else {
+          const int hour = b / kBinsPerHour;
+          rx_mb *= user.cellular_affinity;
+          rx_mb *= cap.demand_multiplier(user.id, user.carrier, day, hour);
+          rx_mb *= user.tech == CellTech::Lte ? 1.10 : 0.75;
+          // Self-rationing: users track their own cellular use against
+          // the cap; past a personal daily budget they defer to WiFi or
+          // simply stop (much weaker for users with no home AP).
+          if (cell_today_mb > budget_today) rx_mb *= demand.budget_excess_factor;
+        }
+
+        // Sub-0.01 MB bins become sporadic background chatter.
+        if (rx_mb < 0.01 && !rng.bernoulli(0.5)) rx_mb = 0;
+
+        // Laptop traffic over the hotspot: heavy, bursty download.
+        if (tethering) rx_mb += rng.lognormal(std::log(45.0), 0.6);
+
+        const app::Context app_ctx = context_of(seg, on_wifi);
+        const auto app_begin = static_cast<std::uint32_t>(ds.app_traffic.size());
+        if (rx_mb > 0) {
+          if (user.os == Os::Android) {
+            tx_bytes = mixer_.mix(app_ctx, rx_mb, rng, ds.app_traffic);
+          } else {
+            tx_bytes = static_cast<std::uint64_t>(
+                rx_mb * 1e6 * 0.18 * rng.lognormal(0.0, 0.5));
+          }
+        }
+
+        // --- WiFi-gated online-storage sync (Table 7 productivity) --
+        if (user.uses_sync && !sync_done_today && on_wifi &&
+            seg.ap_placement == ApPlacement::Home && b >= 6 * kBinsPerHour &&
+            rng.bernoulli(0.25)) {
+          sync_done_today = true;
+          const double sync_mb =
+              demand.sync_daily_mb * rng.lognormal(0.0, 0.6);
+          AppTraffic at;
+          at.category = AppCategory::Productivity;
+          at.rx_bytes = mb_to_bytes_u32(sync_mb * 0.35);
+          at.tx_bytes = mb_to_bytes_u32(sync_mb);
+          if (user.os == Os::Android) ds.app_traffic.push_back(at);
+          rx_mb += sync_mb * 0.35;
+          tx_bytes += at.tx_bytes;
+        }
+
+        // --- The iOS 8.2 update event (§3.7) ------------------------
+        maybe_start_update(ctx, day, b, on_wifi, seg, weekend,
+                           update_roll_done, bin);
+        if (ctx.update_remaining_mb > 0 && on_wifi) {
+          const double chunk =
+              std::min(ctx.update_remaining_mb, 170.0 * rng.uniform(0.9, 1.15));
+          ctx.update_remaining_mb -= chunk;
+          rx_mb += chunk;
+        }
+
+        const std::uint32_t rx_bytes = mb_to_bytes_u32(rx_mb);
+        if (on_wifi) {
+          s.wifi_rx = rx_bytes;
+          s.wifi_tx = static_cast<std::uint32_t>(
+              std::min<std::uint64_t>(tx_bytes, 0xF0000000ull));
+          s.tech = CellTech::None;
+        } else {
+          s.cell_rx = rx_bytes;
+          s.cell_tx = static_cast<std::uint32_t>(
+              std::min<std::uint64_t>(tx_bytes, 0xF0000000ull));
+          s.tech = rx_bytes > 0 || tx_bytes > 0 ? user.tech : CellTech::None;
+          cap.add_download_mb(user.id, day, rx_mb);
+          cell_today_mb += rx_mb;
+        }
+
+        if (user.os == Os::Android) {
+          const auto count = ds.app_traffic.size() - app_begin;
+          s.app_begin = app_begin;
+          s.app_count = static_cast<std::uint8_t>(std::min<std::size_t>(count, 255));
+        }
+
+        // --- Android scan summaries (Fig 17, §3.5) -------------------
+        if (user.os == Os::Android && s.wifi_state != WifiState::Off) {
+          emit_scan(s, where, rng);
+        }
+
+        // Battery: drains with use (and with an idle scanning radio),
+        // charges overnight at home and opportunistically when low.
+        {
+          const int hour = b / kBinsPerHour;
+          double drain = 0.08 + 40.0 * share;
+          if (s.wifi_state == WifiState::OnUnassociated) drain += 0.04;
+          if (tethering) drain += 0.8;
+          const bool overnight_charge =
+              where == Where::Home && (hour >= 22 || hour < 7);
+          const bool low_charge = ctx.battery < 20.0 &&
+                                  (where == Where::Home || where == Where::Office);
+          double charge = 0;
+          if (overnight_charge || low_charge) charge = 1.5;
+          ctx.battery = std::clamp(ctx.battery - drain + charge, 2.0, 100.0);
+          s.battery_pct = static_cast<std::uint8_t>(std::lround(ctx.battery));
+        }
+
+        ds.samples.push_back(s);
+      }
+    }
+  }
+
+  void maybe_start_update(DeviceContext& ctx, int day, int bin_in_day,
+                          bool on_wifi, const SegmentState& seg, bool weekend,
+                          bool& rolled_today, TimeBin bin) {
+    const UpdateParams& up = config_.update;
+    const UserProfile& user = *ctx.user;
+    if (!up.active || user.os != Os::Ios || ctx.updated ||
+        day < up.release_day) {
+      return;
+    }
+    if (!on_wifi || rolled_today) return;
+
+    // Release happens in the evening of release_day.
+    if (day == up.release_day && bin_in_day < 17 * kBinsPerHour) return;
+
+    double hazard = 0;
+    if (seg.ap_placement == ApPlacement::Home) {
+      // Evening at home: the typical update moment.
+      if (bin_in_day < 18 * kBinsPerHour) return;
+      hazard = up.home_hazard;
+      const int days_since = day - up.release_day;
+      if (days_since == 0) hazard *= 1.7;      // flash-crowd burst (a)
+      else if (days_since == 1) hazard *= 1.6;
+      if (weekend) hazard *= up.weekend_boost;  // weekend peak (b)
+    } else if ((seg.ap_placement == ApPlacement::Public ||
+                seg.ap_placement == ApPlacement::Office ||
+                seg.ap_placement == ApPlacement::OtherVenue) &&
+               !user.has_home_ap && user.update_seeker) {
+      // Seekers without home WiFi start hunting a couple of days after
+      // release (they hear about the update, then plan a WiFi stop) --
+      // this produces the paper's 3.5-day median delay gap.
+      if (day - up.release_day < 2) return;
+      hazard = up.seeker_hazard;
+    } else {
+      return;
+    }
+
+    rolled_today = true;
+    if (ctx.rng.bernoulli(hazard)) {
+      ctx.updated = true;
+      ctx.update_remaining_mb = up.size_mb;
+      ctx.update_bin = static_cast<std::int32_t>(bin);
+    }
+  }
+
+  void emit_scan(Sample& s, Where where, stats::Rng& rng) const {
+    // Indoors at home, walls attenuate street-level hotspots; in motion
+    // (train/bus), APs flash by and few register as strong, stable
+    // candidates.
+    const double env_all = where == Where::Home ? 0.35 : 1.0;
+    const double env_strong = where == Where::Home     ? 0.5
+                              : where == Where::Commute ? 0.2
+                                                        : 1.0;
+    const double expected =
+        deployment_.expected_scan_count(s.geo_cell) * env_all;
+    const double frac5 = config_.deployment.scan_5ghz_frac;
+    const double strong = config_.deployment.scan_strong_frac * env_strong;
+    const unsigned all24 = rng.poisson(expected * (1.0 - frac5));
+    const unsigned all5 = rng.poisson(expected * frac5);
+    // Strong subset: binomial thinning of the detected networks
+    // (5 GHz cells are smaller, so a detected 5 GHz AP is more often
+    // close enough to be strong).
+    unsigned strong24 = 0, strong5 = 0;
+    for (unsigned i = 0; i < all24; ++i) strong24 += rng.bernoulli(strong);
+    for (unsigned i = 0; i < all5; ++i)
+      strong5 += rng.bernoulli(std::min(1.0, strong * 1.3));
+    s.scan_pub24_all = saturate_u8(all24);
+    s.scan_pub5_all = saturate_u8(all5);
+    s.scan_pub24_strong = saturate_u8(strong24);
+    s.scan_pub5_strong = saturate_u8(strong5);
+  }
+
+  const ScenarioConfig& config_;
+  stats::Rng root_rng_;
+  geo::TokyoRegion region_;
+  Deployment deployment_;
+  app::AppMixer mixer_;
+  std::vector<UserProfile> users_;
+};
+
+}  // namespace
+
+Dataset Simulator::run() const {
+  CampaignRunner runner(config_);
+  return runner.run();
+}
+
+Dataset simulate_year(Year year, double scale) {
+  return Simulator(scenario_config(year, scale)).run();
+}
+
+}  // namespace tokyonet::sim

@@ -1,0 +1,32 @@
+// Campaign simulator: drives every simulated user through the campaign
+// calendar, emitting the 10-minute record stream the paper's measurement
+// software would have uploaded (§2).
+#pragma once
+
+#include "core/records.h"
+#include "core/scenario.h"
+
+namespace tokyonet::sim {
+
+/// Runs one measurement campaign and returns the full dataset.
+///
+/// Deterministic: the same ScenarioConfig (including seed and scale)
+/// always produces the same dataset, bit for bit.
+class Simulator {
+ public:
+  explicit Simulator(ScenarioConfig config) : config_(std::move(config)) {}
+
+  [[nodiscard]] Dataset run() const;
+
+  [[nodiscard]] const ScenarioConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  ScenarioConfig config_;
+};
+
+/// Convenience: simulate the calibrated scenario for `year` at `scale`.
+[[nodiscard]] Dataset simulate_year(Year year, double scale = 1.0);
+
+}  // namespace tokyonet::sim

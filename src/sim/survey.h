@@ -1,0 +1,25 @@
+// Post-campaign survey synthesizer (§4.2, Tables 2/8/9).
+//
+// Recruited users answer from their ground-truth profile plus a
+// perception-noise model reproducing the paper's observed gaps: users
+// over-report public-WiFi connectivity relative to what the traffic data
+// shows, and office answers reflect BYOD policy rather than observed
+// associations.
+#pragma once
+
+#include <vector>
+
+#include "core/records.h"
+#include "core/scenario.h"
+#include "sim/user.h"
+#include "stats/rng.h"
+
+namespace tokyonet::sim {
+
+/// Fills `dataset.survey` (parallel to devices; only recruited users
+/// participate).
+void build_survey(const ScenarioConfig& config,
+                  const std::vector<UserProfile>& users, stats::Rng& rng,
+                  Dataset& dataset);
+
+}  // namespace tokyonet::sim

@@ -1,0 +1,87 @@
+// Simulated user population.
+//
+// Each device gets a behavioural profile: demographics (Table 2),
+// archetype (cellular-intensive / WiFi-intensive / mixed, Fig 5), home
+// and office geography, AP ownership (§3.4.1), WiFi-toggling habits
+// (Fig 9), public-WiFi configuration (§3.5, §4.2), traffic demand
+// heterogeneity (Figs 3-5) and iOS-update behaviour (§3.7).
+#pragma once
+
+#include <vector>
+
+#include "core/records.h"
+#include "core/scenario.h"
+#include "geo/region.h"
+#include "net/deployment.h"
+#include "stats/rng.h"
+
+namespace tokyonet::sim {
+
+/// Full ground-truth behavioural profile of one simulated user.
+struct UserProfile {
+  DeviceId id{};
+  Os os = Os::Android;
+  Carrier carrier = Carrier::CarrierA;
+  CellTech tech = CellTech::Lte;
+  bool recruited = true;
+  Occupation occupation = Occupation::Other;
+  UserArchetype archetype = UserArchetype::Mixed;
+
+  geo::Point home{};
+  geo::Point office{};
+  bool works = false;           // has a weekday workplace/school
+  bool is_student = false;
+
+  bool has_home_ap = false;
+  ApId home_ap = kNoAp;
+  bool office_byod = false;     // may use the office WiFi
+  ApId office_ap = kNoAp;
+  bool has_mobile_hotspot = false;
+  ApId mobile_ap = kNoAp;
+
+  /// Probability that, on a given day, the user keeps WiFi explicitly
+  /// off while away from home (Android WiFi-off behaviour, Fig 9).
+  double wifi_off_propensity = 0.0;
+  /// WiFi left enabled even with nothing to join (WiFi-available users).
+  bool leaves_wifi_on = true;
+  /// Configured for public hotspots (carrier SIM-auth etc.).
+  bool uses_public_wifi = false;
+  /// Runs WiFi-gated online-storage sync (productivity category).
+  bool uses_sync = false;
+  /// Occasionally tethers a laptop over cellular (Android hotspot; the
+  /// paper strips this traffic from the main analysis, §2).
+  bool is_tetherer = false;
+
+  /// Per-user mean of log daily demand (MB); day draw adds day_sigma.
+  double demand_mu = 4.0;
+  /// Suppression of cellular use for WiFi-intensive users (<< 1).
+  double cellular_affinity = 1.0;
+
+  /// iOS only: would this user fetch the OS update over public/office
+  /// WiFi despite lacking a home AP (§3.7's 19 inspected devices)?
+  bool update_seeker = false;
+};
+
+/// Builds the device population, creating home/office APs in the
+/// deployment as a side effect, and fills Dataset::devices plus the
+/// device half of Dataset::truth.
+class PopulationBuilder {
+ public:
+  PopulationBuilder(const ScenarioConfig& config,
+                    const geo::TokyoRegion& region);
+
+  /// Generates all users. Deterministic given `rng`'s state.
+  [[nodiscard]] std::vector<UserProfile> build(net::Deployment& deployment,
+                                               stats::Rng& rng) const;
+
+  /// Converts profiles into the observable DeviceInfo vector and the
+  /// ground-truth DeviceTruth vector of `dataset`.
+  static void export_to(const std::vector<UserProfile>& users,
+                        const geo::TokyoRegion& region, Dataset& dataset);
+
+ private:
+  const ScenarioConfig* config_;
+  const geo::TokyoRegion* region_;
+};
+
+}  // namespace tokyonet::sim

@@ -1,0 +1,94 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tokyonet::stats {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0;
+  const double m = mean(xs);
+  double ss = 0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  return std::sqrt(variance(xs));
+}
+
+double percentile_sorted(std::span<const double> sorted, double p) noexcept {
+  assert(p >= 0 && p <= 100);
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double percentile(std::span<const double> xs, double p) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  return percentile_sorted(copy, p);
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50); }
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  s.mean = mean(copy);
+  s.median = percentile_sorted(copy, 50);
+  s.p05 = percentile_sorted(copy, 5);
+  s.p95 = percentile_sorted(copy, 95);
+  s.min = copy.front();
+  s.max = copy.back();
+  return s;
+}
+
+double annual_growth_rate(std::span<const double> yearly) noexcept {
+  if (yearly.size() < 2) return 0;
+  const double first = yearly.front();
+  const double last = yearly.back();
+  if (first <= 0 || last <= 0) return 0;
+  const double n = static_cast<double>(yearly.size() - 1);
+  return std::pow(last / first, 1.0 / n) - 1.0;
+}
+
+LinearFit linear_fit(std::span<const double> xs,
+                     std::span<const double> ys) noexcept {
+  LinearFit f;
+  assert(xs.size() == ys.size());
+  const std::size_t n = xs.size();
+  if (n < 2) return f;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0) return f;
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  f.r2 = syy > 0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return f;
+}
+
+}  // namespace tokyonet::stats

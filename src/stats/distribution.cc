@@ -1,0 +1,108 @@
+#include "stats/distribution.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tokyonet::stats {
+
+Ecdf::Ecdf(std::span<const double> values)
+    : sorted_(values.begin(), values.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const noexcept {
+  if (sorted_.empty()) return 0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const noexcept {
+  assert(q >= 0 && q <= 1);
+  if (sorted_.empty()) return 0;
+  const double rank = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+Ecdf::Series Ecdf::series(int points, bool log_spaced, double lo_clamp) const {
+  Series s;
+  if (sorted_.empty() || points < 2) return s;
+  double lo = sorted_.front();
+  const double hi = sorted_.back();
+  if (log_spaced) lo = std::max(lo, lo_clamp);
+  if (hi <= lo) {
+    s.x = {lo};
+    s.y = {1.0};
+    return s;
+  }
+  s.x.reserve(static_cast<std::size_t>(points));
+  s.y.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / (points - 1);
+    const double x = log_spaced ? lo * std::pow(hi / lo, t)
+                                : lo + t * (hi - lo);
+    s.x.push_back(x);
+    s.y.push_back(at(x));
+  }
+  return s;
+}
+
+Ecdf::Series Ecdf::ccdf_series(int points, bool log_spaced,
+                               double lo_clamp) const {
+  Series s = series(points, log_spaced, lo_clamp);
+  for (double& y : s.y) y = 1.0 - y;
+  return s;
+}
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / bins),
+      count_(static_cast<std::size_t>(bins), 0.0) {
+  assert(bins >= 1 && hi > lo);
+}
+
+void Histogram::add(double x, double weight) noexcept {
+  auto i = static_cast<long>((x - lo_) / width_);
+  i = std::clamp<long>(i, 0, static_cast<long>(count_.size()) - 1);
+  count_[static_cast<std::size_t>(i)] += weight;
+  total_ += weight;
+}
+
+double Histogram::pmf(int i) const noexcept {
+  return total_ > 0 ? count_[static_cast<std::size_t>(i)] / total_ : 0.0;
+}
+
+double Histogram::pdf(int i) const noexcept {
+  return total_ > 0 ? count_[static_cast<std::size_t>(i)] / (total_ * width_)
+                    : 0.0;
+}
+
+LogHist2d::LogHist2d(double lo_exp, double hi_exp, int bins_per_decade)
+    : lo_exp_(lo_exp), hi_exp_(hi_exp),
+      bins_(static_cast<int>((hi_exp - lo_exp) * bins_per_decade)),
+      cells_(static_cast<std::size_t>(bins_) * static_cast<std::size_t>(bins_), 0.0) {
+  assert(hi_exp > lo_exp && bins_per_decade >= 1);
+}
+
+int LogHist2d::index_of(double v) const noexcept {
+  const double e = std::log10(std::max(v, 1e-300));
+  const double t = (e - lo_exp_) / (hi_exp_ - lo_exp_);
+  auto i = static_cast<long>(t * bins_);
+  return static_cast<int>(std::clamp<long>(i, 0, bins_ - 1));
+}
+
+void LogHist2d::add(double x, double y) noexcept {
+  cells_[static_cast<std::size_t>(index_of(y)) * static_cast<std::size_t>(bins_) +
+         static_cast<std::size_t>(index_of(x))] += 1.0;
+  total_ += 1.0;
+}
+
+double LogHist2d::bin_center(int i) const noexcept {
+  const double step = (hi_exp_ - lo_exp_) / bins_;
+  return std::pow(10.0, lo_exp_ + (i + 0.5) * step);
+}
+
+}  // namespace tokyonet::stats

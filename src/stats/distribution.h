@@ -1,0 +1,103 @@
+// Empirical distribution machinery used throughout the paper's figures:
+// CDFs (Figs 3, 4, 18, 19), CCDFs (Figs 13, 17), PDFs/histograms
+// (Figs 15, 16, 18) and 2-D log-log density maps (Fig 5).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tokyonet::stats {
+
+/// Empirical cumulative distribution function over a sample.
+class Ecdf {
+ public:
+  Ecdf() = default;
+  /// Builds from (unsorted) values; copies and sorts.
+  explicit Ecdf(std::span<const double> values);
+
+  [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+
+  /// F(x) = P[X <= x].
+  [[nodiscard]] double at(double x) const noexcept;
+  /// Complementary CDF: P[X > x].
+  [[nodiscard]] double ccdf(double x) const noexcept { return 1.0 - at(x); }
+  /// Inverse CDF (quantile), q in [0,1].
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] std::span<const double> sorted() const noexcept {
+    return sorted_;
+  }
+
+  /// Evaluation grid + F values suitable for plotting/printing: if
+  /// `log_spaced`, grid is geometric between max(min, lo_clamp) and max.
+  struct Series {
+    std::vector<double> x;
+    std::vector<double> y;
+  };
+  [[nodiscard]] Series series(int points, bool log_spaced,
+                              double lo_clamp = 1e-12) const;
+  [[nodiscard]] Series ccdf_series(int points, bool log_spaced,
+                                   double lo_clamp = 1e-12) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into
+/// the edge bins. Normalizable to a probability density.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void add(double x, double weight = 1.0) noexcept;
+
+  [[nodiscard]] int bins() const noexcept { return static_cast<int>(count_.size()); }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+  [[nodiscard]] double bin_center(int i) const noexcept {
+    return lo_ + (i + 0.5) * width_;
+  }
+  [[nodiscard]] double count(int i) const noexcept { return count_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  /// Probability mass of bin i (sums to 1 over bins).
+  [[nodiscard]] double pmf(int i) const noexcept;
+  /// Probability density at bin i (integrates to 1).
+  [[nodiscard]] double pdf(int i) const noexcept;
+
+ private:
+  double lo_, hi_, width_;
+  double total_ = 0;
+  std::vector<double> count_;
+};
+
+/// 2-D histogram with log10-spaced bins on both axes; reproduces the
+/// Fig 5 cellular-vs-WiFi heat map. Values below `floor` land in a
+/// dedicated underflow row/column (the paper plots 10^-2 as the floor).
+class LogHist2d {
+ public:
+  /// Bins per decade over [10^lo_exp, 10^hi_exp] on both axes.
+  LogHist2d(double lo_exp, double hi_exp, int bins_per_decade);
+
+  void add(double x, double y) noexcept;
+
+  [[nodiscard]] int bins() const noexcept { return bins_; }
+  [[nodiscard]] double count(int ix, int iy) const noexcept {
+    return cells_[static_cast<std::size_t>(iy) * static_cast<std::size_t>(bins_) + static_cast<std::size_t>(ix)];
+  }
+  [[nodiscard]] double total() const noexcept { return total_; }
+  /// Geometric center of bin i along either axis.
+  [[nodiscard]] double bin_center(int i) const noexcept;
+
+ private:
+  [[nodiscard]] int index_of(double v) const noexcept;
+
+  double lo_exp_, hi_exp_;
+  int bins_;
+  double total_ = 0;
+  std::vector<double> cells_;
+};
+
+}  // namespace tokyonet::stats

@@ -1,0 +1,179 @@
+// Deterministic, platform-independent random number generation.
+//
+// <random>'s distribution objects are implementation-defined, which would
+// make simulated campaigns differ across standard libraries; tokyonet
+// therefore ships its own xoshiro256** engine and explicit distribution
+// transforms. Given the same seed, a campaign is bit-identical everywhere,
+// which the test suite relies on.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+namespace tokyonet::stats {
+
+/// SplitMix64: used to expand a single 64-bit seed into engine state and
+/// to derive independent child streams.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97f4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna) with distribution helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x746F6B796F6E6574ull) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  /// Derives an independent stream, e.g. one per device or per module, so
+  /// adding draws in one component never perturbs another.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const noexcept {
+    std::uint64_t mix = s_[0] ^ (s_[3] * 0x9E3779B97f4A7C15ull);
+    mix ^= stream_id * 0xD1342543DE82EF95ull + 0x2545F4914F6CDD1Dull;
+    return Rng{mix};
+  }
+
+  [[nodiscard]] std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t n) noexcept {
+    assert(n > 0);
+    // Multiply-shift mapping of the top 53 bits; bias is negligible for
+    // the population sizes used here and avoids non-standard __int128.
+    return static_cast<std::uint64_t>(uniform() * static_cast<double>(n));
+  }
+
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (cached second variate).
+  [[nodiscard]] double normal() noexcept {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    const double u2 = uniform();
+    if (u1 <= 0) u1 = 0x1.0p-53;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    have_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Lognormal: exp(N(mu, sigma)). `mu`/`sigma` are in log space.
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Exponential with rate lambda (mean 1/lambda).
+  [[nodiscard]] double exponential(double lambda) noexcept {
+    assert(lambda > 0);
+    double u = uniform();
+    if (u <= 0) u = 0x1.0p-53;
+    return -std::log(u) / lambda;
+  }
+
+  /// Pareto (Type I) with scale xm > 0 and shape alpha > 0.
+  [[nodiscard]] double pareto(double xm, double alpha) noexcept {
+    assert(xm > 0 && alpha > 0);
+    double u = uniform();
+    if (u <= 0) u = 0x1.0p-53;
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Poisson-distributed count (Knuth for small mean, normal approx for
+  /// large mean).
+  [[nodiscard]] unsigned poisson(double mean) noexcept {
+    assert(mean >= 0);
+    if (mean <= 0) return 0;
+    if (mean > 30.0) {
+      const double x = normal(mean, std::sqrt(mean));
+      return x <= 0.5 ? 0u : static_cast<unsigned>(x + 0.5);
+    }
+    const double l = std::exp(-mean);
+    unsigned k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > l);
+    return k - 1;
+  }
+
+  /// Draw an index in [0, weights.size()) with probability proportional
+  /// to weights[i]. Requires at least one positive weight.
+  [[nodiscard]] std::size_t categorical(std::span<const double> weights) noexcept {
+    double total = 0;
+    for (double w : weights) {
+      assert(w >= 0);
+      total += w;
+    }
+    assert(total > 0);
+    double x = uniform() * total;
+    for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Zipf-distributed rank in [1, n] with exponent s (inverse-CDF over a
+  /// precomputed table is the caller's job for hot paths; this is the
+  /// simple O(n) draw for modest n).
+  [[nodiscard]] std::size_t zipf(std::size_t n, double s) noexcept {
+    assert(n >= 1);
+    double h = 0;
+    for (std::size_t k = 1; k <= n; ++k) h += 1.0 / std::pow(double(k), s);
+    double x = uniform() * h;
+    for (std::size_t k = 1; k <= n; ++k) {
+      x -= 1.0 / std::pow(double(k), s);
+      if (x < 0) return k;
+    }
+    return n;
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x,
+                                                    int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_{};
+  double cached_ = 0;
+  bool have_cached_ = false;
+};
+
+}  // namespace tokyonet::stats

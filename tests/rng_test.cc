@@ -1,0 +1,155 @@
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace tokyonet::stats {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDraws) {
+  Rng parent(7);
+  const Rng child1 = parent.fork(5);
+  // Drawing from the parent must not change what fork(5) would yield
+  // for a parent in the same state; but a *new* parent in the same
+  // initial state forks identically.
+  Rng parent2(7);
+  const Rng child2 = parent2.fork(5);
+  Rng c1 = child1, c2 = child2;
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, ForkStreamsDiffer) {
+  Rng parent(7);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LE(same, 1);
+}
+
+class RngMoments : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngMoments, UniformInUnitIntervalWithCorrectMean) {
+  Rng rng(GetParam());
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST_P(RngMoments, NormalMeanAndVariance) {
+  Rng rng(GetParam());
+  double sum = 0, ss = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    ss += x * x;
+  }
+  const double mean = sum / n;
+  const double var = ss / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST_P(RngMoments, LognormalMedian) {
+  Rng rng(GetParam());
+  std::vector<double> xs;
+  for (int i = 0; i < 20001; ++i) xs.push_back(rng.lognormal(2.0, 0.5));
+  std::nth_element(xs.begin(), xs.begin() + 10000, xs.end());
+  EXPECT_NEAR(xs[10000], std::exp(2.0), 0.3);
+}
+
+TEST_P(RngMoments, ExponentialMean) {
+  Rng rng(GetParam());
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / 20000, 0.5, 0.03);
+}
+
+TEST_P(RngMoments, PoissonMean) {
+  Rng rng(GetParam());
+  double small = 0, large = 0;
+  for (int i = 0; i < 20000; ++i) {
+    small += rng.poisson(3.0);
+    large += rng.poisson(80.0);  // normal-approximation branch
+  }
+  EXPECT_NEAR(small / 20000, 3.0, 0.1);
+  EXPECT_NEAR(large / 20000, 80.0, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngMoments,
+                         ::testing::Values(1ull, 42ull, 20150228ull,
+                                           0xDEADBEEFull));
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_int(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(11);
+  const double w[] = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.35);
+}
+
+TEST(Rng, ZipfRankOneMostFrequent) {
+  Rng rng(13);
+  int counts[11] = {};
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t r = rng.zipf(10, 1.0);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 10u);
+    ++counts[r];
+  }
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[5]);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace tokyonet::stats

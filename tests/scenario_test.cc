@@ -1,0 +1,115 @@
+// Sanity tests for the calibrated per-year scenario presets: every knob
+// that the paper says moved between 2013 and 2015 must move the right
+// way, and scaling must behave.
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace tokyonet {
+namespace {
+
+ScenarioConfig cfg(Year y) { return scenario_config(y); }
+
+TEST(Scenario, CampaignDatesMatchTable1) {
+  EXPECT_EQ(cfg(Year::Y2013).start_date, (Date{2013, 3, 7}));
+  EXPECT_EQ(cfg(Year::Y2014).start_date, (Date{2014, 2, 28}));
+  EXPECT_EQ(cfg(Year::Y2015).start_date, (Date{2015, 2, 28}));
+  // 2015 runs long enough to cover the update tail (release day 10
+  // plus two weeks, §3.7).
+  EXPECT_GE(cfg(Year::Y2015).num_days,
+            cfg(Year::Y2015).update.release_day + 14);
+}
+
+TEST(Scenario, PanelSizesMatchTable1) {
+  EXPECT_EQ(cfg(Year::Y2013).population.n_android, 948);
+  EXPECT_EQ(cfg(Year::Y2013).population.n_ios, 807);
+  EXPECT_EQ(cfg(Year::Y2015).population.n_android, 835);
+  EXPECT_EQ(cfg(Year::Y2015).population.n_ios, 781);
+}
+
+TEST(Scenario, AdoptionTrendsMonotone) {
+  double lte = 0, home = 0, assoc = 0, cell_int = 1, wifi_off = 1;
+  for (Year y : kAllYears) {
+    const ScenarioConfig c = cfg(y);
+    EXPECT_GT(c.adoption.lte_device_share, lte);
+    EXPECT_GT(c.adoption.home_ap_ownership, home);
+    EXPECT_GT(c.adoption.home_assoc_rate, assoc);
+    EXPECT_LT(c.adoption.cellular_intensive_frac, cell_int);
+    EXPECT_LE(c.adoption.wifi_off_mean, wifi_off);
+    lte = c.adoption.lte_device_share;
+    home = c.adoption.home_ap_ownership;
+    assoc = c.adoption.home_assoc_rate;
+    cell_int = c.adoption.cellular_intensive_frac;
+    wifi_off = c.adoption.wifi_off_mean;
+  }
+  EXPECT_DOUBLE_EQ(lte, 0.80);    // Table 1
+  EXPECT_DOUBLE_EQ(home, 0.79);   // §3.4.1
+}
+
+TEST(Scenario, DeploymentTrendsMonotone) {
+  int publics = 0;
+  double pub5 = 0, multi = 0, scan_peak = 0;
+  for (Year y : kAllYears) {
+    const ScenarioConfig c = cfg(y);
+    EXPECT_GT(c.deployment.n_public_aps, publics);
+    EXPECT_GT(c.deployment.public_5ghz_frac, pub5);
+    EXPECT_GT(c.deployment.multi_provider_frac, multi);
+    EXPECT_GT(c.deployment.scan_density_peak, scan_peak);
+    publics = c.deployment.n_public_aps;
+    pub5 = c.deployment.public_5ghz_frac;
+    multi = c.deployment.multi_provider_frac;
+    scan_peak = c.deployment.scan_density_peak;
+  }
+  EXPECT_GT(pub5, 0.5);  // Fig 14: >50% of public APs on 5 GHz by 2015
+}
+
+TEST(Scenario, DemandGrowsEveryYear) {
+  double mu = 0;
+  for (Year y : kAllYears) {
+    EXPECT_GT(cfg(y).demand.daily_mu_log_mb, mu);
+    mu = cfg(y).demand.daily_mu_log_mb;
+  }
+}
+
+TEST(Scenario, CapRelaxedOnlyIn2015) {
+  for (Year y : {Year::Y2013, Year::Y2014}) {
+    for (bool relaxed : cfg(y).cap.relaxed) EXPECT_FALSE(relaxed);
+  }
+  // §3.8: two of three carriers relaxed in Feb 2015.
+  int relaxed15 = 0;
+  for (bool relaxed : cfg(Year::Y2015).cap.relaxed) relaxed15 += relaxed;
+  EXPECT_EQ(relaxed15, 2);
+}
+
+TEST(Scenario, UpdateEventOnlyIn2015) {
+  EXPECT_FALSE(cfg(Year::Y2013).update.active);
+  EXPECT_FALSE(cfg(Year::Y2014).update.active);
+  EXPECT_TRUE(cfg(Year::Y2015).update.active);
+  EXPECT_DOUBLE_EQ(cfg(Year::Y2015).update.size_mb, 565.0);  // §3.7
+  // March 10th, 2015 was day 10 of the Feb 28 campaign.
+  const ScenarioConfig c = cfg(Year::Y2015);
+  const CampaignCalendar cal(c.start_date, c.num_days);
+  EXPECT_EQ(cal.date_of_day(c.update.release_day), (Date{2015, 3, 10}));
+}
+
+TEST(Scenario, ScaledHelperClampsToOne) {
+  ScenarioConfig c = cfg(Year::Y2015);
+  c.scale = 0.0001;
+  EXPECT_EQ(c.scaled(100), 1);
+  c.scale = 0.5;
+  EXPECT_EQ(c.scaled(100), 50);
+  c.scale = 1.0;
+  EXPECT_EQ(c.scaled(835), 835);
+}
+
+TEST(Scenario, OccupationWeightsMatchTable2Totals) {
+  for (Year y : kAllYears) {
+    double sum = 0;
+    for (double w : cfg(y).population.occupation_weights) sum += w;
+    // The paper's own 2015 column sums to 97.9 (rounding in Table 2).
+    EXPECT_NEAR(sum, 100.0, 2.5);
+  }
+}
+
+}  // namespace
+}  // namespace tokyonet

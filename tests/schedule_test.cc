@@ -1,0 +1,148 @@
+#include "sim/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace tokyonet::sim {
+namespace {
+
+UserProfile worker_profile() {
+  UserProfile u;
+  u.occupation = Occupation::OfficeWorker;
+  u.works = true;
+  return u;
+}
+
+TEST(Schedule, HourActivityCurveShape) {
+  // Night is quiet; 8am and the evening peak are busy (§3.1's peaks).
+  EXPECT_LT(ScheduleBuilder::hour_activity(3), 0.2);
+  EXPECT_GT(ScheduleBuilder::hour_activity(8), 0.9);
+  EXPECT_GT(ScheduleBuilder::hour_activity(21), 1.0);
+  EXPECT_GT(ScheduleBuilder::hour_activity(12),
+            ScheduleBuilder::hour_activity(15));
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_GT(ScheduleBuilder::hour_activity(h), 0.0);
+  }
+}
+
+class ScheduleSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleSeeds, EveryBinAssignedWithNonNegativeActivity) {
+  stats::Rng rng(GetParam());
+  const UserProfile u = worker_profile();
+  for (bool weekend : {false, true}) {
+    const DaySchedule s = ScheduleBuilder::build(u, weekend, rng);
+    for (int b = 0; b < kBinsPerDay; ++b) {
+      EXPECT_GE(s.activity[static_cast<std::size_t>(b)], 0.0f);
+      const auto w = static_cast<int>(s.where[static_cast<std::size_t>(b)]);
+      EXPECT_GE(w, 0);
+      EXPECT_LE(w, 4);
+    }
+  }
+}
+
+TEST_P(ScheduleSeeds, WorkerWeekdayIncludesOfficeAndCommute) {
+  stats::Rng rng(GetParam());
+  const UserProfile u = worker_profile();
+  const DaySchedule s = ScheduleBuilder::build(u, /*weekend=*/false, rng);
+  int office = 0, commute = 0;
+  for (Where w : s.where) {
+    office += w == Where::Office;
+    commute += w == Where::Commute;
+  }
+  EXPECT_GT(office, 30);  // at least 5 hours at work
+  EXPECT_GE(commute, 4);  // both directions
+}
+
+TEST_P(ScheduleSeeds, NobodyWorksOnWeekends) {
+  stats::Rng rng(GetParam());
+  const UserProfile u = worker_profile();
+  const DaySchedule s = ScheduleBuilder::build(u, /*weekend=*/true, rng);
+  for (Where w : s.where) {
+    EXPECT_NE(w, Where::Office);
+    EXPECT_NE(w, Where::Commute);
+  }
+}
+
+TEST_P(ScheduleSeeds, NightMostlyAtHome) {
+  stats::Rng rng(GetParam());
+  const UserProfile u = worker_profile();
+  const DaySchedule s = ScheduleBuilder::build(u, false, rng);
+  for (int b = 0; b < 5 * kBinsPerHour; ++b) {
+    EXPECT_EQ(s.where[static_cast<std::size_t>(b)], Where::Home);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleSeeds,
+                         ::testing::Values(1ull, 7ull, 42ull, 1234ull));
+
+TEST(Schedule, HousewifeStaysOffOfficeOnWeekdays) {
+  stats::Rng rng(9);
+  UserProfile u;
+  u.occupation = Occupation::Housewife;
+  u.works = false;
+  for (int trial = 0; trial < 20; ++trial) {
+    const DaySchedule s = ScheduleBuilder::build(u, false, rng);
+    for (Where w : s.where) {
+      EXPECT_NE(w, Where::Office);
+    }
+  }
+}
+
+TEST(Schedule, StudentsLeaveLaterAndReturnEarlier) {
+  stats::Rng rng(10);
+  UserProfile student;
+  student.occupation = Occupation::Student;
+  student.works = true;
+  student.is_student = true;
+  int total_office = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    const DaySchedule s = ScheduleBuilder::build(student, false, rng);
+    for (Where w : s.where) total_office += w == Where::Office;
+  }
+  UserProfile adult = worker_profile();
+  int adult_office = 0;
+  for (int t = 0; t < trials; ++t) {
+    const DaySchedule s = ScheduleBuilder::build(adult, false, rng);
+    for (Where w : s.where) adult_office += w == Where::Office;
+  }
+  EXPECT_LT(total_office, adult_office);
+}
+
+TEST(Schedule, WeekendsHavePublicOutings) {
+  stats::Rng rng(11);
+  const UserProfile u = worker_profile();
+  int public_bins = 0;
+  for (int t = 0; t < 50; ++t) {
+    const DaySchedule s = ScheduleBuilder::build(u, true, rng);
+    for (Where w : s.where) public_bins += w == Where::Public;
+  }
+  EXPECT_GT(public_bins, 100);
+}
+
+TEST(Schedule, ActivityHigherOnCommuteThanAtOffice) {
+  // Phone use on the train vs at the desk (where_factor).
+  stats::Rng rng(12);
+  const UserProfile u = worker_profile();
+  double commute_sum = 0, office_sum = 0;
+  int commute_n = 0, office_n = 0;
+  for (int t = 0; t < 100; ++t) {
+    const DaySchedule s = ScheduleBuilder::build(u, false, rng);
+    for (int b = 0; b < kBinsPerDay; ++b) {
+      const auto i = static_cast<std::size_t>(b);
+      if (s.where[i] == Where::Commute) {
+        commute_sum += s.activity[i];
+        ++commute_n;
+      } else if (s.where[i] == Where::Office) {
+        office_sum += s.activity[i];
+        ++office_n;
+      }
+    }
+  }
+  ASSERT_GT(commute_n, 0);
+  ASSERT_GT(office_n, 0);
+  EXPECT_GT(commute_sum / commute_n, office_sum / office_n);
+}
+
+}  // namespace
+}  // namespace tokyonet::sim

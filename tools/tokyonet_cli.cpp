@@ -1,0 +1,218 @@
+// tokyonet command-line tool.
+//
+//   tokyonet simulate --year 2015 [--scale S] [--seed N] --out DIR
+//       Simulate a campaign and export it as CSV (observable data only).
+//
+//   tokyonet report (--in DIR | --year Y [--scale S])
+//       Print the headline analysis report for a dataset: Table 1/3/4
+//       numbers, WiFi ratios, user types, location shares and (for 2015)
+//       the update event.
+//
+//   tokyonet years [--scale S]
+//       Run all three campaigns and print the longitudinal summary.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "analysis/aggregate.h"
+#include "analysis/classify.h"
+#include "analysis/ratios.h"
+#include "analysis/update.h"
+#include "analysis/usertype.h"
+#include "analysis/volumes.h"
+#include "io/csv.h"
+#include "io/table.h"
+#include "sim/simulator.h"
+
+using namespace tokyonet;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::optional<int> year;
+  double scale = 0.5;
+  std::optional<std::uint64_t> seed;
+  std::string in_dir;
+  std::string out_dir;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  tokyonet simulate --year 2013|2014|2015 [--scale S] "
+               "[--seed N] --out DIR\n"
+               "  tokyonet report (--in DIR | --year Y [--scale S])\n"
+               "  tokyonet years [--scale S]\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--year") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.year = std::atoi(v);
+    } else if (flag == "--scale") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.scale = std::atof(v);
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--in") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.in_dir = v;
+    } else if (flag == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.out_dir = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Year> to_year(int y) {
+  if (y < 2013 || y > 2015) return std::nullopt;
+  return static_cast<Year>(y - 2013);
+}
+
+Dataset make_dataset(const Args& args, Year year) {
+  ScenarioConfig config = scenario_config(year, args.scale);
+  if (args.seed) config.seed = *args.seed;
+  return sim::Simulator(config).run();
+}
+
+void print_report(const Dataset& ds) {
+  std::printf("dataset: %s campaign, %d days, %zu devices, %zu samples\n\n",
+              std::string(to_string(ds.year)).c_str(), ds.num_days(),
+              ds.devices.size(), ds.samples.size());
+
+  const analysis::DatasetOverview ov = analysis::overview(ds);
+  std::printf("devices: %d Android + %d iOS; LTE carries %.0f%% of "
+              "cellular download\n",
+              ov.n_android, ov.n_ios, 100 * ov.lte_traffic_share);
+
+  const auto days = analysis::user_days(ds);
+  const analysis::DailyVolumeStats vs = analysis::daily_volume_stats(days);
+  io::TextTable volumes({"daily download", "median [MB]", "mean [MB]"});
+  volumes.add_row({"total", io::TextTable::num(vs.median_all),
+                   io::TextTable::num(vs.mean_all)});
+  volumes.add_row({"cellular", io::TextTable::num(vs.median_cell),
+                   io::TextTable::num(vs.mean_cell)});
+  volumes.add_row({"WiFi", io::TextTable::num(vs.median_wifi),
+                   io::TextTable::num(vs.mean_wifi)});
+  volumes.print();
+
+  const analysis::ApClassification cls = analysis::classify_aps(ds);
+  const auto counts = cls.counts();
+  std::printf("\nAPs: %d home, %d public, %d other (%d office); %.0f%% of "
+              "devices have a home AP\n",
+              counts.home, counts.publik, counts.other, counts.office,
+              100 * cls.home_ap_device_share());
+
+  const analysis::WifiLocationShares shares =
+      analysis::wifi_location_shares(ds, cls);
+  std::printf("WiFi volume: %.1f%% home, %.1f%% public, %.1f%% office\n",
+              100 * shares.home, 100 * shares.publik, 100 * shares.office);
+
+  const analysis::UserClassifier classes(days);
+  const analysis::WifiRatios ratios =
+      analysis::compute_wifi_ratios(ds, days, classes);
+  std::printf("WiFi-traffic ratio %.2f, WiFi-user ratio %.2f "
+              "(heavy %.2f / light %.2f)\n",
+              ratios.traffic_all.mean_ratio(), ratios.users_all.mean_ratio(),
+              ratios.traffic_heavy.mean_ratio(),
+              ratios.traffic_light.mean_ratio());
+
+  const analysis::UserTypeStats types = analysis::user_type_stats(ds, days);
+  std::printf("user types: %.0f%% cellular-intensive, %.0f%% "
+              "WiFi-intensive, %.0f%% mixed\n",
+              100 * types.cellular_intensive_frac,
+              100 * types.wifi_intensive_frac, 100 * types.mixed_frac);
+
+  if (ds.year == Year::Y2015) {
+    analysis::UpdateDetectOptions opt;
+    opt.min_day = 9;
+    const auto det = analysis::detect_updates(ds, opt);
+    const auto timing = analysis::analyze_update_timing(ds, det, cls);
+    std::printf("iOS 8.2: %.0f%% of iOS devices updated; home/no-home "
+                "median delay %.1f / %.1f days\n",
+                100 * timing.updated_share_all, timing.median_delay_home,
+                timing.median_delay_no_home);
+  }
+}
+
+int cmd_simulate(const Args& args) {
+  if (!args.year || args.out_dir.empty()) return usage();
+  const auto year = to_year(*args.year);
+  if (!year) {
+    std::fprintf(stderr, "year must be 2013..2015\n");
+    return 2;
+  }
+  const Dataset ds = make_dataset(args, *year);
+  const io::CsvResult r = io::save_dataset_csv(ds, args.out_dir);
+  if (!r.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu devices / %zu samples to %s\n", ds.devices.size(),
+              ds.samples.size(), args.out_dir.c_str());
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  Dataset ds;
+  if (!args.in_dir.empty()) {
+    const io::CsvResult r = io::load_dataset_csv(args.in_dir, ds);
+    if (!r.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", r.error.c_str());
+      return 1;
+    }
+  } else if (args.year) {
+    const auto year = to_year(*args.year);
+    if (!year) {
+      std::fprintf(stderr, "year must be 2013..2015\n");
+      return 2;
+    }
+    ds = make_dataset(args, *year);
+  } else {
+    return usage();
+  }
+  print_report(ds);
+  return 0;
+}
+
+int cmd_years(const Args& args) {
+  for (Year y : kAllYears) {
+    std::printf("================ %s ================\n",
+                std::string(to_string(y)).c_str());
+    print_report(make_dataset(args, y));
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage();
+  if (args.command == "simulate") return cmd_simulate(args);
+  if (args.command == "report") return cmd_report(args);
+  if (args.command == "years") return cmd_years(args);
+  return usage();
+}
