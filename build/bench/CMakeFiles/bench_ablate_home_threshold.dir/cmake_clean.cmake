@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_home_threshold.dir/bench_ablate_home_threshold.cc.o"
+  "CMakeFiles/bench_ablate_home_threshold.dir/bench_ablate_home_threshold.cc.o.d"
+  "bench_ablate_home_threshold"
+  "bench_ablate_home_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_home_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

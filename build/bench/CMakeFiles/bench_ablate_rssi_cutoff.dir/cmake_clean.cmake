@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_rssi_cutoff.dir/bench_ablate_rssi_cutoff.cc.o"
+  "CMakeFiles/bench_ablate_rssi_cutoff.dir/bench_ablate_rssi_cutoff.cc.o.d"
+  "bench_ablate_rssi_cutoff"
+  "bench_ablate_rssi_cutoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_rssi_cutoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_user_bands.dir/bench_ablate_user_bands.cc.o"
+  "CMakeFiles/bench_ablate_user_bands.dir/bench_ablate_user_bands.cc.o.d"
+  "bench_ablate_user_bands"
+  "bench_ablate_user_bands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_user_bands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

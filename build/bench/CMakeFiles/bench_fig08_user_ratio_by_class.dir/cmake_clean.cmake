@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_user_ratio_by_class.dir/bench_fig08_user_ratio_by_class.cc.o"
+  "CMakeFiles/bench_fig08_user_ratio_by_class.dir/bench_fig08_user_ratio_by_class.cc.o.d"
+  "bench_fig08_user_ratio_by_class"
+  "bench_fig08_user_ratio_by_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_user_ratio_by_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_user_ratio_by_class.
+# This may be replaced when dependencies are built.

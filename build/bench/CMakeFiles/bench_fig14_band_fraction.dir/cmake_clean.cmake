@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_band_fraction.dir/bench_fig14_band_fraction.cc.o"
+  "CMakeFiles/bench_fig14_band_fraction.dir/bench_fig14_band_fraction.cc.o.d"
+  "bench_fig14_band_fraction"
+  "bench_fig14_band_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_band_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

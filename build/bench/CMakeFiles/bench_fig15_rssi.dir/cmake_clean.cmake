@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_rssi.dir/bench_fig15_rssi.cc.o"
+  "CMakeFiles/bench_fig15_rssi.dir/bench_fig15_rssi.cc.o.d"
+  "bench_fig15_rssi"
+  "bench_fig15_rssi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_rssi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_cap.dir/bench_fig19_cap.cc.o"
+  "CMakeFiles/bench_fig19_cap.dir/bench_fig19_cap.cc.o.d"
+  "bench_fig19_cap"
+  "bench_fig19_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

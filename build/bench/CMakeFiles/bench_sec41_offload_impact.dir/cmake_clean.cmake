@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec41_offload_impact.dir/bench_sec41_offload_impact.cc.o"
+  "CMakeFiles/bench_sec41_offload_impact.dir/bench_sec41_offload_impact.cc.o.d"
+  "bench_sec41_offload_impact"
+  "bench_sec41_offload_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec41_offload_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

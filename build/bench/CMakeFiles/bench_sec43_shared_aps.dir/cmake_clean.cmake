@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec43_shared_aps.dir/bench_sec43_shared_aps.cc.o"
+  "CMakeFiles/bench_sec43_shared_aps.dir/bench_sec43_shared_aps.cc.o.d"
+  "bench_sec43_shared_aps"
+  "bench_sec43_shared_aps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_shared_aps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

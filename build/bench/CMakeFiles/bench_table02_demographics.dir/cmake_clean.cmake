@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table02_demographics.dir/bench_table02_demographics.cc.o"
+  "CMakeFiles/bench_table02_demographics.dir/bench_table02_demographics.cc.o.d"
+  "bench_table02_demographics"
+  "bench_table02_demographics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table02_demographics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table05_hpo.dir/bench_table05_hpo.cc.o"
+  "CMakeFiles/bench_table05_hpo.dir/bench_table05_hpo.cc.o.d"
+  "bench_table05_hpo"
+  "bench_table05_hpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table05_hpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

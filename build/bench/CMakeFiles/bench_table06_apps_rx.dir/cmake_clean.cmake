@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table06_apps_rx.dir/bench_table06_apps_rx.cc.o"
+  "CMakeFiles/bench_table06_apps_rx.dir/bench_table06_apps_rx.cc.o.d"
+  "bench_table06_apps_rx"
+  "bench_table06_apps_rx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table06_apps_rx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table07_apps_tx.dir/bench_table07_apps_tx.cc.o"
+  "CMakeFiles/bench_table07_apps_tx.dir/bench_table07_apps_tx.cc.o.d"
+  "bench_table07_apps_tx"
+  "bench_table07_apps_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_apps_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table08_survey_ap.dir/bench_table08_survey_ap.cc.o"
+  "CMakeFiles/bench_table08_survey_ap.dir/bench_table08_survey_ap.cc.o.d"
+  "bench_table08_survey_ap"
+  "bench_table08_survey_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table08_survey_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

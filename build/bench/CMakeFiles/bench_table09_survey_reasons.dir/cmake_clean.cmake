@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table09_survey_reasons.dir/bench_table09_survey_reasons.cc.o"
+  "CMakeFiles/bench_table09_survey_reasons.dir/bench_table09_survey_reasons.cc.o.d"
+  "bench_table09_survey_reasons"
+  "bench_table09_survey_reasons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table09_survey_reasons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tokyonet_bench_common.dir/common.cc.o"
+  "CMakeFiles/tokyonet_bench_common.dir/common.cc.o.d"
+  "libtokyonet_bench_common.a"
+  "libtokyonet_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tokyonet_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtokyonet_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_whatif.dir/policy_whatif.cpp.o"
+  "CMakeFiles/policy_whatif.dir/policy_whatif.cpp.o.d"
+  "policy_whatif"
+  "policy_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_flashcrowd.dir/update_flashcrowd.cpp.o"
+  "CMakeFiles/update_flashcrowd.dir/update_flashcrowd.cpp.o.d"
+  "update_flashcrowd"
+  "update_flashcrowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_flashcrowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/aggregate.cc" "src/CMakeFiles/tokyonet.dir/analysis/aggregate.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/analysis/aggregate.cc.o.d"
+  "/root/repo/src/analysis/apps.cc" "src/CMakeFiles/tokyonet.dir/analysis/apps.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/analysis/apps.cc.o.d"
+  "/root/repo/src/analysis/availability.cc" "src/CMakeFiles/tokyonet.dir/analysis/availability.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/analysis/availability.cc.o.d"
+  "/root/repo/src/analysis/battery.cc" "src/CMakeFiles/tokyonet.dir/analysis/battery.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/analysis/battery.cc.o.d"
+  "/root/repo/src/analysis/cap.cc" "src/CMakeFiles/tokyonet.dir/analysis/cap.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/analysis/cap.cc.o.d"
+  "/root/repo/src/analysis/classify.cc" "src/CMakeFiles/tokyonet.dir/analysis/classify.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/analysis/classify.cc.o.d"
+  "/root/repo/src/analysis/common.cc" "src/CMakeFiles/tokyonet.dir/analysis/common.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/analysis/common.cc.o.d"
+  "/root/repo/src/analysis/macro.cc" "src/CMakeFiles/tokyonet.dir/analysis/macro.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/analysis/macro.cc.o.d"
+  "/root/repo/src/analysis/offload.cc" "src/CMakeFiles/tokyonet.dir/analysis/offload.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/analysis/offload.cc.o.d"
+  "/root/repo/src/analysis/quality.cc" "src/CMakeFiles/tokyonet.dir/analysis/quality.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/analysis/quality.cc.o.d"
+  "/root/repo/src/analysis/ratios.cc" "src/CMakeFiles/tokyonet.dir/analysis/ratios.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/analysis/ratios.cc.o.d"
+  "/root/repo/src/analysis/sharedap.cc" "src/CMakeFiles/tokyonet.dir/analysis/sharedap.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/analysis/sharedap.cc.o.d"
+  "/root/repo/src/analysis/surveytab.cc" "src/CMakeFiles/tokyonet.dir/analysis/surveytab.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/analysis/surveytab.cc.o.d"
+  "/root/repo/src/analysis/update.cc" "src/CMakeFiles/tokyonet.dir/analysis/update.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/analysis/update.cc.o.d"
+  "/root/repo/src/analysis/usertype.cc" "src/CMakeFiles/tokyonet.dir/analysis/usertype.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/analysis/usertype.cc.o.d"
+  "/root/repo/src/analysis/volumes.cc" "src/CMakeFiles/tokyonet.dir/analysis/volumes.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/analysis/volumes.cc.o.d"
+  "/root/repo/src/analysis/wifistate.cc" "src/CMakeFiles/tokyonet.dir/analysis/wifistate.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/analysis/wifistate.cc.o.d"
+  "/root/repo/src/analysis/wifiusage.cc" "src/CMakeFiles/tokyonet.dir/analysis/wifiusage.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/analysis/wifiusage.cc.o.d"
+  "/root/repo/src/app/catalog.cc" "src/CMakeFiles/tokyonet.dir/app/catalog.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/app/catalog.cc.o.d"
+  "/root/repo/src/core/clock.cc" "src/CMakeFiles/tokyonet.dir/core/clock.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/core/clock.cc.o.d"
+  "/root/repo/src/core/records.cc" "src/CMakeFiles/tokyonet.dir/core/records.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/core/records.cc.o.d"
+  "/root/repo/src/core/scenario.cc" "src/CMakeFiles/tokyonet.dir/core/scenario.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/core/scenario.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/CMakeFiles/tokyonet.dir/core/types.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/core/types.cc.o.d"
+  "/root/repo/src/geo/grid.cc" "src/CMakeFiles/tokyonet.dir/geo/grid.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/geo/grid.cc.o.d"
+  "/root/repo/src/geo/region.cc" "src/CMakeFiles/tokyonet.dir/geo/region.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/geo/region.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/CMakeFiles/tokyonet.dir/io/csv.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/io/csv.cc.o.d"
+  "/root/repo/src/io/table.cc" "src/CMakeFiles/tokyonet.dir/io/table.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/io/table.cc.o.d"
+  "/root/repo/src/net/cellular.cc" "src/CMakeFiles/tokyonet.dir/net/cellular.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/net/cellular.cc.o.d"
+  "/root/repo/src/net/channel.cc" "src/CMakeFiles/tokyonet.dir/net/channel.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/net/channel.cc.o.d"
+  "/root/repo/src/net/deployment.cc" "src/CMakeFiles/tokyonet.dir/net/deployment.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/net/deployment.cc.o.d"
+  "/root/repo/src/net/essid.cc" "src/CMakeFiles/tokyonet.dir/net/essid.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/net/essid.cc.o.d"
+  "/root/repo/src/net/radio.cc" "src/CMakeFiles/tokyonet.dir/net/radio.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/net/radio.cc.o.d"
+  "/root/repo/src/sim/schedule.cc" "src/CMakeFiles/tokyonet.dir/sim/schedule.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/sim/schedule.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/tokyonet.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/survey.cc" "src/CMakeFiles/tokyonet.dir/sim/survey.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/sim/survey.cc.o.d"
+  "/root/repo/src/sim/user.cc" "src/CMakeFiles/tokyonet.dir/sim/user.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/sim/user.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/tokyonet.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/distribution.cc" "src/CMakeFiles/tokyonet.dir/stats/distribution.cc.o" "gcc" "src/CMakeFiles/tokyonet.dir/stats/distribution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggregate_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/aggregate_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/aggregate_test.cc.o.d"
+  "/root/repo/tests/apps_cap_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/apps_cap_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/apps_cap_test.cc.o.d"
+  "/root/repo/tests/battery_tether_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/battery_tether_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/battery_tether_test.cc.o.d"
+  "/root/repo/tests/catalog_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/catalog_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/catalog_test.cc.o.d"
+  "/root/repo/tests/cellular_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/cellular_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/cellular_test.cc.o.d"
+  "/root/repo/tests/claims_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/claims_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/claims_test.cc.o.d"
+  "/root/repo/tests/classify_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/classify_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/classify_test.cc.o.d"
+  "/root/repo/tests/clock_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/clock_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/clock_test.cc.o.d"
+  "/root/repo/tests/deployment_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/deployment_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/deployment_test.cc.o.d"
+  "/root/repo/tests/descriptive_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/descriptive_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/descriptive_test.cc.o.d"
+  "/root/repo/tests/distribution_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/distribution_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/distribution_test.cc.o.d"
+  "/root/repo/tests/geo_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/geo_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/geo_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/population_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/population_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/population_test.cc.o.d"
+  "/root/repo/tests/quality_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/quality_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/quality_test.cc.o.d"
+  "/root/repo/tests/ratios_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/ratios_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/ratios_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/scenario_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/scenario_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/scenario_test.cc.o.d"
+  "/root/repo/tests/schedule_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/schedule_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/schedule_test.cc.o.d"
+  "/root/repo/tests/sharedap_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/sharedap_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/sharedap_test.cc.o.d"
+  "/root/repo/tests/simulator_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/simulator_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/simulator_test.cc.o.d"
+  "/root/repo/tests/update_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/update_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/update_test.cc.o.d"
+  "/root/repo/tests/volumes_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/volumes_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/volumes_test.cc.o.d"
+  "/root/repo/tests/wifiusage_test.cc" "tests/CMakeFiles/tokyonet_tests.dir/wifiusage_test.cc.o" "gcc" "tests/CMakeFiles/tokyonet_tests.dir/wifiusage_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tokyonet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

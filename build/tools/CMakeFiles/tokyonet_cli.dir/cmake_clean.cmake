@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tokyonet_cli.dir/tokyonet_cli.cpp.o"
+  "CMakeFiles/tokyonet_cli.dir/tokyonet_cli.cpp.o.d"
+  "tokyonet"
+  "tokyonet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tokyonet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
