@@ -3,13 +3,26 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/parallel.h"
+
 namespace tokyonet::bench {
 
 double bench_scale() {
   static const double scale = [] {
     if (const char* env = std::getenv("TOKYONET_BENCH_SCALE")) {
       const double v = std::atof(env);
-      if (v > 0.0 && v <= 2.0) return v;
+      if (v > 0.0) {
+        if (v > 10.0) {
+          std::fprintf(stderr,
+                       "warning: TOKYONET_BENCH_SCALE=%g simulates a panel "
+                       "%gx the paper's (~%d users); expect long runs\n",
+                       v, v, static_cast<int>(v * 1750));
+        }
+        return v;
+      }
+      std::fprintf(stderr,
+                   "warning: ignoring non-positive TOKYONET_BENCH_SCALE=%s\n",
+                   env);
     }
     return 1.0;
   }();
@@ -68,6 +81,8 @@ void print_header(std::string_view experiment, std::string_view paper_ref) {
               paper_ref.data());
   std::printf("panel scale: %.2f (set TOKYONET_BENCH_SCALE to change)\n",
               bench_scale());
+  std::printf("threads: %d (set TOKYONET_THREADS to change)\n",
+              core::thread_count());
   std::printf("================================================================\n");
 }
 

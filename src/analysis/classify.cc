@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "core/parallel.h"
 #include "net/essid.h"
 
 namespace tokyonet::analysis {
@@ -15,6 +16,103 @@ namespace {
   int hours = opt.night_to_hour - opt.night_from_hour;
   if (hours <= 0) hours += 24;
   return hours * kBinsPerHour;
+}
+
+/// Association statistics one device contributes to the per-AP
+/// aggregates, plus its nightly home-AP verdict. A device touches only
+/// a handful of APs, so this stays compact and the per-AP arrays are
+/// only materialized once, during the ordered merge.
+struct DeviceApStats {
+  struct PerAp {
+    std::uint32_t ap = 0;
+    int assoc_bins = 0;
+    int office_window_bins = 0;
+    std::set<GeoCell> cells_seen;
+  };
+  std::vector<PerAp> aps;  // in order of first association
+  std::uint32_t home_ap = value(kNoAp);
+};
+
+/// Scans one device's samples. Pure function of that device's stream,
+/// so devices can run concurrently; all counts merge by addition and
+/// set union, which are grouping-independent.
+[[nodiscard]] DeviceApStats scan_device(const Dataset& ds,
+                                        const ClassifyOptions& opt,
+                                        const DeviceInfo& dev,
+                                        int min_bins) {
+  DeviceApStats stats;
+  std::unordered_map<std::uint32_t, std::size_t> ap_index;
+  std::unordered_map<std::uint32_t, int> night_counts;  // per device-day
+  std::unordered_map<std::uint32_t, int> home_votes;
+
+  // Nightly windows: a window belongs to the day it starts in (22:00 of
+  // day d through 06:00 of day d+1).
+  int window_day = -1;
+  auto flush_window = [&]() {
+    if (window_day < 0) return;
+    // Most-present AP in this night's window.
+    std::uint32_t best_ap = value(kNoAp);
+    int best = 0;
+    for (const auto& [ap, n] : night_counts) {
+      if (n > best) {
+        best = n;
+        best_ap = ap;
+      }
+    }
+    if (best >= min_bins && best_ap != value(kNoAp)) {
+      ++home_votes[best_ap];
+    }
+    night_counts.clear();
+    window_day = -1;
+  };
+
+  for (const Sample& s : ds.device_samples(dev.id)) {
+    if (s.wifi_state == WifiState::Associated && s.ap != kNoAp) {
+      const std::uint32_t ap = value(s.ap);
+      auto [it, inserted] = ap_index.try_emplace(ap, stats.aps.size());
+      if (inserted) {
+        stats.aps.emplace_back();
+        stats.aps.back().ap = ap;
+      }
+      DeviceApStats::PerAp& per_ap = stats.aps[it->second];
+      ++per_ap.assoc_bins;
+      if (s.geo_cell != kNoGeoCell) per_ap.cells_seen.insert(s.geo_cell);
+      const bool weekday = !ds.calendar.is_weekend(s.bin);
+      if (weekday && ds.calendar.in_hour_window(s.bin, opt.office_from_hour,
+                                                opt.office_to_hour)) {
+        ++per_ap.office_window_bins;
+      }
+    }
+
+    // Maintain the rolling nightly window.
+    const int hour = ds.calendar.hour_of(s.bin);
+    const bool in_night = ds.calendar.in_hour_window(
+        s.bin, opt.night_from_hour, opt.night_to_hour);
+    if (in_night) {
+      const int day = ds.calendar.day_of(s.bin);
+      const int wd = hour >= opt.night_from_hour ? day : day - 1;
+      if (wd != window_day) {
+        flush_window();
+        window_day = wd;
+      }
+      if (s.wifi_state == WifiState::Associated && s.ap != kNoAp) {
+        ++night_counts[value(s.ap)];
+      }
+    } else if (window_day >= 0) {
+      flush_window();
+    }
+  }
+  flush_window();
+
+  // The device's home AP is its most frequent nightly candidate.
+  int best = 0;
+  for (const auto& [ap, votes] : home_votes) {
+    if (votes > best) {
+      best = votes;
+      stats.home_ap = ap;
+    }
+  }
+  return stats;
 }
 
 }  // namespace
@@ -57,86 +155,31 @@ ApClassification classify_aps(const Dataset& ds, const ClassifyOptions& opt) {
   const int min_bins = static_cast<int>(opt.home_presence_threshold *
                                         window_bins);
 
-  // Per-AP aggregates collected in one pass.
+  // Per-device scans run in parallel; each returns the compact per-AP
+  // statistics its stream contributes plus its home-AP verdict.
+  const std::vector<DeviceApStats> per_device =
+      core::parallel_map(ds.devices.size(), [&](std::size_t i) {
+        return scan_device(ds, opt, ds.devices[i], min_bins);
+      });
+
+  // Ordered merge into the per-AP aggregates. Counts merge by addition
+  // and cell sets by union, so the merged totals equal the serial
+  // one-pass totals exactly.
   std::vector<int> assoc_bins(n_aps, 0);
   std::vector<int> office_window_bins_count(n_aps, 0);
   std::vector<std::set<GeoCell>> cells_seen(n_aps);
-
-  std::unordered_map<std::uint32_t, int> night_counts;  // per device-day
-  std::unordered_map<std::uint32_t, int> home_votes;    // per device
-
-  for (const DeviceInfo& dev : ds.devices) {
-    home_votes.clear();
-    const auto samples = ds.device_samples(dev.id);
-
-    // Nightly windows: a window belongs to the day it starts in (22:00 of
-    // day d through 06:00 of day d+1).
-    int window_day = -1;
-    night_counts.clear();
-    auto flush_window = [&]() {
-      if (window_day < 0) return;
-      // Most-present AP in this night's window.
-      std::uint32_t best_ap = value(kNoAp);
-      int best = 0;
-      for (const auto& [ap, n] : night_counts) {
-        if (n > best) {
-          best = n;
-          best_ap = ap;
-        }
-      }
-      if (best >= min_bins && best_ap != value(kNoAp)) {
-        ++home_votes[best_ap];
-      }
-      night_counts.clear();
-      window_day = -1;
-    };
-
-    for (const Sample& s : samples) {
-      if (s.wifi_state == WifiState::Associated && s.ap != kNoAp) {
-        const std::size_t ap = value(s.ap);
-        out.associated[ap] = true;
-        ++assoc_bins[ap];
-        if (s.geo_cell != kNoGeoCell) cells_seen[ap].insert(s.geo_cell);
-        const bool weekday = !ds.calendar.is_weekend(s.bin);
-        if (weekday && ds.calendar.in_hour_window(s.bin, opt.office_from_hour,
-                                                  opt.office_to_hour)) {
-          ++office_window_bins_count[ap];
-        }
-      }
-
-      // Maintain the rolling nightly window.
-      const int hour = ds.calendar.hour_of(s.bin);
-      const bool in_night =
-          ds.calendar.in_hour_window(s.bin, opt.night_from_hour,
-                                     opt.night_to_hour);
-      if (in_night) {
-        const int day = ds.calendar.day_of(s.bin);
-        const int wd = hour >= opt.night_from_hour ? day : day - 1;
-        if (wd != window_day) {
-          flush_window();
-          window_day = wd;
-        }
-        if (s.wifi_state == WifiState::Associated && s.ap != kNoAp) {
-          ++night_counts[value(s.ap)];
-        }
-      } else if (window_day >= 0) {
-        flush_window();
-      }
+  for (std::size_t i = 0; i < per_device.size(); ++i) {
+    const DeviceApStats& stats = per_device[i];
+    for (const DeviceApStats::PerAp& per_ap : stats.aps) {
+      out.associated[per_ap.ap] = true;
+      assoc_bins[per_ap.ap] += per_ap.assoc_bins;
+      office_window_bins_count[per_ap.ap] += per_ap.office_window_bins;
+      cells_seen[per_ap.ap].insert(per_ap.cells_seen.begin(),
+                                   per_ap.cells_seen.end());
     }
-    flush_window();
-
-    // The device's home AP is its most frequent nightly candidate.
-    std::uint32_t best_ap = value(kNoAp);
-    int best = 0;
-    for (const auto& [ap, votes] : home_votes) {
-      if (votes > best) {
-        best = votes;
-        best_ap = ap;
-      }
-    }
-    if (best_ap != value(kNoAp)) {
-      out.home_ap_of_device[value(dev.id)] = ApId{best_ap};
-      out.ap_class[best_ap] = ApClass::Home;
+    if (stats.home_ap != value(kNoAp)) {
+      out.home_ap_of_device[value(ds.devices[i].id)] = ApId{stats.home_ap};
+      out.ap_class[stats.home_ap] = ApClass::Home;
     }
   }
 

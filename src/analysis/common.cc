@@ -4,53 +4,72 @@
 #include <cassert>
 #include <map>
 
+#include "core/parallel.h"
 #include "stats/descriptive.h"
 
 namespace tokyonet::analysis {
+namespace {
+
+/// Rollup of one device: the serial per-device body of user_days,
+/// emitting into a local vector so devices can run concurrently.
+[[nodiscard]] std::vector<UserDay> device_user_days(const Dataset& ds,
+                                                    const UserDayOptions& opt,
+                                                    const DeviceInfo& dev) {
+  const int num_days = ds.num_days();
+  // Days to skip because of a detected OS update (§2: the update day
+  // and the next day are removed from the main analysis).
+  int skip_from = -1, skip_to = -1;
+  if (opt.update_bin_by_device != nullptr) {
+    const std::int32_t ub = (*opt.update_bin_by_device)[value(dev.id)];
+    if (ub >= 0) {
+      skip_from = ds.calendar.day_of(static_cast<TimeBin>(ub));
+      skip_to = skip_from + 1;
+    }
+  }
+
+  std::vector<UserDay> out;
+  out.reserve(static_cast<std::size_t>(num_days));
+  for (int d = 0; d < num_days; ++d) {
+    UserDay ud;
+    ud.device = dev.id;
+    ud.day = d;
+    out.push_back(ud);
+  }
+  for (const Sample& s : ds.device_samples(dev.id)) {
+    if (opt.exclude_tethering && s.tethering) continue;
+    const int d = ds.calendar.day_of(s.bin);
+    if (d >= skip_from && d <= skip_to) continue;
+    UserDay& ud = out[static_cast<std::size_t>(d)];
+    ud.cell_rx_mb += s.cell_rx / kBytesPerMb;
+    ud.cell_tx_mb += s.cell_tx / kBytesPerMb;
+    ud.wifi_rx_mb += s.wifi_rx / kBytesPerMb;
+    ud.wifi_tx_mb += s.wifi_tx / kBytesPerMb;
+  }
+  if (skip_from >= 0) {
+    // Drop the skipped days entirely rather than keeping zero rows.
+    auto it = std::remove_if(out.begin(), out.end(), [&](const UserDay& ud) {
+      return ud.day >= skip_from && ud.day <= skip_to;
+    });
+    out.erase(it, out.end());
+  }
+  return out;
+}
+
+}  // namespace
 
 std::vector<UserDay> user_days(const Dataset& ds, const UserDayOptions& opt) {
-  const int num_days = ds.num_days();
+  // Each device's rollup touches only its own samples; concatenating
+  // the per-device results in device order reproduces the serial output
+  // exactly (accumulation order within a device is unchanged).
+  const std::vector<std::vector<UserDay>> per_device =
+      core::parallel_map(ds.devices.size(), [&](std::size_t i) {
+        return device_user_days(ds, opt, ds.devices[i]);
+      });
+
   std::vector<UserDay> out;
-  out.reserve(ds.devices.size() * static_cast<std::size_t>(num_days));
-
-  for (const DeviceInfo& dev : ds.devices) {
-    // Days to skip because of a detected OS update (§2: the update day
-    // and the next day are removed from the main analysis).
-    int skip_from = -1, skip_to = -1;
-    if (opt.update_bin_by_device != nullptr) {
-      const std::int32_t ub = (*opt.update_bin_by_device)[value(dev.id)];
-      if (ub >= 0) {
-        skip_from = ds.calendar.day_of(static_cast<TimeBin>(ub));
-        skip_to = skip_from + 1;
-      }
-    }
-
-    const std::size_t base = out.size();
-    for (int d = 0; d < num_days; ++d) {
-      UserDay ud;
-      ud.device = dev.id;
-      ud.day = d;
-      out.push_back(ud);
-    }
-    for (const Sample& s : ds.device_samples(dev.id)) {
-      if (opt.exclude_tethering && s.tethering) continue;
-      const int d = ds.calendar.day_of(s.bin);
-      if (d >= skip_from && d <= skip_to) continue;
-      UserDay& ud = out[base + static_cast<std::size_t>(d)];
-      ud.cell_rx_mb += s.cell_rx / kBytesPerMb;
-      ud.cell_tx_mb += s.cell_tx / kBytesPerMb;
-      ud.wifi_rx_mb += s.wifi_rx / kBytesPerMb;
-      ud.wifi_tx_mb += s.wifi_tx / kBytesPerMb;
-    }
-    if (skip_from >= 0) {
-      // Drop the skipped days entirely rather than keeping zero rows.
-      auto it = std::remove_if(
-          out.begin() + static_cast<std::ptrdiff_t>(base), out.end(),
-          [&](const UserDay& ud) {
-            return ud.day >= skip_from && ud.day <= skip_to;
-          });
-      out.erase(it, out.end());
-    }
+  out.reserve(ds.devices.size() * static_cast<std::size_t>(ds.num_days()));
+  for (const std::vector<UserDay>& rows : per_device) {
+    out.insert(out.end(), rows.begin(), rows.end());
   }
   return out;
 }
@@ -90,6 +109,13 @@ void WeeklyProfile::add(const CampaignCalendar& cal, TimeBin bin, double num,
   den_[h] += den;
 }
 
+void WeeklyProfile::merge(const WeeklyProfile& other) noexcept {
+  for (int h = 0; h < kHours; ++h) {
+    num_[h] += other.num_[h];
+    den_[h] += other.den_[h];
+  }
+}
+
 std::vector<double> WeeklyProfile::ratio_series() const {
   std::vector<double> out(kHours, 0.0);
   for (int h = 0; h < kHours; ++h) {
@@ -116,9 +142,10 @@ double WeeklyProfile::mean_ratio() const noexcept {
 
 std::vector<GeoCell> infer_home_cells(const Dataset& ds) {
   std::vector<GeoCell> out(ds.devices.size(), kNoGeoCell);
-  std::map<GeoCell, int> counts;
-  for (const DeviceInfo& dev : ds.devices) {
-    counts.clear();
+  // Per-device inference with a disjoint output slot per device.
+  core::parallel_for(ds.devices.size(), [&](std::size_t i) {
+    const DeviceInfo& dev = ds.devices[i];
+    std::map<GeoCell, int> counts;
     for (const Sample& s : ds.device_samples(dev.id)) {
       if (s.geo_cell == kNoGeoCell) continue;
       if (!ds.calendar.in_hour_window(s.bin, 22, 6)) continue;
@@ -131,7 +158,7 @@ std::vector<GeoCell> infer_home_cells(const Dataset& ds) {
         out[value(dev.id)] = cell;
       }
     }
-  }
+  });
   return out;
 }
 

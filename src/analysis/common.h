@@ -89,6 +89,11 @@ class WeeklyProfile {
   [[nodiscard]] static int hour_of_week(const CampaignCalendar& cal,
                                         TimeBin bin) noexcept;
 
+  /// Accumulates another profile's sums into this one (used to reduce
+  /// per-device partial profiles in a fixed order, so parallel kernels
+  /// give the same result at any thread count).
+  void merge(const WeeklyProfile& other) noexcept;
+
   /// num/den per hour (0 where den == 0).
   [[nodiscard]] std::vector<double> ratio_series() const;
   /// Plain numerator sums.

@@ -1,0 +1,81 @@
+// Process-wide parallelism primitives: a fixed thread pool plus
+// parallel_for / parallel_map over index ranges.
+//
+// Thread count resolves once from the TOKYONET_THREADS environment
+// variable (default: hardware_concurrency) and can be overridden at
+// runtime with set_thread_count(), which tests use to compare runs at
+// different concurrency levels inside one process. At an effective
+// count of 1 every loop runs serially inline on the calling thread, so
+// single-threaded behaviour is exactly the pre-pool behaviour.
+//
+// Determinism contract: parallel_for gives no ordering guarantee
+// between iterations, so callers must write disjoint output slots (or
+// purely local state) per index and perform any order-sensitive
+// reduction serially afterwards. Every tokyonet kernel built on these
+// primitives produces output independent of the thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace tokyonet::core {
+
+/// Effective number of threads parallel loops will use (>= 1). Reads
+/// TOKYONET_THREADS once (values < 1 or unparsable fall back to
+/// hardware_concurrency) unless overridden via set_thread_count().
+[[nodiscard]] int thread_count() noexcept;
+
+/// Overrides the effective thread count (n >= 1); n == 0 restores the
+/// environment-derived default. Not safe to call concurrently with a
+/// running parallel loop.
+void set_thread_count(int n) noexcept;
+
+/// Fixed pool of worker threads executing one index-range batch at a
+/// time. `threads` is the total concurrency including the submitting
+/// thread, which participates in the work: a pool of size 4 spawns 3
+/// workers. Submissions from different threads serialize; submissions
+/// from inside a worker (nested parallelism) run inline serially
+/// rather than deadlocking.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (callers + workers) this pool was built for.
+  [[nodiscard]] int size() const noexcept;
+
+  /// Runs body(i) for every i in [0, n) using at most `max_threads`
+  /// threads (clamped to size()); blocks until all iterations finish.
+  /// The first exception thrown by any iteration is rethrown here.
+  void for_each(std::size_t n, int max_threads,
+                const std::function<void(std::size_t)>& body);
+
+  /// The process-wide pool, grown on demand to the requested size.
+  [[nodiscard]] static ThreadPool& global(int min_size);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Runs body(i) for every i in [0, n) across thread_count() threads.
+/// Serial inline when thread_count() <= 1 or n <= 1.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+/// Maps fn over [0, n), returning results in index order. fn runs
+/// concurrently but out[i] = fn(i) always, so the result is identical
+/// at any thread count as long as fn(i) depends only on i.
+template <typename Fn>
+[[nodiscard]] auto parallel_map(std::size_t n, Fn&& fn)
+    -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
+  std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> out(n);
+  parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace tokyonet::core

@@ -4,41 +4,58 @@
 
 namespace tokyonet::net {
 
-CapTracker::CapTracker(const CapParams& params, std::size_t num_devices,
-                       int num_days)
-    : params_(params),
-      num_days_(num_days),
-      daily_mb_(num_devices * static_cast<std::size_t>(num_days), 0.0) {}
+DeviceCapTracker::DeviceCapTracker(const CapParams& params, int num_days)
+    : params_(params), daily_mb_(static_cast<std::size_t>(num_days), 0.0) {}
 
-void CapTracker::add_download_mb(DeviceId device, int day, double mb) {
-  assert(day >= 0 && day < num_days_);
-  daily_mb_[value(device) * static_cast<std::size_t>(num_days_) +
-            static_cast<std::size_t>(day)] += mb;
+void DeviceCapTracker::add_download_mb(int day, double mb) {
+  assert(day >= 0 && static_cast<std::size_t>(day) < daily_mb_.size());
+  daily_mb_[static_cast<std::size_t>(day)] += mb;
 }
 
-double CapTracker::lookback_mb(DeviceId device, int day) const noexcept {
+double DeviceCapTracker::lookback_mb(int day) const noexcept {
   double sum = 0;
   for (int d = day - 3; d < day; ++d) {
     if (d < 0) continue;
-    sum += daily_mb_[value(device) * static_cast<std::size_t>(num_days_) +
-                     static_cast<std::size_t>(d)];
+    sum += daily_mb_[static_cast<std::size_t>(d)];
   }
   return sum;
 }
 
-bool CapTracker::capped_on(DeviceId device, int day) const noexcept {
-  return lookback_mb(device, day) > params_.threshold_mb;
+bool DeviceCapTracker::capped_on(int day) const noexcept {
+  return lookback_mb(day) > params_.threshold_mb;
 }
 
-double CapTracker::demand_multiplier(DeviceId device, Carrier carrier,
-                                     int day, int hour) const noexcept {
-  if (!capped_on(device, day)) return 1.0;
+double DeviceCapTracker::demand_multiplier(Carrier carrier, int day,
+                                           int hour) const noexcept {
+  if (!capped_on(day)) return 1.0;
   const bool peak =
       hour >= params_.peak_from_hour && hour < params_.peak_to_hour;
   if (!peak) return 1.0;
   return params_.relaxed[static_cast<int>(carrier)]
              ? params_.relaxed_suppression
              : params_.suppression;
+}
+
+CapTracker::CapTracker(const CapParams& params, std::size_t num_devices,
+                       int num_days)
+    : params_(params),
+      devices_(num_devices, DeviceCapTracker(params, num_days)) {}
+
+void CapTracker::add_download_mb(DeviceId device, int day, double mb) {
+  devices_[value(device)].add_download_mb(day, mb);
+}
+
+double CapTracker::lookback_mb(DeviceId device, int day) const noexcept {
+  return devices_[value(device)].lookback_mb(day);
+}
+
+bool CapTracker::capped_on(DeviceId device, int day) const noexcept {
+  return devices_[value(device)].capped_on(day);
+}
+
+double CapTracker::demand_multiplier(DeviceId device, Carrier carrier,
+                                     int day, int hour) const noexcept {
+  return devices_[value(device)].demand_multiplier(carrier, day, hour);
 }
 
 }  // namespace tokyonet::net

@@ -10,8 +10,40 @@
 
 namespace tokyonet::net {
 
-/// Tracks rolling 3-day cellular download volume per device and answers
+/// Rolling 3-day cellular download volume of a *single* device, and
 /// whether (and how strongly) the carrier throttles a given day/hour.
+/// The cap policy is purely per-device, so each simulated device owns
+/// one tracker and no state is shared across threads.
+class DeviceCapTracker {
+ public:
+  DeviceCapTracker(const CapParams& params, int num_days);
+
+  /// Records cellular download volume for one day. Must be called with
+  /// non-decreasing days (the simulator runs day by day).
+  void add_download_mb(int day, double mb);
+
+  /// Total cellular download over the three days before `day` (the
+  /// cap's lookback window).
+  [[nodiscard]] double lookback_mb(int day) const noexcept;
+
+  /// True if the device is over the threshold on `day`.
+  [[nodiscard]] bool capped_on(int day) const noexcept;
+
+  /// Realized-demand multiplier for a cellular transfer on `day` at
+  /// `hour`. 1.0 when not capped or outside peak hours; the configured
+  /// suppression otherwise (relaxed carriers suppress less).
+  [[nodiscard]] double demand_multiplier(Carrier carrier, int day,
+                                         int hour) const noexcept;
+
+  [[nodiscard]] const CapParams& params() const noexcept { return params_; }
+
+ private:
+  CapParams params_;
+  std::vector<double> daily_mb_;  // [day]
+};
+
+/// Tracks rolling 3-day cellular download volume for a whole panel of
+/// devices: a convenience array of per-device slices.
 class CapTracker {
  public:
   CapTracker(const CapParams& params, std::size_t num_devices, int num_days);
@@ -37,8 +69,7 @@ class CapTracker {
 
  private:
   CapParams params_;
-  int num_days_;
-  std::vector<double> daily_mb_;  // [device * num_days + day]
+  std::vector<DeviceCapTracker> devices_;
 };
 
 }  // namespace tokyonet::net

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <span>
 
 #include "app/catalog.h"
+#include "core/parallel.h"
 #include "geo/region.h"
 #include "net/cellular.h"
 #include "net/deployment.h"
@@ -62,6 +64,16 @@ struct DeviceContext {
   double battery = 100.0;
 };
 
+/// Variable-length outputs of one device's simulation. Fixed-length
+/// output (one Sample per bin) goes straight into the device's slice of
+/// Dataset::samples; everything here is spliced in device order
+/// afterwards so the dataset is byte-identical to a serial run.
+struct DeviceOutput {
+  std::vector<AppTraffic> app_traffic;  // app_begin relative to this buffer
+  std::vector<std::uint8_t> capped_day;
+  std::int32_t update_bin = -1;
+};
+
 class CampaignRunner {
  public:
   CampaignRunner(const ScenarioConfig& config)
@@ -84,27 +96,54 @@ class CampaignRunner {
     // Assign mobile hotspots now that the deployment is final.
     assign_mobile_hotspots();
 
-    net::CapTracker cap(config_.cap, users_.size(), config_.num_days);
-
+    // Every device emits exactly one sample per bin, so each device owns
+    // a fixed, disjoint slice of the sample array and the whole panel can
+    // be simulated in parallel: device streams are independent by
+    // construction (per-device RNG fork, per-device cap state), so the
+    // result is byte-identical at any thread count.
     const auto n_bins = static_cast<std::size_t>(ds.calendar.num_bins());
-    ds.samples.reserve(users_.size() * n_bins);
-    ds.app_traffic.reserve(users_.size() * n_bins / 2);
+    ds.samples.resize(users_.size() * n_bins);
 
-    for (const UserProfile& user : users_) {
-      DeviceContext ctx{&user, root_rng_.fork(0xD0D0 + value(user.id)), false,
-                        0, -1};
-      simulate_device(ctx, ds, cap);
-      ds.truth.devices[value(user.id)].update_bin = ctx.update_bin;
-    }
+    std::vector<DeviceOutput> outputs =
+        core::parallel_map(users_.size(), [&](std::size_t i) {
+          const UserProfile& user = users_[i];
+          DeviceContext ctx{&user, root_rng_.fork(0xD0D0 + value(user.id)),
+                            false, 0, -1};
+          net::DeviceCapTracker cap(config_.cap, config_.num_days);
+          DeviceOutput out;
+          out.app_traffic.reserve(n_bins / 2);
+          simulate_device(ctx,
+                          std::span<Sample>{ds.samples.data() + i * n_bins,
+                                            n_bins},
+                          out.app_traffic, cap, ds.calendar);
+          out.update_bin = ctx.update_bin;
+          out.capped_day.resize(static_cast<std::size_t>(config_.num_days));
+          for (int d = 0; d < config_.num_days; ++d) {
+            out.capped_day[static_cast<std::size_t>(d)] =
+                cap.capped_on(d) ? 1 : 0;
+          }
+          return out;
+        });
 
-    // Record ground-truth capped days.
-    for (const UserProfile& user : users_) {
-      auto& truth = ds.truth.devices[value(user.id)];
-      truth.capped_day.resize(static_cast<std::size_t>(config_.num_days));
-      for (int d = 0; d < config_.num_days; ++d) {
-        truth.capped_day[static_cast<std::size_t>(d)] =
-            cap.capped_on(user.id, d) ? 1 : 0;
+    // Splice variable-length outputs in device order. Rebasing each
+    // device's local app_traffic offsets by the running total recreates
+    // exactly the global offsets a serial run would have produced.
+    std::size_t total_apps = 0;
+    for (const DeviceOutput& out : outputs) total_apps += out.app_traffic.size();
+    ds.app_traffic.reserve(total_apps);
+    for (std::size_t i = 0; i < users_.size(); ++i) {
+      const UserProfile& user = users_[i];
+      DeviceOutput& out = outputs[i];
+      const auto offset = static_cast<std::uint32_t>(ds.app_traffic.size());
+      if (user.os == Os::Android && offset != 0) {
+        const std::span<Sample> slice{ds.samples.data() + i * n_bins, n_bins};
+        for (Sample& s : slice) s.app_begin += offset;
       }
+      ds.app_traffic.insert(ds.app_traffic.end(), out.app_traffic.begin(),
+                            out.app_traffic.end());
+      auto& truth = ds.truth.devices[value(user.id)];
+      truth.update_bin = out.update_bin;
+      truth.capped_day = std::move(out.capped_day);
     }
 
     deployment_.export_to(ds);
@@ -269,10 +308,16 @@ class CampaignRunner {
     }
   }
 
-  void simulate_device(DeviceContext& ctx, Dataset& ds, net::CapTracker& cap) {
+  /// Simulates one device into its disjoint `out_samples` slice and a
+  /// local `app_traffic` buffer. Touches no shared mutable state, so
+  /// devices can run concurrently.
+  void simulate_device(DeviceContext& ctx, std::span<Sample> out_samples,
+                       std::vector<AppTraffic>& app_traffic,
+                       net::DeviceCapTracker& cap,
+                       const CampaignCalendar& cal) const {
     const UserProfile& user = *ctx.user;
-    const CampaignCalendar& cal = ds.calendar;
     stats::Rng& rng = ctx.rng;
+    std::size_t out_pos = 0;
     const DemandParams& demand = config_.demand;
 
     if (user.has_home_ap) {
@@ -403,7 +448,7 @@ class CampaignRunner {
         } else {
           const int hour = b / kBinsPerHour;
           rx_mb *= user.cellular_affinity;
-          rx_mb *= cap.demand_multiplier(user.id, user.carrier, day, hour);
+          rx_mb *= cap.demand_multiplier(user.carrier, day, hour);
           rx_mb *= user.tech == CellTech::Lte ? 1.10 : 0.75;
           // Self-rationing: users track their own cellular use against
           // the cap; past a personal daily budget they defer to WiFi or
@@ -418,10 +463,10 @@ class CampaignRunner {
         if (tethering) rx_mb += rng.lognormal(std::log(45.0), 0.6);
 
         const app::Context app_ctx = context_of(seg, on_wifi);
-        const auto app_begin = static_cast<std::uint32_t>(ds.app_traffic.size());
+        const auto app_begin = static_cast<std::uint32_t>(app_traffic.size());
         if (rx_mb > 0) {
           if (user.os == Os::Android) {
-            tx_bytes = mixer_.mix(app_ctx, rx_mb, rng, ds.app_traffic);
+            tx_bytes = mixer_.mix(app_ctx, rx_mb, rng, app_traffic);
           } else {
             tx_bytes = static_cast<std::uint64_t>(
                 rx_mb * 1e6 * 0.18 * rng.lognormal(0.0, 0.5));
@@ -439,7 +484,7 @@ class CampaignRunner {
           at.category = AppCategory::Productivity;
           at.rx_bytes = mb_to_bytes_u32(sync_mb * 0.35);
           at.tx_bytes = mb_to_bytes_u32(sync_mb);
-          if (user.os == Os::Android) ds.app_traffic.push_back(at);
+          if (user.os == Os::Android) app_traffic.push_back(at);
           rx_mb += sync_mb * 0.35;
           tx_bytes += at.tx_bytes;
         }
@@ -465,12 +510,12 @@ class CampaignRunner {
           s.cell_tx = static_cast<std::uint32_t>(
               std::min<std::uint64_t>(tx_bytes, 0xF0000000ull));
           s.tech = rx_bytes > 0 || tx_bytes > 0 ? user.tech : CellTech::None;
-          cap.add_download_mb(user.id, day, rx_mb);
+          cap.add_download_mb(day, rx_mb);
           cell_today_mb += rx_mb;
         }
 
         if (user.os == Os::Android) {
-          const auto count = ds.app_traffic.size() - app_begin;
+          const auto count = app_traffic.size() - app_begin;
           s.app_begin = app_begin;
           s.app_count = static_cast<std::uint8_t>(std::min<std::size_t>(count, 255));
         }
@@ -497,14 +542,14 @@ class CampaignRunner {
           s.battery_pct = static_cast<std::uint8_t>(std::lround(ctx.battery));
         }
 
-        ds.samples.push_back(s);
+        out_samples[out_pos++] = s;
       }
     }
   }
 
   void maybe_start_update(DeviceContext& ctx, int day, int bin_in_day,
                           bool on_wifi, const SegmentState& seg, bool weekend,
-                          bool& rolled_today, TimeBin bin) {
+                          bool& rolled_today, TimeBin bin) const {
     const UpdateParams& up = config_.update;
     const UserProfile& user = *ctx.user;
     if (!up.active || user.os != Os::Ios || ctx.updated ||

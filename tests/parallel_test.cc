@@ -1,0 +1,166 @@
+// Tests for the core parallelism subsystem: pool basics, exception
+// propagation, nested-submit safety and thread-count plumbing.
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace tokyonet::core {
+namespace {
+
+/// Restores the default thread count when a test body returns.
+struct ScopedThreads {
+  explicit ScopedThreads(int n) { set_thread_count(n); }
+  ~ScopedThreads() { set_thread_count(0); }
+};
+
+TEST(ThreadCount, AtLeastOne) { EXPECT_GE(thread_count(), 1); }
+
+TEST(ThreadCount, OverrideAndRestore) {
+  {
+    ScopedThreads scoped(7);
+    EXPECT_EQ(thread_count(), 7);
+  }
+  EXPECT_GE(thread_count(), 1);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ScopedThreads scoped(4);
+  constexpr std::size_t kN = 10007;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for(kN, [&](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelFor, SerialFallbackAtOneThread) {
+  ScopedThreads scoped(1);
+  // At threads == 1 iterations must run in index order on the calling
+  // thread (the serial path).
+  std::vector<std::size_t> order;
+  const auto self = std::this_thread::get_id();
+  parallel_for(100, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), self);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, EmptyAndSingleRanges) {
+  ScopedThreads scoped(4);
+  int calls = 0;
+  parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  ScopedThreads scoped(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      parallel_for(512,
+                   [&](std::size_t i) {
+                     if (i == 137) throw std::runtime_error("boom");
+                     ++completed;
+                   }),
+      std::runtime_error);
+  // All other iterations still ran to completion before the rethrow.
+  EXPECT_EQ(completed.load(), 511);
+}
+
+TEST(ParallelFor, NestedSubmitRunsInline) {
+  ScopedThreads scoped(4);
+  constexpr std::size_t kOuter = 16, kInner = 64;
+  std::vector<std::atomic<int>> counts(kOuter * kInner);
+  parallel_for(kOuter, [&](std::size_t o) {
+    // A nested parallel_for from inside a batch must not deadlock on
+    // the pool it is running on; it executes serially inline.
+    parallel_for(kInner, [&](std::size_t i) { ++counts[o * kInner + i]; });
+  });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelFor, ReusableAcrossBatches) {
+  ScopedThreads scoped(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    parallel_for(100, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ParallelFor, ConcurrentSubmittersSerialize) {
+  ScopedThreads scoped(4);
+  std::atomic<std::size_t> total{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        parallel_for(64, [&](std::size_t) { ++total; });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(total.load(), 3u * 20u * 64u);
+}
+
+TEST(ParallelMap, ResultsInIndexOrder) {
+  ScopedThreads scoped(4);
+  const std::vector<std::size_t> out =
+      parallel_map(1000, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 1000u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, IdenticalAcrossThreadCounts) {
+  auto compute = [] {
+    return parallel_map(257, [](std::size_t i) {
+      double acc = 0;
+      for (int k = 0; k < 100; ++k) acc += static_cast<double>(i) * k;
+      return acc;
+    });
+  };
+  ScopedThreads scoped(1);
+  const auto serial = compute();
+  set_thread_count(4);
+  const auto parallel = compute();
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ThreadPool, SpawnsRequestedConcurrency) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3);
+  std::set<std::thread::id> seen;
+  std::mutex mu;
+  pool.for_each(4096, 3, [&](std::size_t) {
+    std::lock_guard<std::mutex> lk(mu);
+    seen.insert(std::this_thread::get_id());
+  });
+  // At most 3 distinct threads (caller + 2 workers) ever touched work.
+  EXPECT_LE(seen.size(), 3u);
+  EXPECT_GE(seen.size(), 1u);
+}
+
+TEST(ThreadPool, MaxThreadsCapsParticipation) {
+  ThreadPool pool(4);
+  std::set<std::thread::id> seen;
+  std::mutex mu;
+  pool.for_each(2048, 1, [&](std::size_t) {
+    std::lock_guard<std::mutex> lk(mu);
+    seen.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(seen.size(), 1u);  // caller only
+}
+
+}  // namespace
+}  // namespace tokyonet::core

@@ -2,12 +2,75 @@
 
 #include <gtest/gtest.h>
 
+#include "core/parallel.h"
 #include "testutil.h"
 
 namespace tokyonet::sim {
 namespace {
 
 using test::campaign;
+
+[[nodiscard]] bool samples_equal(const Sample& a, const Sample& b) {
+  return a.device == b.device && a.bin == b.bin && a.geo_cell == b.geo_cell &&
+         a.cell_rx == b.cell_rx && a.cell_tx == b.cell_tx &&
+         a.wifi_rx == b.wifi_rx && a.wifi_tx == b.wifi_tx && a.ap == b.ap &&
+         a.app_begin == b.app_begin && a.app_count == b.app_count &&
+         a.tech == b.tech && a.wifi_state == b.wifi_state &&
+         a.rssi_dbm == b.rssi_dbm && a.battery_pct == b.battery_pct &&
+         a.tethering == b.tethering &&
+         a.scan_pub24_all == b.scan_pub24_all &&
+         a.scan_pub24_strong == b.scan_pub24_strong &&
+         a.scan_pub5_all == b.scan_pub5_all &&
+         a.scan_pub5_strong == b.scan_pub5_strong;
+}
+
+TEST(Simulator, DeterministicAcrossThreadCounts) {
+  // The tentpole guarantee: simulating with the thread pool produces a
+  // dataset byte-identical to the serial run, for every campaign year.
+  for (const Year year : {Year::Y2013, Year::Y2014, Year::Y2015}) {
+    core::set_thread_count(1);
+    const Dataset serial = simulate_year(year, 0.05);
+    core::set_thread_count(4);
+    const Dataset parallel = simulate_year(year, 0.05);
+    core::set_thread_count(0);
+
+    ASSERT_EQ(serial.samples.size(), parallel.samples.size());
+    for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+      ASSERT_TRUE(samples_equal(serial.samples[i], parallel.samples[i]))
+          << "sample " << i << " differs (year "
+          << static_cast<int>(year) << ")";
+    }
+
+    ASSERT_EQ(serial.app_traffic.size(), parallel.app_traffic.size());
+    for (std::size_t i = 0; i < serial.app_traffic.size(); ++i) {
+      ASSERT_EQ(serial.app_traffic[i].category,
+                parallel.app_traffic[i].category);
+      ASSERT_EQ(serial.app_traffic[i].rx_bytes,
+                parallel.app_traffic[i].rx_bytes);
+      ASSERT_EQ(serial.app_traffic[i].tx_bytes,
+                parallel.app_traffic[i].tx_bytes);
+    }
+
+    ASSERT_EQ(serial.truth.devices.size(), parallel.truth.devices.size());
+    for (std::size_t i = 0; i < serial.truth.devices.size(); ++i) {
+      ASSERT_EQ(serial.truth.devices[i].update_bin,
+                parallel.truth.devices[i].update_bin);
+      ASSERT_EQ(serial.truth.devices[i].capped_day,
+                parallel.truth.devices[i].capped_day);
+    }
+
+    ASSERT_EQ(serial.survey.size(), parallel.survey.size());
+    for (std::size_t i = 0; i < serial.survey.size(); ++i) {
+      ASSERT_EQ(serial.survey[i].occupation, parallel.survey[i].occupation);
+      for (int loc = 0; loc < kNumSurveyLocations; ++loc) {
+        ASSERT_EQ(serial.survey[i].connected[loc],
+                  parallel.survey[i].connected[loc]);
+        ASSERT_EQ(serial.survey[i].reasons[loc],
+                  parallel.survey[i].reasons[loc]);
+      }
+    }
+  }
+}
 
 TEST(Simulator, DeterministicAcrossRuns) {
   const Dataset a = simulate_year(Year::Y2014, 0.05);

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Runs every bench binary with google-benchmark JSON output and
+# aggregates the per-kernel timings into BENCH_<date>.json, so the perf
+# trajectory of the analysis kernels is recorded run over run.
+#
+# Usage: tools/run_bench.sh [build_dir] [out.json]
+#   build_dir  defaults to ./build
+#   out.json   defaults to BENCH_$(date +%Y%m%d).json in the repo root
+#
+# Respects TOKYONET_THREADS and TOKYONET_BENCH_SCALE; both are recorded
+# in the output alongside each kernel's timings.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_json="${2:-${repo_root}/BENCH_$(date +%Y%m%d).json}"
+bench_dir="${build_dir}/bench"
+
+if [ ! -d "${bench_dir}" ]; then
+  echo "error: ${bench_dir} not found — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+benches=()
+for bin in "${bench_dir}"/bench_*; do
+  [ -x "${bin}" ] || continue
+  benches+=("${bin}")
+done
+if [ "${#benches[@]}" -eq 0 ]; then
+  echo "error: no bench binaries under ${bench_dir}" >&2
+  exit 1
+fi
+
+echo "running ${#benches[@]} bench binaries (threads=${TOKYONET_THREADS:-auto}," \
+     "scale=${TOKYONET_BENCH_SCALE:-1.0})..."
+for bin in "${benches[@]}"; do
+  name="$(basename "${bin}")"
+  echo "  ${name}"
+  # The reproduction text goes to the log; the benchmark JSON goes to a
+  # per-binary file for aggregation. A failing bench aborts the run: a
+  # broken kernel must not silently vanish from the trajectory.
+  "${bin}" --benchmark_out="${tmp_dir}/${name}.json" \
+           --benchmark_out_format=json \
+           > "${tmp_dir}/${name}.log" 2>&1 \
+    || { echo "error: ${name} failed; log follows" >&2; \
+         cat "${tmp_dir}/${name}.log" >&2; exit 1; }
+done
+
+python3 - "${tmp_dir}" "${out_json}" <<'PY'
+import json, os, sys
+from datetime import datetime, timezone
+
+tmp_dir, out_json = sys.argv[1], sys.argv[2]
+result = {
+    "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "threads": os.environ.get("TOKYONET_THREADS", "auto"),
+    "bench_scale": os.environ.get("TOKYONET_BENCH_SCALE", "1.0"),
+    "benches": {},
+}
+for fname in sorted(os.listdir(tmp_dir)):
+    if not fname.endswith(".json"):
+        continue
+    with open(os.path.join(tmp_dir, fname)) as f:
+        data = json.load(f)
+    kernels = {
+        b["name"]: {
+            "real_time": b.get("real_time"),
+            "cpu_time": b.get("cpu_time"),
+            "time_unit": b.get("time_unit", "ns"),
+            "iterations": b.get("iterations"),
+        }
+        for b in data.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+    result["benches"][fname[: -len(".json")]] = {
+        "context": {
+            k: data.get("context", {}).get(k)
+            for k in ("num_cpus", "mhz_per_cpu", "library_build_type")
+        },
+        "kernels": kernels,
+    }
+with open(out_json, "w") as f:
+    json.dump(result, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_json} ({len(result['benches'])} benches)")
+PY
