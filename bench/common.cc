@@ -1,7 +1,9 @@
 #include "common.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "core/parallel.h"
 
@@ -10,7 +12,18 @@ namespace tokyonet::bench {
 double bench_scale() {
   static const double scale = [] {
     if (const char* env = std::getenv("TOKYONET_BENCH_SCALE")) {
-      const double v = std::atof(env);
+      char* end = nullptr;
+      errno = 0;
+      const double v = std::strtod(env, &end);
+      // A partial parse ("2x", "1.0abc") or empty/garbage input is a
+      // user error: warn and fall back instead of silently using a
+      // numeric prefix.
+      if (end == env || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr,
+                     "warning: ignoring unparsable TOKYONET_BENCH_SCALE=%s\n",
+                     env);
+        return 1.0;
+      }
       if (v > 0.0) {
         if (v > 10.0) {
           std::fprintf(stderr,
@@ -29,48 +42,67 @@ double bench_scale() {
   return scale;
 }
 
+// The lazy per-year caches below are initialized via std::call_once so
+// concurrent first use (google-benchmark worker threads, TSan builds)
+// is safe; the pointers are written exactly once and read-only after.
+
 const Dataset& campaign(Year year) {
+  static std::once_flag once[kNumYears];
   static const Dataset* cache[kNumYears] = {};
   const int i = static_cast<int>(year);
-  if (cache[i] == nullptr) {
-    cache[i] = new Dataset(sim::simulate_year(year, bench_scale()));
-  }
+  std::call_once(once[i], [&] {
+    sim::CampaignCacheStatus status;
+    cache[i] = new Dataset(sim::cached_campaign(
+        scenario_config(year, bench_scale()), &status));
+    if (status.enabled) {
+      // run_bench.sh greps these lines to count cache hits per run.
+      std::printf("tokyonet-cache: %s %s\n", status.hit ? "hit" : "miss",
+                  status.path.string().c_str());
+      if (!status.detail.empty()) {
+        std::fprintf(stderr, "tokyonet-cache: note: %s\n",
+                     status.detail.c_str());
+      }
+    }
+  });
   return *cache[i];
 }
 
 const analysis::ApClassification& classification(Year year) {
+  static std::once_flag once[kNumYears];
   static const analysis::ApClassification* cache[kNumYears] = {};
   const int i = static_cast<int>(year);
-  if (cache[i] == nullptr) {
+  std::call_once(once[i], [&] {
     cache[i] = new analysis::ApClassification(
         analysis::classify_aps(campaign(year)));
-  }
+  });
   return *cache[i];
 }
 
 const analysis::UpdateDetection& updates(Year year) {
+  static std::once_flag once[kNumYears];
   static const analysis::UpdateDetection* cache[kNumYears] = {};
   const int i = static_cast<int>(year);
-  if (cache[i] == nullptr) {
+  std::call_once(once[i], [&] {
     analysis::UpdateDetectOptions opt;
     // March 10th is day 10 of the 2015 calendar; earlier years have no
     // in-campaign release, so nothing may be detected.
     opt.min_day = year == Year::Y2015 ? 9 : campaign(year).num_days();
     cache[i] = new analysis::UpdateDetection(
         analysis::detect_updates(campaign(year), opt));
-  }
+  });
   return *cache[i];
 }
 
 const std::vector<analysis::UserDay>& days(Year year) {
+  static std::once_flag once[kNumYears];
   static const std::vector<analysis::UserDay>* cache[kNumYears] = {};
   const int i = static_cast<int>(year);
-  if (cache[i] == nullptr) {
+  std::call_once(once[i], [&] {
     analysis::UserDayOptions opt;
     opt.update_bin_by_device = &updates(year).update_bin;
     cache[i] = new std::vector<analysis::UserDay>(
         analysis::user_days(campaign(year), opt));
-  }
+  });
   return *cache[i];
 }
 

@@ -1,7 +1,9 @@
 #include "core/parallel.h"
 
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -16,14 +18,26 @@ namespace {
 thread_local bool t_inside_batch = false;
 
 [[nodiscard]] int env_thread_count() noexcept {
-  int n = 0;
+  long n = 0;
   if (const char* env = std::getenv("TOKYONET_THREADS")) {
-    n = std::atoi(env);
+    char* end = nullptr;
+    errno = 0;
+    n = std::strtol(env, &end, 10);
+    // Reject partial parses ("4x", "auto") and out-of-range values
+    // instead of silently using a prefix.
+    if (end == env || *end != '\0' || errno == ERANGE || n < 1 ||
+        n > 4096) {
+      std::fprintf(stderr,
+                   "warning: ignoring invalid TOKYONET_THREADS=%s "
+                   "(want an integer in [1, 4096])\n",
+                   env);
+      n = 0;
+    }
   }
   if (n < 1) {
-    n = static_cast<int>(std::thread::hardware_concurrency());
+    n = static_cast<long>(std::thread::hardware_concurrency());
   }
-  return n < 1 ? 1 : n;
+  return n < 1 ? 1 : static_cast<int>(n);
 }
 
 std::atomic<int> g_thread_override{0};

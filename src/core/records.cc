@@ -1,12 +1,19 @@
 #include "core/records.h"
 
+#include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "core/parallel.h"
 
 namespace tokyonet {
 
 void Dataset::build_index() {
+  // Read through a const view so indexing a borrowed (mmapped) column
+  // does not materialize an owned copy.
+  const std::span<const Sample> ss = samples.span();
   device_offset_.assign(devices.size() + 1, 0);
-  for (const Sample& s : samples) {
+  for (const Sample& s : ss) {
     assert(value(s.device) < devices.size());
     ++device_offset_[value(s.device) + 1];
   }
@@ -15,9 +22,9 @@ void Dataset::build_index() {
   }
 #ifndef NDEBUG
   // Verify (device, bin) ordering, the contract for device_samples().
-  for (std::size_t i = 1; i < samples.size(); ++i) {
-    const Sample& a = samples[i - 1];
-    const Sample& b = samples[i];
+  for (std::size_t i = 1; i < ss.size(); ++i) {
+    const Sample& a = ss[i - 1];
+    const Sample& b = ss[i];
     assert(value(a.device) < value(b.device) ||
            (a.device == b.device && a.bin <= b.bin));
   }
@@ -31,6 +38,90 @@ std::span<const Sample> Dataset::device_samples(DeviceId id) const {
   const std::size_t begin = device_offset_[d];
   const std::size_t end = device_offset_[d + 1];
   return {samples.data() + begin, end - begin};
+}
+
+std::string Dataset::validate() const {
+  const std::size_t n_devices = devices.size();
+  const std::size_t n_aps = aps.size();
+  const std::size_t n_apps = app_traffic.size();
+  const std::size_t n_days = static_cast<std::size_t>(calendar.num_days());
+
+  for (std::size_t i = 0; i < n_devices; ++i) {
+    if (value(devices[i].id) != i) {
+      return "device " + std::to_string(i) + " has id " +
+             std::to_string(value(devices[i].id)) +
+             " (ids must equal their index)";
+    }
+  }
+  if (!survey.empty() && survey.size() != n_devices) {
+    return "survey has " + std::to_string(survey.size()) +
+           " rows for " + std::to_string(n_devices) + " devices";
+  }
+  if (!truth.devices.empty() && truth.devices.size() != n_devices) {
+    return "ground truth covers " + std::to_string(truth.devices.size()) +
+           " of " + std::to_string(n_devices) + " devices";
+  }
+  if (!truth.aps.empty() && truth.aps.size() != n_aps) {
+    return "ground truth covers " + std::to_string(truth.aps.size()) +
+           " of " + std::to_string(n_aps) + " APs";
+  }
+  for (std::size_t i = 0; i < truth.devices.size(); ++i) {
+    const std::size_t cd = truth.devices[i].capped_day.size();
+    if (cd != 0 && cd != n_days) {
+      return "device " + std::to_string(i) + " capped_day has " +
+             std::to_string(cd) + " entries for a " +
+             std::to_string(n_days) + "-day campaign";
+    }
+  }
+
+  // The sample scan dominates (millions of rows at scale); split it into
+  // chunks checked in parallel. Each chunk also checks the ordering edge
+  // to its predecessor, so coverage is seamless. The first failing chunk
+  // (lowest index) wins, keeping the reported error deterministic.
+  const std::span<const Sample> ss = samples.span();
+  const std::size_t n_bins = static_cast<std::size_t>(calendar.num_bins());
+  constexpr std::size_t kChunk = 1 << 16;
+  const std::size_t n_chunks = (ss.size() + kChunk - 1) / kChunk;
+  const std::vector<std::string> chunk_errors =
+      core::parallel_map(n_chunks, [&](std::size_t c) -> std::string {
+        const std::size_t begin = c * kChunk;
+        const std::size_t end = std::min(begin + kChunk, ss.size());
+        for (std::size_t i = begin; i < end; ++i) {
+          const Sample& s = ss[i];
+          const auto row = [&] { return "sample " + std::to_string(i); };
+          if (value(s.device) >= n_devices) {
+            return row() + " references device " +
+                   std::to_string(value(s.device)) + " of " +
+                   std::to_string(n_devices);
+          }
+          if (static_cast<std::size_t>(s.bin) >= n_bins) {
+            return row() + " has bin " + std::to_string(s.bin) +
+                   " outside the " + std::to_string(n_bins) +
+                   "-bin campaign";
+          }
+          if (s.ap != kNoAp && value(s.ap) >= n_aps) {
+            return row() + " references AP " + std::to_string(value(s.ap)) +
+                   " of " + std::to_string(n_aps);
+          }
+          if (std::size_t{s.app_begin} + s.app_count > n_apps) {
+            return row() + " app range [" + std::to_string(s.app_begin) +
+                   ", +" + std::to_string(s.app_count) + ") exceeds " +
+                   std::to_string(n_apps) + " app records";
+          }
+          if (i > 0) {
+            const Sample& prev = ss[i - 1];
+            if (value(prev.device) > value(s.device) ||
+                (prev.device == s.device && prev.bin > s.bin)) {
+              return row() + " breaks (device, bin) ordering";
+            }
+          }
+        }
+        return {};
+      });
+  for (const std::string& err : chunk_errors) {
+    if (!err.empty()) return err;
+  }
+  return {};
 }
 
 }  // namespace tokyonet

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/clock.h"
+#include "core/column.h"
 #include "core/types.h"
 
 namespace tokyonet {
@@ -173,6 +174,10 @@ struct GroundTruth {
 
 /// A full campaign: devices, the AP universe they encountered, and the
 /// 10-minute sample stream, sorted by (device, bin).
+///
+/// The two big arrays (`samples`, `app_traffic`) are Columns: owned by
+/// default, but a snapshot load (io/snapshot.h) can hand them out as
+/// zero-copy views over an mmapped file.
 class Dataset {
  public:
   Year year = Year::Y2015;
@@ -180,8 +185,8 @@ class Dataset {
 
   std::vector<DeviceInfo> devices;
   std::vector<ApInfo> aps;
-  std::vector<Sample> samples;
-  std::vector<AppTraffic> app_traffic;
+  core::Column<Sample> samples;
+  core::Column<AppTraffic> app_traffic;
   std::vector<SurveyResponse> survey;  // parallel to devices (recruited only meaningful)
   GroundTruth truth;
 
@@ -193,6 +198,15 @@ class Dataset {
   /// (Re)build the per-device sample index. Requires `samples` sorted by
   /// (device, bin). Called by the simulator and by deserialization.
   void build_index();
+
+  /// Release-mode structural validation (the promoted form of the debug
+  /// asserts in build_index()/device_samples()): checks device/AP/app
+  /// references, (device, bin) ordering, bin bounds against the
+  /// calendar, and ground-truth array shapes. Returns an empty string
+  /// when the dataset is sound, else a description of the first
+  /// problem. Snapshot loads call this before trusting a file; the
+  /// sample scan runs on the core/parallel pool.
+  [[nodiscard]] std::string validate() const;
 
   /// True once build_index() has run and matches the current sample count.
   [[nodiscard]] bool indexed() const noexcept {

@@ -153,4 +153,116 @@ ScenarioConfig scenario_config(Year year, double scale) {
   return c;
 }
 
+namespace {
+
+/// Accumulating mixer (splitmix64 finalizer) fed field by field, so the
+/// hash is independent of struct padding and layout.
+struct ConfigHasher {
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+
+  void mix(std::uint64_t v) noexcept {
+    std::uint64_t x = state ^ (v + 0x9E3779B97F4A7C15ull + (state << 6));
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    state = x;
+  }
+  void add(double v) noexcept {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  }
+  void add(std::uint64_t v) noexcept { mix(v); }
+  void add(int v) noexcept { mix(static_cast<std::uint64_t>(v)); }
+  void add(bool v) noexcept { mix(v ? 1 : 0); }
+  template <typename T, std::size_t N>
+  void add(const std::array<T, N>& a) noexcept {
+    for (const T& v : a) add(v);
+  }
+};
+
+}  // namespace
+
+std::uint64_t scenario_hash(const ScenarioConfig& c) noexcept {
+  // Every field below feeds the simulation; keep this list in sync with
+  // ScenarioConfig. The static_assert trips when the struct grows, as a
+  // reminder to extend the hash (and bump io::kSnapshotVersion).
+  static_assert(sizeof(ScenarioConfig) == 472,
+                "ScenarioConfig changed: update scenario_hash()");
+  ConfigHasher h;
+  h.add(static_cast<int>(c.year));
+  h.add(c.start_date.year);
+  h.add(c.start_date.month);
+  h.add(c.start_date.day);
+  h.add(c.num_days);
+  h.add(c.seed);
+  h.add(c.scale);
+
+  const PopulationParams& p = c.population;
+  h.add(p.n_android);
+  h.add(p.n_ios);
+  h.add(p.organic_frac);
+  h.add(p.occupation_weights);
+
+  const AdoptionParams& a = c.adoption;
+  h.add(a.lte_device_share);
+  h.add(a.home_ap_ownership);
+  h.add(a.office_byod_rate);
+  h.add(a.public_config_android);
+  h.add(a.public_config_ios);
+  h.add(a.cellular_intensive_frac);
+  h.add(a.wifi_intensive_frac);
+  h.add(a.wifi_off_mean);
+  h.add(a.ios_connect_boost);
+  h.add(a.home_assoc_rate);
+
+  const DeploymentParams& d = c.deployment;
+  h.add(d.n_public_aps);
+  h.add(d.n_venue_aps);
+  h.add(d.n_mobile_aps);
+  h.add(d.public_5ghz_frac);
+  h.add(d.home_5ghz_frac);
+  h.add(d.office_5ghz_frac);
+  h.add(d.home_fon_frac);
+  h.add(d.multi_provider_frac);
+  h.add(d.scan_density_peak);
+  h.add(d.scan_strong_frac);
+  h.add(d.scan_5ghz_frac);
+
+  const DemandParams& m = c.demand;
+  h.add(m.daily_mu_log_mb);
+  h.add(m.user_sigma);
+  h.add(m.day_sigma);
+  h.add(m.wifi_elasticity);
+  h.add(m.upload_ratio);
+  h.add(m.upload_ratio_sigma);
+  h.add(m.sync_users_frac);
+  h.add(m.sync_daily_mb);
+  h.add(m.cell_budget_home_mb);
+  h.add(m.cell_budget_no_home_mb);
+  h.add(m.budget_excess_factor);
+
+  const CapParams& cp = c.cap;
+  h.add(cp.threshold_mb);
+  h.add(cp.suppression);
+  h.add(cp.peak_from_hour);
+  h.add(cp.peak_to_hour);
+  h.add(cp.relaxed);
+  h.add(cp.relaxed_suppression);
+
+  const UpdateParams& u = c.update;
+  h.add(u.active);
+  h.add(u.release_day);
+  h.add(u.size_mb);
+  h.add(u.home_hazard);
+  h.add(u.seeker_hazard);
+  h.add(u.weekend_boost);
+  h.add(u.public_seeker_frac);
+
+  return h.state;
+}
+
 }  // namespace tokyonet

@@ -173,4 +173,11 @@ struct ScenarioConfig {
 /// Calibrated preset for one campaign year at the given scale.
 [[nodiscard]] ScenarioConfig scenario_config(Year year, double scale = 1.0);
 
+/// Stable 64-bit digest of every simulation-relevant field of a
+/// ScenarioConfig (including seed and scale). Two configs with the same
+/// hash produce the same campaign, so the hash keys the on-disk
+/// campaign cache (io/snapshot.h). Not portable across schema changes:
+/// bump kSnapshotVersion when the config grows a field.
+[[nodiscard]] std::uint64_t scenario_hash(const ScenarioConfig& config) noexcept;
+
 }  // namespace tokyonet

@@ -1,0 +1,739 @@
+#include "io/snapshot.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/parallel.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define TOKYONET_HAVE_MMAP 1
+#else
+#define TOKYONET_HAVE_MMAP 0
+#endif
+
+namespace tokyonet::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- On-disk layout ----------------------------------------------------
+
+constexpr char kMagic[8] = {'T', 'K', 'Y', 'O', 'S', 'N', 'P', '1'};
+
+enum SectionId : std::uint32_t {
+  kSecDevices = 0,   // DeviceInfo[n]
+  kSecApFixed,       // ApRec[n]
+  kSecApEssids,      // byte blob referenced by ApRec
+  kSecSamples,       // Sample[n]            (zero-copy target)
+  kSecAppTraffic,    // AppTraffic[n]        (zero-copy target)
+  kSecSurvey,        // SurveyResponse[n]
+  kSecTruthDevices,  // TruthDeviceRec[n]
+  kSecTruthCapped,   // byte blob referenced by TruthDeviceRec
+  kSecTruthAps,      // ApTruth[n]
+  kNumSections,
+};
+
+/// Fixed-width mirror of ApInfo; the ESSID lives in the essid blob.
+struct ApRec {
+  std::uint64_t bssid = 0;
+  std::uint32_t essid_offset = 0;
+  std::uint16_t essid_len = 0;
+  std::uint8_t band = 0;
+  std::uint8_t channel = 0;
+};
+static_assert(sizeof(ApRec) == 16);
+
+/// Fixed-width mirror of DeviceTruth; capped_day lives in the capped
+/// blob. `flags` bit order below.
+struct TruthDeviceRec {
+  float wifi_off_propensity = 0;
+  float demand_mu = 0;
+  float demand_sigma = 0;
+  std::int32_t update_bin = -1;
+  std::uint32_t home_ap = 0;
+  std::uint32_t office_ap = 0;
+  std::uint32_t capped_offset = 0;
+  std::uint32_t capped_len = 0;
+  std::uint16_t home_cell = 0;
+  std::uint16_t office_cell = 0;
+  std::uint8_t archetype = 0;
+  std::uint8_t occupation = 0;
+  std::uint8_t flags = 0;
+  std::uint8_t pad = 0;
+};
+static_assert(sizeof(TruthDeviceRec) == 40);
+
+enum TruthFlags : std::uint8_t {
+  kFlagHasHomeAp = 1u << 0,
+  kFlagWorksAtOffice = 1u << 1,
+  kFlagOfficeByod = 1u << 2,
+  kFlagUsesPublicWifi = 1u << 3,
+  kFlagIsTetherer = 1u << 4,
+};
+
+struct RawHeader {
+  char magic[8] = {};
+  std::uint32_t version = 0;
+  std::uint32_t section_count = 0;
+  std::uint32_t year = 0;  // calendar year, 2013..2015
+  std::int32_t start_year = 0;
+  std::uint32_t start_month = 0;
+  std::uint32_t start_day = 0;
+  std::uint32_t num_days = 0;
+  std::uint32_t pad0 = 0;
+  /// Per-section record size (1 for byte blobs); rejects readers whose
+  /// native struct layout differs from the writer's.
+  std::uint32_t record_sizes[12] = {};
+  /// Per-section record count (byte count for blobs).
+  std::uint64_t counts[kNumSections] = {};
+  std::uint64_t scenario_hash = 0;
+  std::uint64_t header_checksum = 0;  // over header (this field = 0) + table
+};
+static_assert(sizeof(RawHeader) == 176);
+static_assert(sizeof(SnapshotSection) == 32);
+
+constexpr std::uint32_t kRecordSizes[kNumSections] = {
+    sizeof(DeviceInfo), sizeof(ApRec),        1,
+    sizeof(Sample),     sizeof(AppTraffic),   sizeof(SurveyResponse),
+    sizeof(TruthDeviceRec), 1,                sizeof(ApTruth),
+};
+
+static_assert(std::is_trivially_copyable_v<Sample> &&
+              std::is_trivially_copyable_v<AppTraffic> &&
+              std::is_trivially_copyable_v<DeviceInfo> &&
+              std::is_trivially_copyable_v<SurveyResponse> &&
+              std::is_trivially_copyable_v<ApTruth>);
+
+constexpr std::uint64_t kSectionAlign = 64;
+
+[[nodiscard]] constexpr std::uint64_t align_up(std::uint64_t v) noexcept {
+  return (v + kSectionAlign - 1) & ~(kSectionAlign - 1);
+}
+
+// --- Checksums ---------------------------------------------------------
+
+constexpr std::uint64_t kHashSeed = 0x746B796F6E657431ull;
+
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+[[nodiscard]] std::uint64_t hash_bytes(const void* data, std::size_t n,
+                                       std::uint64_t seed) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = mix64(seed ^ (0x9E3779B97F4A7C15ull + n));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = mix64(h ^ w);
+  }
+  if (i < n) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, p + i, n - i);
+    h = mix64(h ^ w ^ (std::uint64_t{n - i} << 56));
+  }
+  return h;
+}
+
+/// Section checksum, computed in fixed 4 MiB chunks so big sections
+/// (samples, app traffic) hash on the core/parallel pool. The chunking
+/// is part of the format: save and load both call this.
+[[nodiscard]] std::uint64_t section_checksum(const void* data,
+                                             std::size_t n) {
+  constexpr std::size_t kChunk = std::size_t{4} << 20;
+  if (n <= kChunk) return hash_bytes(data, n, kHashSeed);
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  const std::size_t n_chunks = (n + kChunk - 1) / kChunk;
+  const std::vector<std::uint64_t> hashes =
+      core::parallel_map(n_chunks, [&](std::size_t c) {
+        const std::size_t begin = c * kChunk;
+        const std::size_t end = std::min(begin + kChunk, n);
+        return hash_bytes(p + begin, end - begin, kHashSeed + 1 + c);
+      });
+  std::uint64_t h = mix64(kHashSeed ^ n);
+  for (std::uint64_t v : hashes) h = mix64(h ^ v);
+  return h;
+}
+
+[[nodiscard]] std::uint64_t header_table_checksum(
+    RawHeader header, const SnapshotSection (&table)[kNumSections]) noexcept {
+  header.header_checksum = 0;
+  const std::uint64_t a = hash_bytes(&header, sizeof(header), kHashSeed);
+  return hash_bytes(table, sizeof(table), a);
+}
+
+// --- File helpers ------------------------------------------------------
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+[[nodiscard]] bool write_all(std::FILE* f, const void* data,
+                             std::size_t n) noexcept {
+  return n == 0 || std::fwrite(data, 1, n, f) == n;
+}
+
+[[nodiscard]] bool read_all(std::FILE* f, void* data, std::size_t n) noexcept {
+  return n == 0 || std::fread(data, 1, n, f) == n;
+}
+
+/// Read-only mmap of a whole file, shared so borrowed Columns can pin it.
+class MappedFile {
+ public:
+  [[nodiscard]] static std::shared_ptr<MappedFile> open(
+      const fs::path& path, std::uint64_t expected_bytes) {
+#if TOKYONET_HAVE_MMAP
+    if (expected_bytes == 0) return nullptr;
+    const int fd = ::open(path.string().c_str(), O_RDONLY);
+    if (fd < 0) return nullptr;
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 ||
+        static_cast<std::uint64_t>(st.st_size) != expected_bytes) {
+      ::close(fd);
+      return nullptr;
+    }
+    void* addr = ::mmap(nullptr, static_cast<std::size_t>(expected_bytes),
+                        PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (addr == MAP_FAILED) return nullptr;
+    return std::shared_ptr<MappedFile>(
+        new MappedFile(addr, static_cast<std::size_t>(expected_bytes)));
+#else
+    (void)path;
+    (void)expected_bytes;
+    return nullptr;
+#endif
+  }
+
+  ~MappedFile() {
+#if TOKYONET_HAVE_MMAP
+    ::munmap(addr_, size_);
+#endif
+  }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  [[nodiscard]] const std::uint8_t* data() const noexcept {
+    return static_cast<const std::uint8_t*>(addr_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  MappedFile(void* addr, std::size_t size) : addr_(addr), size_(size) {}
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+[[nodiscard]] std::string path_err(const fs::path& path,
+                                   const std::string& what) {
+  return path.string() + ": " + what;
+}
+
+}  // namespace
+
+// --- Save --------------------------------------------------------------
+
+SnapshotResult save_snapshot(const Dataset& ds, const fs::path& path,
+                             std::uint64_t scenario_hash) {
+  SnapshotResult result;
+
+  // Flatten the variable-width parts: ESSIDs and capped-day bitmaps.
+  std::vector<ApRec> ap_recs(ds.aps.size());
+  std::string essid_blob;
+  for (std::size_t i = 0; i < ds.aps.size(); ++i) {
+    const ApInfo& ap = ds.aps[i];
+    if (ap.essid.size() > 0xFFFF) {
+      result.error = path_err(path, "ESSID of AP " + std::to_string(i) +
+                                        " exceeds 65535 bytes");
+      return result;
+    }
+    ApRec& r = ap_recs[i];
+    r.bssid = ap.bssid;
+    r.essid_offset = static_cast<std::uint32_t>(essid_blob.size());
+    r.essid_len = static_cast<std::uint16_t>(ap.essid.size());
+    r.band = static_cast<std::uint8_t>(ap.band);
+    r.channel = ap.channel;
+    essid_blob += ap.essid;
+    if (essid_blob.size() > 0xFFFFFFFFull) {
+      result.error = path_err(path, "ESSID blob exceeds 4 GiB");
+      return result;
+    }
+  }
+
+  std::vector<TruthDeviceRec> truth_recs(ds.truth.devices.size());
+  std::vector<std::uint8_t> capped_blob;
+  for (std::size_t i = 0; i < ds.truth.devices.size(); ++i) {
+    const DeviceTruth& t = ds.truth.devices[i];
+    TruthDeviceRec& r = truth_recs[i];
+    r.wifi_off_propensity = t.wifi_off_propensity;
+    r.demand_mu = t.demand_mu;
+    r.demand_sigma = t.demand_sigma;
+    r.update_bin = t.update_bin;
+    r.home_ap = value(t.home_ap);
+    r.office_ap = value(t.office_ap);
+    r.capped_offset = static_cast<std::uint32_t>(capped_blob.size());
+    r.capped_len = static_cast<std::uint32_t>(t.capped_day.size());
+    r.home_cell = t.home_cell;
+    r.office_cell = t.office_cell;
+    r.archetype = static_cast<std::uint8_t>(t.archetype);
+    r.occupation = static_cast<std::uint8_t>(t.occupation);
+    r.flags = static_cast<std::uint8_t>(
+        (t.has_home_ap ? kFlagHasHomeAp : 0) |
+        (t.works_at_office ? kFlagWorksAtOffice : 0) |
+        (t.office_has_byod_wifi ? kFlagOfficeByod : 0) |
+        (t.uses_public_wifi ? kFlagUsesPublicWifi : 0) |
+        (t.is_tetherer ? kFlagIsTetherer : 0));
+    capped_blob.insert(capped_blob.end(), t.capped_day.begin(),
+                       t.capped_day.end());
+    if (capped_blob.size() > 0xFFFFFFFFull) {
+      result.error = path_err(path, "capped-day blob exceeds 4 GiB");
+      return result;
+    }
+  }
+
+  // Section payloads, by id.
+  const void* payloads[kNumSections] = {
+      ds.devices.data(), ap_recs.data(),      essid_blob.data(),
+      ds.samples.data(), ds.app_traffic.data(), ds.survey.data(),
+      truth_recs.data(), capped_blob.data(),  ds.truth.aps.data(),
+  };
+  const std::uint64_t counts[kNumSections] = {
+      ds.devices.size(), ap_recs.size(),      essid_blob.size(),
+      ds.samples.size(), ds.app_traffic.size(), ds.survey.size(),
+      truth_recs.size(), capped_blob.size(),  ds.truth.aps.size(),
+  };
+
+  RawHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kSnapshotVersion;
+  header.section_count = kNumSections;
+  header.year = static_cast<std::uint32_t>(year_number(ds.year));
+  const Date start = ds.calendar.start_date();
+  header.start_year = start.year;
+  header.start_month = static_cast<std::uint32_t>(start.month);
+  header.start_day = static_cast<std::uint32_t>(start.day);
+  header.num_days = static_cast<std::uint32_t>(ds.num_days());
+  for (std::uint32_t s = 0; s < kNumSections; ++s) {
+    header.record_sizes[s] = kRecordSizes[s];
+    header.counts[s] = counts[s];
+  }
+  header.scenario_hash = scenario_hash;
+
+  SnapshotSection table[kNumSections] = {};
+  std::uint64_t offset = align_up(sizeof(RawHeader) + sizeof(table));
+  for (std::uint32_t s = 0; s < kNumSections; ++s) {
+    table[s].id = s;
+    table[s].offset = offset;
+    table[s].bytes = counts[s] * kRecordSizes[s];
+    // Big sections hash in parallel chunks on the core/parallel pool.
+    table[s].checksum = section_checksum(
+        payloads[s], static_cast<std::size_t>(table[s].bytes));
+    offset = align_up(offset + table[s].bytes);
+  }
+  header.header_checksum = header_table_checksum(header, table);
+
+  // Single sequential pass into a temp file, renamed over `path` on
+  // success so readers never observe a half-written snapshot.
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    File f(std::fopen(tmp.string().c_str(), "wb"));
+    if (!f) {
+      result.error = path_err(tmp, std::strerror(errno));
+      return result;
+    }
+    static constexpr char kZeros[kSectionAlign] = {};
+    std::uint64_t pos = sizeof(RawHeader) + sizeof(table);
+    bool ok = write_all(f.get(), &header, sizeof(header)) &&
+              write_all(f.get(), table, sizeof(table));
+    for (std::uint32_t s = 0; ok && s < kNumSections; ++s) {
+      ok = write_all(f.get(), kZeros,
+                     static_cast<std::size_t>(table[s].offset - pos)) &&
+           write_all(f.get(), payloads[s],
+                     static_cast<std::size_t>(table[s].bytes));
+      pos = table[s].offset + table[s].bytes;
+    }
+    ok = ok && std::fflush(f.get()) == 0;
+    if (!ok) {
+      result.error = path_err(tmp, "write failed");
+      f.reset();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return result;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    result.error = path_err(path, "rename failed: " + ec.message());
+    fs::remove(tmp, ec);
+  }
+  return result;
+}
+
+// --- Load --------------------------------------------------------------
+
+namespace {
+
+/// Parses and sanity-checks header + section table; fills `info`.
+[[nodiscard]] SnapshotResult check_header(
+    const fs::path& path, std::uint64_t file_bytes, const RawHeader& header,
+    const SnapshotSection (&table)[kNumSections], SnapshotInfo& info) {
+  SnapshotResult result;
+  const auto fail = [&](const std::string& what) {
+    result.error = path_err(path, what);
+    return result;
+  };
+
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad magic (not a tokyonet snapshot)");
+  }
+  if (header.version != kSnapshotVersion) {
+    return fail("unsupported snapshot version " +
+                std::to_string(header.version) + " (this build reads " +
+                std::to_string(kSnapshotVersion) + ")");
+  }
+  if (header.section_count != kNumSections) {
+    return fail("expected " + std::to_string(kNumSections) +
+                " sections, found " + std::to_string(header.section_count));
+  }
+  for (std::uint32_t s = 0; s < kNumSections; ++s) {
+    if (header.record_sizes[s] != kRecordSizes[s]) {
+      return fail("record size mismatch in section " + std::to_string(s) +
+                  " (incompatible writer layout)");
+    }
+  }
+  if (header_table_checksum(header, table) != header.header_checksum) {
+    return fail("header checksum mismatch (corrupted file)");
+  }
+  if (header.year < 2013 || header.year > 2015) {
+    return fail("campaign year " + std::to_string(header.year) +
+                " out of range");
+  }
+  if (header.start_month < 1 || header.start_month > 12 ||
+      header.start_day < 1 || header.start_day > 31 ||
+      std::uint64_t{header.num_days} * kBinsPerDay > 0xFFFF) {
+    return fail("implausible calendar");
+  }
+
+  std::uint64_t prev_end = align_up(sizeof(RawHeader) + sizeof(table));
+  for (std::uint32_t s = 0; s < kNumSections; ++s) {
+    if (table[s].id != s || table[s].offset % kSectionAlign != 0 ||
+        table[s].offset < prev_end) {
+      return fail("malformed section table");
+    }
+    if (header.counts[s] > file_bytes / kRecordSizes[s] ||
+        table[s].bytes != header.counts[s] * kRecordSizes[s] ||
+        table[s].offset > file_bytes ||
+        table[s].bytes > file_bytes - table[s].offset) {
+      return fail("section " + std::to_string(s) +
+                  " exceeds the file (truncated?)");
+    }
+    prev_end = table[s].offset + table[s].bytes;
+  }
+  if (header.counts[kSecSurvey] != 0 &&
+      header.counts[kSecSurvey] != header.counts[kSecDevices]) {
+    return fail("survey row count does not match the device count");
+  }
+  if (header.counts[kSecTruthDevices] != 0 &&
+      header.counts[kSecTruthDevices] != header.counts[kSecDevices]) {
+    return fail("ground-truth device count does not match the device count");
+  }
+  if (header.counts[kSecTruthAps] != 0 &&
+      header.counts[kSecTruthAps] != header.counts[kSecApFixed]) {
+    return fail("ground-truth AP count does not match the AP count");
+  }
+
+  info.version = header.version;
+  info.year = static_cast<int>(header.year);
+  info.start = Date{header.start_year, static_cast<int>(header.start_month),
+                    static_cast<int>(header.start_day)};
+  info.num_days = static_cast<int>(header.num_days);
+  info.n_devices = header.counts[kSecDevices];
+  info.n_aps = header.counts[kSecApFixed];
+  info.n_samples = header.counts[kSecSamples];
+  info.n_app_traffic = header.counts[kSecAppTraffic];
+  info.scenario_hash = header.scenario_hash;
+  info.file_bytes = file_bytes;
+  info.sections.assign(table, table + kNumSections);
+  return result;
+}
+
+/// Sequential section reader over a FILE*, for the owned (non-mmap)
+/// load path. Section offsets are strictly increasing (checked), so no
+/// seeking is needed.
+class SectionReader {
+ public:
+  SectionReader(std::FILE* f, std::uint64_t pos) : f_(f), pos_(pos) {}
+
+  [[nodiscard]] bool read_section(const SnapshotSection& sec, void* dst) {
+    std::uint64_t gap = sec.offset - pos_;
+    char scratch[4096];
+    while (gap > 0) {
+      const std::size_t n =
+          static_cast<std::size_t>(std::min<std::uint64_t>(gap, sizeof(scratch)));
+      if (!read_all(f_, scratch, n)) return false;
+      gap -= n;
+    }
+    if (!read_all(f_, dst, static_cast<std::size_t>(sec.bytes))) return false;
+    pos_ = sec.offset + sec.bytes;
+    return true;
+  }
+
+ private:
+  std::FILE* f_;
+  std::uint64_t pos_;
+};
+
+}  // namespace
+
+SnapshotResult load_snapshot(const fs::path& path, Dataset& out,
+                             const SnapshotLoadOptions& opts,
+                             SnapshotInfo* info_out) {
+  SnapshotResult result;
+  out = Dataset{};
+  SnapshotInfo info;
+
+  File f(std::fopen(path.string().c_str(), "rb"));
+  if (!f) {
+    result.error = path_err(path, std::strerror(errno));
+    return result;
+  }
+  std::error_code ec;
+  const std::uint64_t file_bytes = fs::file_size(path, ec);
+  if (ec) {
+    result.error = path_err(path, "cannot stat: " + ec.message());
+    return result;
+  }
+  if (file_bytes < sizeof(RawHeader) + sizeof(SnapshotSection) * kNumSections) {
+    result.error = path_err(path, "file too small to be a snapshot");
+    return result;
+  }
+
+  RawHeader header;
+  SnapshotSection table[kNumSections];
+  if (!read_all(f.get(), &header, sizeof(header)) ||
+      !read_all(f.get(), table, sizeof(table))) {
+    result.error = path_err(path, "short read on header");
+    return result;
+  }
+  result = check_header(path, file_bytes, header, table, info);
+  if (!result.ok()) return result;
+
+  // Map when possible; otherwise read sections sequentially into owned
+  // memory. Checksums are verified either way before any data is used.
+  std::shared_ptr<MappedFile> map;
+  if (opts.allow_mmap) map = MappedFile::open(path, file_bytes);
+  info.mapped = map != nullptr;
+
+  SectionReader reader(f.get(),
+                       sizeof(RawHeader) + sizeof(SnapshotSection) * kNumSections);
+  std::vector<std::vector<std::uint8_t>> owned(kNumSections);
+  const std::uint8_t* section_data[kNumSections] = {};
+  for (std::uint32_t s = 0; s < kNumSections; ++s) {
+    const std::size_t bytes = static_cast<std::size_t>(table[s].bytes);
+    if (map) {
+      section_data[s] = map->data() + table[s].offset;
+    } else {
+      owned[s].resize(bytes);
+      if (!reader.read_section(table[s], owned[s].data())) {
+        result.error = path_err(path, "short read in section " +
+                                          std::to_string(s) + " (truncated?)");
+        return result;
+      }
+      section_data[s] = owned[s].data();
+    }
+    // Parallel-chunked for the big sections, same as on save.
+    if (section_checksum(section_data[s], bytes) != table[s].checksum) {
+      result.error = path_err(
+          path, "checksum mismatch in section " + std::to_string(s) +
+                    " (corrupted file)");
+      return result;
+    }
+  }
+
+  // --- Materialize the Dataset ---------------------------------------
+  out.year = static_cast<Year>(info.year - 2013);
+  if (info.num_days >= 1) {
+    out.calendar = CampaignCalendar(info.start, info.num_days);
+  }
+
+  const auto count_of = [&](std::uint32_t s) {
+    return static_cast<std::size_t>(header.counts[s]);
+  };
+
+  const auto copy_into = [](void* dst, const std::uint8_t* src,
+                            std::size_t bytes) {
+    if (bytes > 0) std::memcpy(dst, src, bytes);
+  };
+
+  out.devices.resize(count_of(kSecDevices));
+  copy_into(out.devices.data(), section_data[kSecDevices],
+            out.devices.size() * sizeof(DeviceInfo));
+
+  {
+    const auto* recs =
+        reinterpret_cast<const ApRec*>(section_data[kSecApFixed]);
+    const char* blob =
+        reinterpret_cast<const char*>(section_data[kSecApEssids]);
+    const std::size_t blob_size = count_of(kSecApEssids);
+    out.aps.resize(count_of(kSecApFixed));
+    for (std::size_t i = 0; i < out.aps.size(); ++i) {
+      const ApRec& r = recs[i];
+      if (std::uint64_t{r.essid_offset} + r.essid_len > blob_size) {
+        result.error = path_err(
+            path, "AP " + std::to_string(i) + " ESSID reference out of range");
+        return result;
+      }
+      ApInfo& ap = out.aps[i];
+      ap.bssid = r.bssid;
+      ap.essid.assign(blob + r.essid_offset, r.essid_len);
+      ap.band = static_cast<Band>(r.band);
+      ap.channel = r.channel;
+    }
+  }
+
+  if (map) {
+    // Zero-copy: the Columns borrow the mapped arrays and share
+    // ownership of the mapping. Section offsets are 64-byte aligned, so
+    // the record alignment requirement is always met.
+    out.samples = core::Column<Sample>::borrowed(
+        {reinterpret_cast<const Sample*>(section_data[kSecSamples]),
+         count_of(kSecSamples)},
+        map);
+    out.app_traffic = core::Column<AppTraffic>::borrowed(
+        {reinterpret_cast<const AppTraffic*>(section_data[kSecAppTraffic]),
+         count_of(kSecAppTraffic)},
+        map);
+  } else {
+    out.samples.resize(count_of(kSecSamples));
+    copy_into(out.samples.data(), section_data[kSecSamples],
+              out.samples.size() * sizeof(Sample));
+    out.app_traffic.resize(count_of(kSecAppTraffic));
+    copy_into(out.app_traffic.data(), section_data[kSecAppTraffic],
+              out.app_traffic.size() * sizeof(AppTraffic));
+  }
+
+  out.survey.resize(count_of(kSecSurvey));
+  copy_into(out.survey.data(), section_data[kSecSurvey],
+            out.survey.size() * sizeof(SurveyResponse));
+
+  {
+    const auto* recs =
+        reinterpret_cast<const TruthDeviceRec*>(section_data[kSecTruthDevices]);
+    const auto* blob = section_data[kSecTruthCapped];
+    const std::size_t blob_size = count_of(kSecTruthCapped);
+    out.truth.devices.resize(count_of(kSecTruthDevices));
+    for (std::size_t i = 0; i < out.truth.devices.size(); ++i) {
+      const TruthDeviceRec& r = recs[i];
+      if (std::uint64_t{r.capped_offset} + r.capped_len > blob_size) {
+        result.error =
+            path_err(path, "device " + std::to_string(i) +
+                               " capped-day reference out of range");
+        return result;
+      }
+      DeviceTruth& t = out.truth.devices[i];
+      t.wifi_off_propensity = r.wifi_off_propensity;
+      t.demand_mu = r.demand_mu;
+      t.demand_sigma = r.demand_sigma;
+      t.update_bin = r.update_bin;
+      t.home_ap = ApId{r.home_ap};
+      t.office_ap = ApId{r.office_ap};
+      t.home_cell = r.home_cell;
+      t.office_cell = r.office_cell;
+      t.archetype = static_cast<UserArchetype>(r.archetype);
+      t.occupation = static_cast<Occupation>(r.occupation);
+      t.has_home_ap = (r.flags & kFlagHasHomeAp) != 0;
+      t.works_at_office = (r.flags & kFlagWorksAtOffice) != 0;
+      t.office_has_byod_wifi = (r.flags & kFlagOfficeByod) != 0;
+      t.uses_public_wifi = (r.flags & kFlagUsesPublicWifi) != 0;
+      t.is_tetherer = (r.flags & kFlagIsTetherer) != 0;
+      t.capped_day.assign(blob + r.capped_offset,
+                          blob + r.capped_offset + r.capped_len);
+    }
+  }
+
+  out.truth.aps.resize(count_of(kSecTruthAps));
+  copy_into(out.truth.aps.data(), section_data[kSecTruthAps],
+            out.truth.aps.size() * sizeof(ApTruth));
+
+  const std::string invalid = out.validate();
+  if (!invalid.empty()) {
+    const std::string err = path_err(path, "invalid dataset: " + invalid);
+    out = Dataset{};
+    result.error = err;
+    return result;
+  }
+  out.build_index();
+
+  if (info_out != nullptr) *info_out = info;
+  return result;
+}
+
+SnapshotResult read_snapshot_info(const fs::path& path, SnapshotInfo& out) {
+  SnapshotResult result;
+  out = SnapshotInfo{};
+
+  File f(std::fopen(path.string().c_str(), "rb"));
+  if (!f) {
+    result.error = path_err(path, std::strerror(errno));
+    return result;
+  }
+  std::error_code ec;
+  const std::uint64_t file_bytes = fs::file_size(path, ec);
+  if (ec) {
+    result.error = path_err(path, "cannot stat: " + ec.message());
+    return result;
+  }
+  if (file_bytes < sizeof(RawHeader) + sizeof(SnapshotSection) * kNumSections) {
+    result.error = path_err(path, "file too small to be a snapshot");
+    return result;
+  }
+  RawHeader header;
+  SnapshotSection table[kNumSections];
+  if (!read_all(f.get(), &header, sizeof(header)) ||
+      !read_all(f.get(), table, sizeof(table))) {
+    result.error = path_err(path, "short read on header");
+    return result;
+  }
+  return check_header(path, file_bytes, header, table, out);
+}
+
+// --- Campaign cache ----------------------------------------------------
+
+fs::path cache_dir() {
+  if (const char* env = std::getenv("TOKYONET_CACHE_DIR")) {
+    if (env[0] != '\0') return fs::path(env);
+  }
+  return {};
+}
+
+fs::path campaign_cache_path(const fs::path& dir,
+                             const ScenarioConfig& config) {
+  char name[80];
+  std::snprintf(name, sizeof(name), "campaign-v%u-%d-%016" PRIx64 ".tksnap",
+                kSnapshotVersion, year_number(config.year),
+                scenario_hash(config));
+  return dir / name;
+}
+
+}  // namespace tokyonet::io

@@ -1,0 +1,115 @@
+// Binary campaign snapshots: simulate once, mmap everywhere.
+//
+// A snapshot is a single versioned, checksummed file holding a full
+// Dataset — devices, AP universe, the 10-minute sample stream, per-app
+// traffic, survey answers, simulator ground truth and the calendar — in
+// a flat columnar layout:
+//
+//   [ header | section table | 64-byte-aligned sections ... ]
+//
+// Fixed-width record arrays (samples, app traffic, survey, truth) are
+// written with one bulk fwrite each; variable-width data (ESSIDs,
+// per-device capped-day bitmaps) is split into a fixed record array
+// plus a byte blob. Every section carries a 64-bit checksum computed in
+// 4 MiB chunks on the core/parallel pool, so integrity verification of
+// a multi-hundred-MB snapshot scales with cores.
+//
+// Loads map the file read-only and serve the two big arrays (`samples`,
+// `app_traffic`) zero-copy as borrowed Columns pinning the mapping;
+// non-mappable inputs (or allow_mmap = false) fall back to an owned
+// read. Either way the file is fully verified first — magic, version,
+// record sizes, section bounds, checksums, then Dataset::validate() —
+// so a truncated or corrupted snapshot is a clean error, never UB.
+//
+// The format uses native (x86-64) field layout; the header records the
+// record sizes and a version so an incompatible reader rejects the file
+// instead of misreading it.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/records.h"
+#include "core/scenario.h"
+
+namespace tokyonet::io {
+
+/// Bump on any change to the on-disk layout *or* to what a simulation
+/// with a given scenario hash produces.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Result of a snapshot operation; `ok()` is false on the first
+/// structural problem and `error` names it.
+struct SnapshotResult {
+  std::string error;
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+/// One entry of the section table, as stored on disk.
+struct SnapshotSection {
+  std::uint32_t id = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t offset = 0;  // from file start; 64-byte aligned
+  std::uint64_t bytes = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Header-level description of a snapshot (no record data).
+struct SnapshotInfo {
+  std::uint32_t version = 0;
+  int year = 0;  // calendar year, 2013..2015
+  Date start{};
+  int num_days = 0;
+  std::uint64_t n_devices = 0;
+  std::uint64_t n_aps = 0;
+  std::uint64_t n_samples = 0;
+  std::uint64_t n_app_traffic = 0;
+  std::uint64_t scenario_hash = 0;  // 0 when unknown (manual save)
+  std::uint64_t file_bytes = 0;
+  /// Load only: true when samples/app_traffic are served zero-copy from
+  /// the mapped file.
+  bool mapped = false;
+  std::vector<SnapshotSection> sections;
+};
+
+/// Writes `ds` as a snapshot at `path` (atomically: a temp file in the
+/// same directory is renamed over `path` on success). `scenario_hash`
+/// tags the file with the scenario that produced it (0 = unknown).
+[[nodiscard]] SnapshotResult save_snapshot(const Dataset& ds,
+                                           const std::filesystem::path& path,
+                                           std::uint64_t scenario_hash = 0);
+
+struct SnapshotLoadOptions {
+  /// When false, skip mmap and always read into owned memory.
+  bool allow_mmap = true;
+};
+
+/// Loads and fully verifies a snapshot into `out`. The sample index is
+/// rebuilt; `info` (optional) receives the header description.
+[[nodiscard]] SnapshotResult load_snapshot(const std::filesystem::path& path,
+                                           Dataset& out,
+                                           const SnapshotLoadOptions& opts = {},
+                                           SnapshotInfo* info = nullptr);
+
+/// Reads and verifies only the header and section table.
+[[nodiscard]] SnapshotResult read_snapshot_info(
+    const std::filesystem::path& path, SnapshotInfo& out);
+
+// --- On-disk campaign cache ------------------------------------------
+//
+// When TOKYONET_CACHE_DIR is set, sim::cached_campaign() keys snapshots
+// of simulated campaigns by (snapshot version, year, scenario hash) so
+// every process after the first loads in milliseconds instead of
+// re-simulating. Default off: an empty/unset variable disables caching.
+
+/// Cache directory from TOKYONET_CACHE_DIR (empty path = disabled).
+[[nodiscard]] std::filesystem::path cache_dir();
+
+/// File name a campaign with this config gets inside `dir`:
+/// campaign-v<version>-<year>-<scenario hash, hex>.tksnap
+[[nodiscard]] std::filesystem::path campaign_cache_path(
+    const std::filesystem::path& dir, const ScenarioConfig& config);
+
+}  // namespace tokyonet::io

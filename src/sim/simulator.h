@@ -3,6 +3,9 @@
 // software would have uploaded (§2).
 #pragma once
 
+#include <filesystem>
+#include <string>
+
 #include "core/records.h"
 #include "core/scenario.h"
 
@@ -28,5 +31,24 @@ class Simulator {
 
 /// Convenience: simulate the calibrated scenario for `year` at `scale`.
 [[nodiscard]] Dataset simulate_year(Year year, double scale = 1.0);
+
+/// What cached_campaign() did, for callers that report it.
+struct CampaignCacheStatus {
+  bool enabled = false;  // TOKYONET_CACHE_DIR was set
+  bool hit = false;      // served from an existing snapshot
+  std::filesystem::path path;  // cache file consulted (when enabled)
+  /// Non-fatal notes: corrupt snapshot re-simulated, save failure, ...
+  std::string detail;
+};
+
+/// Simulate-or-load: when the on-disk campaign cache is enabled
+/// (TOKYONET_CACHE_DIR set, see io/snapshot.h), returns the campaign
+/// for `config` from its snapshot — mmapped, so this costs milliseconds
+/// — simulating and persisting it on the first miss. With the cache
+/// disabled this is exactly Simulator(config).run(). The cache key
+/// (snapshot version, year, scenario hash) covers every simulation
+/// input, so a cached load is byte-identical to a fresh simulation.
+[[nodiscard]] Dataset cached_campaign(const ScenarioConfig& config,
+                                      CampaignCacheStatus* status = nullptr);
 
 }  // namespace tokyonet::sim

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the on-disk campaign cache: runs the bench
+# harness twice with --cache-dir at a tiny scale and asserts that the
+# second run is served entirely from snapshots (zero misses).
+#
+# Usage: tools/cache_smoke_test.sh [build_dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+cache_dir="$(mktemp -d)"
+trap 'rm -rf "${cache_dir}"' EXIT
+
+# Tiny panels: the point is the cache plumbing, not the numbers.
+export TOKYONET_BENCH_SCALE=0.02
+
+run() {
+  "${repo_root}/tools/run_bench.sh" --cache-dir "${cache_dir}" --smoke \
+      "${build_dir}" /dev/null
+}
+
+echo "== cold run (populates ${cache_dir}) =="
+out1="$(run)"
+echo "${out1}" | tail -3
+
+echo "== warm run (must be all hits) =="
+out2="$(run)"
+echo "${out2}" | tail -3
+
+summary="$(echo "${out2}" | grep '^campaign cache: ')"
+hits="$(echo "${summary}" | sed -E 's/campaign cache: ([0-9]+) hits, ([0-9]+) misses/\1/')"
+misses="$(echo "${summary}" | sed -E 's/campaign cache: ([0-9]+) hits, ([0-9]+) misses/\2/')"
+
+if [ "${misses}" != "0" ] || [ "${hits}" = "0" ]; then
+  echo "FAIL: warm run expected all cache hits, got ${summary}" >&2
+  exit 1
+fi
+echo "PASS: warm run served ${hits} campaigns from the cache, 0 misses"

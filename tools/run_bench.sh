@@ -3,23 +3,61 @@
 # aggregates the per-kernel timings into BENCH_<date>.json, so the perf
 # trajectory of the analysis kernels is recorded run over run.
 #
-# Usage: tools/run_bench.sh [build_dir] [out.json]
-#   build_dir  defaults to ./build
-#   out.json   defaults to BENCH_$(date +%Y%m%d).json in the repo root
+# Usage: tools/run_bench.sh [--cache-dir DIR] [--smoke] [build_dir] [out.json]
+#   --cache-dir DIR  enable the on-disk campaign cache: pre-warm DIR via
+#                    `tokyonet snapshot warm`, then run every bench with
+#                    TOKYONET_CACHE_DIR=DIR so campaigns are mmap-loaded
+#                    instead of re-simulated. Hit/miss counts land in the
+#                    output JSON.
+#   --smoke          print only each binary's reproduction (skip kernel
+#                    timings) — fast correctness pass, e.g. in ctest.
+#   build_dir        defaults to ./build
+#   out.json         defaults to BENCH_$(date +%Y%m%d).json in the repo root
 #
 # Respects TOKYONET_THREADS and TOKYONET_BENCH_SCALE; both are recorded
 # in the output alongside each kernel's timings.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-${repo_root}/build}"
-out_json="${2:-${repo_root}/BENCH_$(date +%Y%m%d).json}"
+cache_dir=""
+smoke=0
+positional=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --cache-dir)
+      [ $# -ge 2 ] || { echo "error: --cache-dir needs a value" >&2; exit 2; }
+      cache_dir="$2"; shift 2 ;;
+    --smoke)
+      smoke=1; shift ;;
+    -*)
+      echo "error: unknown flag $1" >&2; exit 2 ;;
+    *)
+      positional+=("$1"); shift ;;
+  esac
+done
+build_dir="${positional[0]:-${repo_root}/build}"
+out_json="${positional[1]:-${repo_root}/BENCH_$(date +%Y%m%d).json}"
 bench_dir="${build_dir}/bench"
 
 if [ ! -d "${bench_dir}" ]; then
   echo "error: ${bench_dir} not found — build first:" >&2
   echo "  cmake -B build -S . && cmake --build build -j" >&2
   exit 1
+fi
+
+if [ -n "${cache_dir}" ]; then
+  mkdir -p "${cache_dir}"
+  export TOKYONET_CACHE_DIR="${cache_dir}"
+  # Pre-warm: simulate each year once (or confirm the snapshots are
+  # already there) so the bench binaries below all hit the cache. The
+  # CLI default scale differs from the bench default, so pass it.
+  echo "warming campaign cache in ${cache_dir}..."
+  "${build_dir}/tools/tokyonet" snapshot warm \
+      --scale "${TOKYONET_BENCH_SCALE:-1.0}"
+else
+  # A cache dir inherited from the environment would silently change
+  # what this run measures; require the explicit flag.
+  unset TOKYONET_CACHE_DIR
 fi
 
 tmp_dir="$(mktemp -d)"
@@ -35,8 +73,14 @@ if [ "${#benches[@]}" -eq 0 ]; then
   exit 1
 fi
 
+bench_args=()
+if [ "${smoke}" -eq 1 ]; then
+  # Match no benchmark: each binary prints its reproduction and exits.
+  bench_args+=("--benchmark_filter=^$")
+fi
+
 echo "running ${#benches[@]} bench binaries (threads=${TOKYONET_THREADS:-auto}," \
-     "scale=${TOKYONET_BENCH_SCALE:-1.0})..."
+     "scale=${TOKYONET_BENCH_SCALE:-1.0}, cache=${cache_dir:-off})..."
 for bin in "${benches[@]}"; do
   name="$(basename "${bin}")"
   echo "  ${name}"
@@ -45,20 +89,42 @@ for bin in "${benches[@]}"; do
   # broken kernel must not silently vanish from the trajectory.
   "${bin}" --benchmark_out="${tmp_dir}/${name}.json" \
            --benchmark_out_format=json \
+           "${bench_args[@]}" \
            > "${tmp_dir}/${name}.log" 2>&1 \
     || { echo "error: ${name} failed; log follows" >&2; \
          cat "${tmp_dir}/${name}.log" >&2; exit 1; }
 done
 
-python3 - "${tmp_dir}" "${out_json}" <<'PY'
+# Campaign-cache effectiveness: the bench binaries print one
+# "tokyonet-cache: hit|miss <path>" line per campaign they materialize.
+cache_hits=0
+cache_misses=0
+if [ -n "${cache_dir}" ]; then
+  cache_hits="$(cat "${tmp_dir}"/*.log | grep -c '^tokyonet-cache: hit ' || true)"
+  cache_misses="$(cat "${tmp_dir}"/*.log | grep -c '^tokyonet-cache: miss ' || true)"
+  echo "campaign cache: ${cache_hits} hits, ${cache_misses} misses"
+fi
+
+if [ "${smoke}" -eq 1 ]; then
+  echo "smoke mode: reproductions only, skipping ${out_json}"
+  exit 0
+fi
+
+python3 - "${tmp_dir}" "${out_json}" "${cache_dir}" "${cache_hits}" \
+         "${cache_misses}" <<'PY'
 import json, os, sys
 from datetime import datetime, timezone
 
-tmp_dir, out_json = sys.argv[1], sys.argv[2]
+tmp_dir, out_json, cache_dir, hits, misses = sys.argv[1:6]
 result = {
     "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
     "threads": os.environ.get("TOKYONET_THREADS", "auto"),
     "bench_scale": os.environ.get("TOKYONET_BENCH_SCALE", "1.0"),
+    "campaign_cache": {
+        "enabled": bool(cache_dir),
+        "hits": int(hits),
+        "misses": int(misses),
+    },
     "benches": {},
 }
 for fname in sorted(os.listdir(tmp_dir)):

@@ -10,6 +10,16 @@
 //
 //   tokyonet years [--scale S]
 //       Run all three campaigns and print the longitudinal summary.
+//
+//   tokyonet snapshot save --year Y [--scale S] [--seed N] --out FILE
+//   tokyonet snapshot load --in FILE
+//   tokyonet snapshot info --in FILE
+//   tokyonet snapshot warm [--scale S]
+//       Binary campaign snapshots (io/snapshot.h): persist a simulated
+//       campaign, reload it (mmap, verified), inspect a file, or
+//       pre-populate the TOKYONET_CACHE_DIR campaign cache for all
+//       three years.
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +33,7 @@
 #include "analysis/usertype.h"
 #include "analysis/volumes.h"
 #include "io/csv.h"
+#include "io/snapshot.h"
 #include "io/table.h"
 #include "sim/simulator.h"
 
@@ -32,6 +43,7 @@ namespace {
 
 struct Args {
   std::string command;
+  std::string subcommand;
   std::optional<int> year;
   double scale = 0.5;
   std::optional<std::uint64_t> seed;
@@ -45,14 +57,26 @@ int usage() {
                "  tokyonet simulate --year 2013|2014|2015 [--scale S] "
                "[--seed N] --out DIR\n"
                "  tokyonet report (--in DIR | --year Y [--scale S])\n"
-               "  tokyonet years [--scale S]\n");
+               "  tokyonet years [--scale S]\n"
+               "  tokyonet snapshot save --year Y [--scale S] [--seed N] "
+               "--out FILE\n"
+               "  tokyonet snapshot load --in FILE\n"
+               "  tokyonet snapshot info --in FILE\n"
+               "  tokyonet snapshot warm [--scale S]   "
+               "(needs TOKYONET_CACHE_DIR)\n");
   return 2;
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
   args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  int first_flag = 2;
+  if (args.command == "snapshot") {
+    if (argc < 3) return false;
+    args.subcommand = argv[2];
+    first_flag = 3;
+  }
+  for (int i = first_flag; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -90,10 +114,25 @@ std::optional<Year> to_year(int y) {
   return static_cast<Year>(y - 2013);
 }
 
+void print_cache_status(const sim::CampaignCacheStatus& status) {
+  if (!status.enabled) return;
+  std::printf("tokyonet-cache: %s %s\n", status.hit ? "hit" : "miss",
+              status.path.string().c_str());
+  if (!status.detail.empty()) {
+    std::fprintf(stderr, "tokyonet-cache: note: %s\n",
+                 status.detail.c_str());
+  }
+}
+
 Dataset make_dataset(const Args& args, Year year) {
   ScenarioConfig config = scenario_config(year, args.scale);
   if (args.seed) config.seed = *args.seed;
-  return sim::Simulator(config).run();
+  // Consults the on-disk campaign cache when TOKYONET_CACHE_DIR is set;
+  // otherwise this is a plain simulation.
+  sim::CampaignCacheStatus status;
+  Dataset ds = sim::cached_campaign(config, &status);
+  print_cache_status(status);
+  return ds;
 }
 
 void print_report(const Dataset& ds) {
@@ -206,6 +245,101 @@ int cmd_years(const Args& args) {
   return 0;
 }
 
+int cmd_snapshot_save(const Args& args) {
+  if (!args.year || args.out_dir.empty()) return usage();
+  const auto year = to_year(*args.year);
+  if (!year) {
+    std::fprintf(stderr, "year must be 2013..2015\n");
+    return 2;
+  }
+  ScenarioConfig config = scenario_config(*year, args.scale);
+  if (args.seed) config.seed = *args.seed;
+  const Dataset ds = sim::Simulator(config).run();
+  const io::SnapshotResult r =
+      io::save_snapshot(ds, args.out_dir, scenario_hash(config));
+  if (!r.ok()) {
+    std::fprintf(stderr, "snapshot save failed: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu devices / %zu samples to %s\n", ds.devices.size(),
+              ds.samples.size(), args.out_dir.c_str());
+  return 0;
+}
+
+int cmd_snapshot_load(const Args& args) {
+  if (args.in_dir.empty()) return usage();
+  Dataset ds;
+  io::SnapshotInfo info;
+  const io::SnapshotResult r = io::load_snapshot(args.in_dir, ds, {}, &info);
+  if (!r.ok()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::printf("loaded %s: %s campaign, %d days, %zu devices, %zu samples "
+              "(%s)\n",
+              args.in_dir.c_str(), std::string(to_string(ds.year)).c_str(),
+              ds.num_days(), ds.devices.size(), ds.samples.size(),
+              info.mapped ? "mmap" : "owned read");
+  return 0;
+}
+
+int cmd_snapshot_info(const Args& args) {
+  if (args.in_dir.empty()) return usage();
+  io::SnapshotInfo info;
+  const io::SnapshotResult r = io::read_snapshot_info(args.in_dir, info);
+  if (!r.ok()) {
+    std::fprintf(stderr, "snapshot info failed: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::printf("snapshot %s\n", args.in_dir.c_str());
+  std::printf("  version        %u\n", info.version);
+  std::printf("  campaign       %d (%04d-%02d-%02d, %d days)\n", info.year,
+              info.start.year, info.start.month, info.start.day,
+              info.num_days);
+  std::printf("  devices        %" PRIu64 "\n", info.n_devices);
+  std::printf("  aps            %" PRIu64 "\n", info.n_aps);
+  std::printf("  samples        %" PRIu64 "\n", info.n_samples);
+  std::printf("  app traffic    %" PRIu64 "\n", info.n_app_traffic);
+  std::printf("  scenario hash  %016" PRIx64 "\n", info.scenario_hash);
+  std::printf("  file bytes     %" PRIu64 "\n", info.file_bytes);
+  std::printf("  sections       id       offset        bytes       checksum\n");
+  for (const io::SnapshotSection& s : info.sections) {
+    std::printf("                 %2u %12" PRIu64 " %12" PRIu64
+                " %016" PRIx64 "\n",
+                s.id, s.offset, s.bytes, s.checksum);
+  }
+  return 0;
+}
+
+int cmd_snapshot_warm(const Args& args) {
+  if (io::cache_dir().empty()) {
+    std::fprintf(stderr,
+                 "snapshot warm needs TOKYONET_CACHE_DIR to be set\n");
+    return 2;
+  }
+  int rc = 0;
+  for (Year y : kAllYears) {
+    ScenarioConfig config = scenario_config(y, args.scale);
+    if (args.seed) config.seed = *args.seed;
+    sim::CampaignCacheStatus status;
+    const Dataset ds = sim::cached_campaign(config, &status);
+    print_cache_status(status);
+    if (!status.detail.empty()) rc = 1;  // save failed: cache still cold
+    std::printf("%s: %zu devices, %zu samples\n",
+                std::string(to_string(y)).c_str(), ds.devices.size(),
+                ds.samples.size());
+  }
+  return rc;
+}
+
+int cmd_snapshot(const Args& args) {
+  if (args.subcommand == "save") return cmd_snapshot_save(args);
+  if (args.subcommand == "load") return cmd_snapshot_load(args);
+  if (args.subcommand == "info") return cmd_snapshot_info(args);
+  if (args.subcommand == "warm") return cmd_snapshot_warm(args);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,5 +348,6 @@ int main(int argc, char** argv) {
   if (args.command == "simulate") return cmd_simulate(args);
   if (args.command == "report") return cmd_report(args);
   if (args.command == "years") return cmd_years(args);
+  if (args.command == "snapshot") return cmd_snapshot(args);
   return usage();
 }
