@@ -128,6 +128,10 @@ std::vector<double> WeeklyProfile::num_series() const {
   return std::vector<double>(num_, num_ + kHours);
 }
 
+std::vector<double> WeeklyProfile::den_series() const {
+  return std::vector<double>(den_, den_ + kHours);
+}
+
 double WeeklyProfile::mean_ratio() const noexcept {
   double sum = 0;
   int n = 0;

@@ -98,6 +98,9 @@ class WeeklyProfile {
   [[nodiscard]] std::vector<double> ratio_series() const;
   /// Plain numerator sums.
   [[nodiscard]] std::vector<double> num_series() const;
+  /// Plain denominator sums (exposed so streaming/batch equivalence can
+  /// be asserted bit-for-bit, not just on the quotients).
+  [[nodiscard]] std::vector<double> den_series() const;
 
   /// Mean of the ratio over hours with data.
   [[nodiscard]] double mean_ratio() const noexcept;

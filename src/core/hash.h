@@ -1,0 +1,43 @@
+// Shared 64-bit byte hashing used wherever tokyonet checksums bytes on
+// disk or on the wire: snapshot sections (io/snapshot) and ingest frame
+// payloads (ingest/frame). The algorithm — a splitmix64 finalizer folded
+// over 8-byte words — is part of both formats, so it must not change
+// without bumping their version numbers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace tokyonet::core {
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+[[nodiscard]] inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Hash of `n` bytes at `data` under `seed`. The tail is padded into one
+/// word tagged with its length, so "abc" and "abc\0" differ.
+[[nodiscard]] inline std::uint64_t hash_bytes(const void* data, std::size_t n,
+                                              std::uint64_t seed) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = mix64(seed ^ (0x9E3779B97F4A7C15ull + n));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = mix64(h ^ w);
+  }
+  if (i < n) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, p + i, n - i);
+    h = mix64(h ^ w ^ (std::uint64_t{n - i} << 56));
+  }
+  return h;
+}
+
+}  // namespace tokyonet::core

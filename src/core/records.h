@@ -97,6 +97,12 @@ struct Sample {
   std::uint8_t scan_pub5_all = 0;
   std::uint8_t scan_pub5_strong = 0;
 
+  /// Explicit (zeroed) tail padding. Without it the struct has two
+  /// unnamed padding bytes that assignment need not copy, so records
+  /// that travel through the byte-exact snapshot/ingest encodings would
+  /// compare unequal to their in-memory originals.
+  std::uint8_t reserved_[2] = {0, 0};
+
   [[nodiscard]] std::uint64_t total_rx() const noexcept {
     return std::uint64_t{cell_rx} + wifi_rx;
   }

@@ -1,0 +1,97 @@
+// Bounded FIFO queue connecting ingest sessions (producers) to one
+// shard worker (consumer), with two overflow disciplines:
+//
+//   push()      blocks the producer until space frees up — classic
+//               backpressure, nothing is ever lost;
+//   try_push()  fails immediately when full — shed mode, the caller
+//               counts the drop and moves on.
+//
+// close() wakes everyone: pending push() calls give up (returning
+// false) and pop() drains whatever is left before reporting
+// end-of-stream. Multiple producers are safe; tokyonet uses a single
+// consumer per queue but nothing here requires that.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace tokyonet::ingest {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until the item is enqueued or the queue is closed; false
+  /// means closed (the item was not enqueued).
+  [[nodiscard]] bool push(T item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    space_cv_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lk.unlock();
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking: false when full or closed (the item was not
+  /// enqueued — shed-mode callers count it as dropped).
+  [[nodiscard]] bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and*
+  /// drained; nullopt means end-of-stream.
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    item_cv_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lk.unlock();
+    space_cv_.notify_one();
+    return item;
+  }
+
+  /// Ends the stream: blocked producers fail, the consumer drains the
+  /// remaining items and then sees end-of-stream. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    item_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable item_cv_;   // signals: an item arrived / closed
+  std::condition_variable space_cv_;  // signals: space freed / closed
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace tokyonet::ingest

@@ -1,0 +1,78 @@
+// TCP transport for the ingest frame stream (POSIX sockets).
+//
+// Server side: TcpIngestListener accepts connections on a host:port and
+// drives one IngestServer::Session per connection — bytes from the
+// socket feed the session, a clean EOF calls finish(), and a malformed
+// stream closes just that connection (the session's error discipline).
+//
+// Client side: TcpClientSink is a FrameSink over a connected socket, so
+// replay_dataset() can stream a campaign to a remote server.
+//
+// On platforms without POSIX sockets every entry point fails with an
+// "unsupported" error instead of failing to compile; supported() lets
+// callers (and tests) probe first.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "ingest/replay.h"
+#include "ingest/server.h"
+
+namespace tokyonet::ingest {
+
+/// True when this build has a working TCP transport.
+[[nodiscard]] bool tcp_supported() noexcept;
+
+class TcpIngestListener {
+ public:
+  explicit TcpIngestListener(IngestServer& server);
+  ~TcpIngestListener();
+
+  TcpIngestListener(const TcpIngestListener&) = delete;
+  TcpIngestListener& operator=(const TcpIngestListener&) = delete;
+
+  /// Binds `host:port` (port 0 picks a free port), starts the accept
+  /// loop. False + *error on failure.
+  [[nodiscard]] bool start(const std::string& host, std::uint16_t port,
+                           std::string* error);
+
+  /// The bound port (after start(); useful with port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Connections accepted so far.
+  [[nodiscard]] std::uint64_t connections() const noexcept;
+
+  /// Stops accepting, shuts down live connections, joins all threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// FrameSink writing to a connected TCP socket.
+class TcpClientSink final : public FrameSink {
+ public:
+  TcpClientSink();
+  ~TcpClientSink() override;
+
+  TcpClientSink(const TcpClientSink&) = delete;
+  TcpClientSink& operator=(const TcpClientSink&) = delete;
+
+  [[nodiscard]] bool connect(const std::string& host, std::uint16_t port,
+                             std::string* error);
+  [[nodiscard]] bool write(std::span<const std::uint8_t> bytes) override;
+  /// Half-closes the write side (the server sees EOF) — call after the
+  /// stream so finish() runs server-side — then closes the socket.
+  void close();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tokyonet::ingest

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/hash.h"
 #include "core/parallel.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -124,32 +125,8 @@ constexpr std::uint64_t kSectionAlign = 64;
 
 constexpr std::uint64_t kHashSeed = 0x746B796F6E657431ull;
 
-[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
-  x ^= x >> 30;
-  x *= 0xBF58476D1CE4E5B9ull;
-  x ^= x >> 27;
-  x *= 0x94D049BB133111EBull;
-  x ^= x >> 31;
-  return x;
-}
-
-[[nodiscard]] std::uint64_t hash_bytes(const void* data, std::size_t n,
-                                       std::uint64_t seed) noexcept {
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  std::uint64_t h = mix64(seed ^ (0x9E3779B97F4A7C15ull + n));
-  std::size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    std::uint64_t w;
-    std::memcpy(&w, p + i, 8);
-    h = mix64(h ^ w);
-  }
-  if (i < n) {
-    std::uint64_t w = 0;
-    std::memcpy(&w, p + i, n - i);
-    h = mix64(h ^ w ^ (std::uint64_t{n - i} << 56));
-  }
-  return h;
-}
+using core::hash_bytes;
+using core::mix64;
 
 /// Section checksum, computed in fixed 4 MiB chunks so big sections
 /// (samples, app traffic) hash on the core/parallel pool. The chunking

@@ -1,0 +1,158 @@
+// Tests for core::Column<T>: owned vs. borrowed views, copy-on-write on
+// the first mutating access, and move/copy/clear lifetime behaviour.
+#include "core/column.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace tokyonet::core {
+namespace {
+
+/// A borrowed column over `backing`, sharing ownership of it so the
+/// test can watch use_count() to see when the view lets go.
+Column<int> borrow(const std::shared_ptr<std::vector<int>>& backing) {
+  return Column<int>::borrowed({backing->data(), backing->size()}, backing);
+}
+
+TEST(ColumnTest, DefaultIsEmptyOwned) {
+  Column<int> col;
+  EXPECT_TRUE(col.owned());
+  EXPECT_TRUE(col.empty());
+  EXPECT_EQ(col.size(), 0u);
+}
+
+TEST(ColumnTest, OwnedVectorSemantics) {
+  Column<int> col;
+  col.push_back(1);
+  col.push_back(2);
+  col.push_back(3);
+  EXPECT_TRUE(col.owned());
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_EQ(col[0], 1);
+  EXPECT_EQ(col.front(), 1);
+  EXPECT_EQ(col.back(), 3);
+
+  const std::vector<int> more = {4, 5};
+  col.insert(col.cend(), more.begin(), more.end());
+  ASSERT_EQ(col.size(), 5u);
+  EXPECT_EQ(col[3], 4);
+  EXPECT_EQ(col[4], 5);
+
+  col.resize(2);
+  EXPECT_EQ(col.size(), 2u);
+  col.clear();
+  EXPECT_TRUE(col.empty());
+  EXPECT_TRUE(col.owned());
+}
+
+TEST(ColumnTest, BorrowedViewReadsWithoutCopying) {
+  auto backing = std::make_shared<std::vector<int>>(
+      std::vector<int>{10, 20, 30});
+  Column<int> col = borrow(backing);
+
+  EXPECT_FALSE(col.owned());
+  EXPECT_EQ(col.size(), 3u);
+  // All const accessors read the backing buffer in place.
+  const Column<int>& ccol = col;
+  EXPECT_EQ(ccol.data(), backing->data());
+  EXPECT_EQ(&ccol[1], backing->data() + 1);
+  EXPECT_EQ(ccol.begin(), backing->data());
+  EXPECT_EQ(ccol.span().data(), backing->data());
+  EXPECT_EQ(ccol.front(), 10);
+  EXPECT_EQ(ccol.back(), 30);
+  // The view pins the backing storage.
+  EXPECT_EQ(backing.use_count(), 2);
+  // Const reads do not flip the column to owned.
+  EXPECT_FALSE(col.owned());
+}
+
+TEST(ColumnTest, MutationCopiesOnWrite) {
+  auto backing = std::make_shared<std::vector<int>>(
+      std::vector<int>{10, 20, 30});
+  Column<int> col = borrow(backing);
+
+  col[1] = 99;  // first mutating access materializes a private copy
+
+  EXPECT_TRUE(col.owned());
+  EXPECT_NE(static_cast<const Column<int>&>(col).data(), backing->data());
+  EXPECT_EQ(col[0], 10);
+  EXPECT_EQ(col[1], 99);
+  EXPECT_EQ(col[2], 30);
+  // The backing buffer is untouched and no longer pinned.
+  EXPECT_EQ((*backing)[1], 20);
+  EXPECT_EQ(backing.use_count(), 1);
+}
+
+TEST(ColumnTest, PushBackOnBorrowedPreservesPrefix) {
+  auto backing = std::make_shared<std::vector<int>>(std::vector<int>{1, 2});
+  Column<int> col = borrow(backing);
+  col.push_back(3);
+  EXPECT_TRUE(col.owned());
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col[0], 1);
+  EXPECT_EQ(col[1], 2);
+  EXPECT_EQ(col[2], 3);
+  EXPECT_EQ(backing->size(), 2u);
+}
+
+TEST(ColumnTest, CopiedViewMutatesIndependently) {
+  auto backing = std::make_shared<std::vector<int>>(std::vector<int>{7, 8});
+  Column<int> original = borrow(backing);
+  Column<int> copy = original;
+
+  // Both views alias the backing buffer until one of them writes.
+  EXPECT_EQ(static_cast<const Column<int>&>(copy).data(), backing->data());
+  EXPECT_EQ(backing.use_count(), 3);
+
+  copy[0] = 70;
+  EXPECT_TRUE(copy.owned());
+  EXPECT_FALSE(original.owned());
+  EXPECT_EQ(static_cast<const Column<int>&>(original)[0], 7);
+  EXPECT_EQ(copy[0], 70);
+  EXPECT_EQ(backing.use_count(), 2);
+}
+
+TEST(ColumnTest, MoveTransfersBorrowedView) {
+  auto backing = std::make_shared<std::vector<int>>(std::vector<int>{4, 5});
+  Column<int> source = borrow(backing);
+  Column<int> target = std::move(source);
+
+  EXPECT_FALSE(target.owned());
+  EXPECT_EQ(static_cast<const Column<int>&>(target).data(), backing->data());
+  EXPECT_EQ(backing.use_count(), 2);  // moved, not duplicated
+  // The moved-from column no longer pins the backing storage and is
+  // safe to use as an empty owned column.
+  EXPECT_TRUE(source.owned());
+  EXPECT_TRUE(source.empty());
+  source.push_back(6);
+  EXPECT_EQ(source.size(), 1u);
+}
+
+TEST(ColumnTest, MoveOwnedStealsBuffer) {
+  Column<int> source;
+  source.push_back(1);
+  source.push_back(2);
+  const int* buf = static_cast<const Column<int>&>(source).data();
+
+  Column<int> target = std::move(source);
+  EXPECT_TRUE(target.owned());
+  EXPECT_EQ(static_cast<const Column<int>&>(target).data(), buf);
+  ASSERT_EQ(target.size(), 2u);
+  EXPECT_EQ(target[1], 2);
+}
+
+TEST(ColumnTest, ClearReleasesKeepalive) {
+  auto backing = std::make_shared<std::vector<int>>(std::vector<int>{1});
+  Column<int> col = borrow(backing);
+  EXPECT_EQ(backing.use_count(), 2);
+  col.clear();
+  EXPECT_TRUE(col.owned());
+  EXPECT_TRUE(col.empty());
+  EXPECT_EQ(backing.use_count(), 1);
+}
+
+}  // namespace
+}  // namespace tokyonet::core

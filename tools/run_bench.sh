@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Runs every bench binary with google-benchmark JSON output and
 # aggregates the per-kernel timings into BENCH_<date>.json, so the perf
-# trajectory of the analysis kernels is recorded run over run.
+# trajectory of the analysis kernels is recorded run over run. The
+# streaming-ingest replay throughput lines that bench_ingest prints
+# ("tokyonet-ingest: key=value ...") are parsed into the JSON too.
 #
 # Usage: tools/run_bench.sh [--cache-dir DIR] [--smoke] [build_dir] [out.json]
 #   --cache-dir DIR  enable the on-disk campaign cache: pre-warm DIR via
@@ -110,12 +112,37 @@ if [ "${smoke}" -eq 1 ]; then
   exit 0
 fi
 
+# Streaming ingest throughput: bench_ingest prints one
+# "tokyonet-ingest: key=value ..." line per replay configuration.
+ingest_lines="${tmp_dir}/ingest_lines.txt"
+cat "${tmp_dir}"/*.log | grep '^tokyonet-ingest: ' > "${ingest_lines}" || true
+
 python3 - "${tmp_dir}" "${out_json}" "${cache_dir}" "${cache_hits}" \
-         "${cache_misses}" <<'PY'
+         "${cache_misses}" "${ingest_lines}" <<'PY'
 import json, os, sys
 from datetime import datetime, timezone
 
-tmp_dir, out_json, cache_dir, hits, misses = sys.argv[1:6]
+tmp_dir, out_json, cache_dir, hits, misses, ingest_lines = sys.argv[1:7]
+
+def parse_ingest_line(line):
+    # "tokyonet-ingest: year=2015 mode=block shards=4 ... records_per_sec=..."
+    out = {}
+    for tok in line.split()[1:]:
+        key, _, val = tok.partition("=")
+        try:
+            out[key] = int(val)
+        except ValueError:
+            try:
+                out[key] = float(val)
+            except ValueError:
+                out[key] = val
+    return out
+
+ingest_runs = []
+if os.path.exists(ingest_lines):
+    with open(ingest_lines) as f:
+        ingest_runs = [parse_ingest_line(l) for l in f if l.strip()]
+
 result = {
     "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
     "threads": os.environ.get("TOKYONET_THREADS", "auto"),
@@ -125,6 +152,7 @@ result = {
         "hits": int(hits),
         "misses": int(misses),
     },
+    "ingest": ingest_runs,
     "benches": {},
 }
 for fname in sorted(os.listdir(tmp_dir)):

@@ -19,12 +19,31 @@
 //       campaign, reload it (mmap, verified), inspect a file, or
 //       pre-populate the TOKYONET_CACHE_DIR campaign cache for all
 //       three years.
+//
+//   tokyonet ingest serve --port P [--host H] [--shards N] [--queue N]
+//                         [--shed] [--sessions N]
+//       Run a TCP ingest server until N sessions have ended, then print
+//       the incremental analysis summary and counters.
+//
+//   tokyonet ingest replay --year Y --port P [--host H] [--scale S]
+//                          [--seed N] [--rate R] [--batch B]
+//                          [--multiplier M]
+//       Stream a campaign to a running ingest server over TCP.
+//
+//   tokyonet ingest stats --year Y [--scale S] [--seed N] [--shards N]
+//                         [--queue N] [--shed] [--rate R] [--batch B]
+//                         [--multiplier M] [--no-verify]
+//       Loopback replay: stream a campaign through an in-process ingest
+//       server, print throughput/counters, and verify the incremental
+//       results are byte-identical to the batch kernels.
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "analysis/aggregate.h"
 #include "analysis/classify.h"
@@ -32,6 +51,10 @@
 #include "analysis/update.h"
 #include "analysis/usertype.h"
 #include "analysis/volumes.h"
+#include "analysis/incremental.h"
+#include "ingest/replay.h"
+#include "ingest/server.h"
+#include "ingest/tcp.h"
 #include "io/csv.h"
 #include "io/snapshot.h"
 #include "io/table.h"
@@ -49,6 +72,18 @@ struct Args {
   std::optional<std::uint64_t> seed;
   std::string in_dir;
   std::string out_dir;
+
+  // ingest flags
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int shards = 4;
+  int queue = 64;
+  bool shed = false;
+  int sessions = 1;
+  double rate = 0.0;
+  int batch = 512;
+  int multiplier = 1;
+  bool no_verify = false;
 };
 
 int usage() {
@@ -63,7 +98,15 @@ int usage() {
                "  tokyonet snapshot load --in FILE\n"
                "  tokyonet snapshot info --in FILE\n"
                "  tokyonet snapshot warm [--scale S]   "
-               "(needs TOKYONET_CACHE_DIR)\n");
+               "(needs TOKYONET_CACHE_DIR)\n"
+               "  tokyonet ingest serve --port P [--host H] [--shards N] "
+               "[--queue N] [--shed] [--sessions N]\n"
+               "  tokyonet ingest replay --year Y --port P [--host H] "
+               "[--scale S] [--seed N] [--rate R] [--batch B] "
+               "[--multiplier M]\n"
+               "  tokyonet ingest stats --year Y [--scale S] [--seed N] "
+               "[--shards N] [--queue N] [--shed] [--rate R] [--batch B] "
+               "[--multiplier M] [--no-verify]\n");
   return 2;
 }
 
@@ -71,7 +114,7 @@ bool parse_args(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
   args.command = argv[1];
   int first_flag = 2;
-  if (args.command == "snapshot") {
+  if (args.command == "snapshot" || args.command == "ingest") {
     if (argc < 3) return false;
     args.subcommand = argv[2];
     first_flag = 3;
@@ -101,6 +144,42 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.out_dir = v;
+    } else if (flag == "--host") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.host = v;
+    } else if (flag == "--port") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.port = std::atoi(v);
+    } else if (flag == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.shards = std::atoi(v);
+    } else if (flag == "--queue") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.queue = std::atoi(v);
+    } else if (flag == "--sessions") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.sessions = std::atoi(v);
+    } else if (flag == "--rate") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.rate = std::atof(v);
+    } else if (flag == "--batch") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.batch = std::atoi(v);
+    } else if (flag == "--multiplier") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.multiplier = std::atoi(v);
+    } else if (flag == "--shed") {
+      args.shed = true;
+    } else if (flag == "--no-verify") {
+      args.no_verify = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -340,6 +419,165 @@ int cmd_snapshot(const Args& args) {
   return usage();
 }
 
+ingest::IngestConfig ingest_config(const Args& args) {
+  ingest::IngestConfig config;
+  config.shards = args.shards < 1 ? 1 : args.shards;
+  config.queue_capacity =
+      args.queue < 1 ? 1 : static_cast<std::size_t>(args.queue);
+  config.shed_on_overflow = args.shed;
+  return config;
+}
+
+ingest::ReplayOptions replay_options(const Args& args) {
+  ingest::ReplayOptions opts;
+  opts.batch_records = args.batch < 1 ? 1 : static_cast<std::size_t>(args.batch);
+  opts.rate_records_per_sec = args.rate;
+  opts.device_multiplier =
+      args.multiplier < 1 ? 1 : static_cast<std::uint32_t>(args.multiplier);
+  return opts;
+}
+
+void print_ingest_summary(const ingest::IngestServer& server) {
+  const ingest::IngestCounters c = server.counters();
+  std::printf("sessions: %" PRIu64 " opened, %" PRIu64 " closed, %" PRIu64
+              " failed\n",
+              c.sessions_opened, c.sessions_closed, c.sessions_failed);
+  std::printf("frames:   %" PRIu64 " accepted, %" PRIu64 " rejected, %" PRIu64
+              " bytes\n",
+              c.frames_accepted, c.frames_rejected, c.bytes_received);
+  std::printf("commits:  %" PRIu64 " batches / %" PRIu64 " records / %" PRIu64
+              " app records; shed %" PRIu64 " batches / %" PRIu64
+              " records\n",
+              c.batches_committed, c.records_committed,
+              c.app_records_committed, c.batches_shed, c.records_shed);
+
+  const analysis::StreamResult r = server.result();
+  if (r.totals.n_samples > 0) {
+    const double gb = 1024.0 * 1024.0 * 1024.0;
+    std::printf("stream:   %" PRIu64 " samples; cellular %.2f GB down, "
+                "WiFi %.2f GB down; WiFi-traffic ratio %.2f\n",
+                r.totals.n_samples,
+                static_cast<double>(r.totals.cell_rx) / gb,
+                static_cast<double>(r.totals.wifi_rx) / gb,
+                r.wifi_traffic.mean_ratio());
+  }
+}
+
+int cmd_ingest_serve(const Args& args) {
+  if (args.port <= 0) return usage();
+  ingest::IngestServer server(ingest_config(args));
+  ingest::TcpIngestListener listener(server);
+  std::string error;
+  if (!listener.start(args.host, static_cast<std::uint16_t>(args.port),
+                      &error)) {
+    std::fprintf(stderr, "ingest serve: %s\n", error.c_str());
+    return 1;
+  }
+  const int want = args.sessions < 1 ? 1 : args.sessions;
+  std::printf("listening on %s:%u (%d shards, queue %d, %s); waiting for "
+              "%d session%s\n",
+              args.host.c_str(), listener.port(), server.config().shards,
+              static_cast<int>(server.config().queue_capacity),
+              server.config().shed_on_overflow ? "shed" : "block", want,
+              want == 1 ? "" : "s");
+  std::fflush(stdout);
+  for (;;) {
+    const ingest::IngestCounters c = server.counters();
+    if (c.sessions_closed + c.sessions_failed >=
+        static_cast<std::uint64_t>(want)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  listener.stop();
+  server.shutdown();
+  print_ingest_summary(server);
+  const ingest::IngestCounters c = server.counters();
+  return c.sessions_failed > 0 ? 1 : 0;
+}
+
+int cmd_ingest_replay(const Args& args) {
+  if (!args.year || args.port <= 0) return usage();
+  const auto year = to_year(*args.year);
+  if (!year) {
+    std::fprintf(stderr, "year must be 2013..2015\n");
+    return 2;
+  }
+  const Dataset ds = make_dataset(args, *year);
+
+  ingest::TcpClientSink sink;
+  std::string error;
+  if (!sink.connect(args.host, static_cast<std::uint16_t>(args.port),
+                    &error)) {
+    std::fprintf(stderr, "ingest replay: %s\n", error.c_str());
+    return 1;
+  }
+  ingest::ReplayStats stats;
+  const bool ok = ingest::replay_dataset(ds, replay_options(args), sink,
+                                         &stats);
+  sink.close();
+  std::printf("streamed %" PRIu64 " records / %" PRIu64 " frames / %" PRIu64
+              " bytes in %.2fs (%.0f records/s)%s\n",
+              stats.records, stats.frames, stats.bytes, stats.wall_seconds,
+              stats.wall_seconds > 0
+                  ? static_cast<double>(stats.records) / stats.wall_seconds
+                  : 0.0,
+              ok ? "" : " [aborted: server rejected the stream]");
+  return ok ? 0 : 1;
+}
+
+int cmd_ingest_stats(const Args& args) {
+  if (!args.year) return usage();
+  const auto year = to_year(*args.year);
+  if (!year) {
+    std::fprintf(stderr, "year must be 2013..2015\n");
+    return 2;
+  }
+  const Dataset ds = make_dataset(args, *year);
+
+  ingest::IngestServer server(ingest_config(args));
+  auto session = server.connect();
+  ingest::SessionSink sink(*session);
+  ingest::ReplayStats stats;
+  const bool sent = ingest::replay_dataset(ds, replay_options(args), sink,
+                                           &stats);
+  const bool clean = sent && session->finish();
+  if (!clean) {
+    std::fprintf(stderr, "ingest stats: session failed: %s\n",
+                 session->error().c_str());
+  }
+  server.shutdown();
+
+  std::printf("replayed %" PRIu64 " records / %" PRIu64 " frames / %" PRIu64
+              " bytes in %.2fs (%.0f records/s)\n",
+              stats.records, stats.frames, stats.bytes, stats.wall_seconds,
+              stats.wall_seconds > 0
+                  ? static_cast<double>(stats.records) / stats.wall_seconds
+                  : 0.0);
+  print_ingest_summary(server);
+
+  int rc = clean ? 0 : 1;
+  const bool verify = !args.no_verify && args.multiplier <= 1 && !args.shed;
+  if (verify && clean) {
+    const std::string diff = analysis::compare_stream_results(
+        server.result(), analysis::batch_stream_result(ds));
+    if (diff.empty()) {
+      std::printf("verify:   incremental == batch (byte-identical)\n");
+    } else {
+      std::fprintf(stderr, "verify: MISMATCH: %s\n", diff.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+int cmd_ingest(const Args& args) {
+  if (args.subcommand == "serve") return cmd_ingest_serve(args);
+  if (args.subcommand == "replay") return cmd_ingest_replay(args);
+  if (args.subcommand == "stats") return cmd_ingest_stats(args);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -349,5 +587,6 @@ int main(int argc, char** argv) {
   if (args.command == "report") return cmd_report(args);
   if (args.command == "years") return cmd_years(args);
   if (args.command == "snapshot") return cmd_snapshot(args);
+  if (args.command == "ingest") return cmd_ingest(args);
   return usage();
 }
