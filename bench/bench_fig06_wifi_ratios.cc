@@ -13,7 +13,7 @@ const analysis::WifiRatios& ratios(Year y) {
   if (cache[i] == nullptr) {
     const auto& days = bench::days(y);
     cache[i] = new analysis::WifiRatios(analysis::compute_wifi_ratios(
-        bench::campaign(y), days, analysis::UserClassifier(days)));
+        bench::campaign(y), days, bench::classifier(y)));
   }
   return *cache[i];
 }
@@ -51,7 +51,7 @@ void print_reproduction() {
 void BM_ComputeRatios(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   const auto& days = bench::days(Year::Y2015);
-  const analysis::UserClassifier classes(days);
+  const analysis::UserClassifier& classes = bench::classifier(Year::Y2015);
   for (auto _ : state) {
     benchmark::DoNotOptimize(analysis::compute_wifi_ratios(ds, days, classes));
   }

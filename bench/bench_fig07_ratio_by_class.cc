@@ -10,7 +10,7 @@ using namespace tokyonet;
 void print_year(Year y) {
   const auto& days = bench::days(y);
   const analysis::WifiRatios r = analysis::compute_wifi_ratios(
-      bench::campaign(y), days, analysis::UserClassifier(days));
+      bench::campaign(y), days, bench::classifier(y));
   static const char* kDays[] = {"Sat", "Sun", "Mon", "Tue", "Wed", "Thu", "Fri"};
   const auto heavy = r.traffic_heavy.ratio_series();
   const auto light = r.traffic_light.ratio_series();

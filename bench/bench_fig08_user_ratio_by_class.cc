@@ -9,7 +9,7 @@ using namespace tokyonet;
 void print_year(Year y) {
   const auto& days = bench::days(y);
   const analysis::WifiRatios r = analysis::compute_wifi_ratios(
-      bench::campaign(y), days, analysis::UserClassifier(days));
+      bench::campaign(y), days, bench::classifier(y));
   static const char* kDays[] = {"Sat", "Sun", "Mon", "Tue", "Wed", "Thu", "Fri"};
   const auto heavy = r.users_heavy.ratio_series();
   const auto light = r.users_light.ratio_series();
@@ -41,7 +41,7 @@ void print_reproduction() {
 void BM_RatiosWithClasses(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2013);
   const auto& days = bench::days(Year::Y2013);
-  const analysis::UserClassifier classes(days);
+  const analysis::UserClassifier& classes = bench::classifier(Year::Y2013);
   for (auto _ : state) {
     benchmark::DoNotOptimize(analysis::compute_wifi_ratios(ds, days, classes));
   }

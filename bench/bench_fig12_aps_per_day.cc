@@ -15,7 +15,7 @@ void print_reproduction() {
   for (Year y : kAllYears) {
     const auto& days = bench::days(y);
     const analysis::ApsPerDay a = analysis::aps_per_day(
-        bench::campaign(y), days, analysis::UserClassifier(days));
+        bench::campaign(y), days, bench::classifier(y));
     for (int c = 0; c < 3; ++c) {
       t.add_row({std::string(to_string(y)), kClasses[c],
                  io::TextTable::pct(a.share[static_cast<std::size_t>(c)][0], 0),
@@ -33,7 +33,7 @@ void print_reproduction() {
 void BM_ApsPerDay(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   const auto& days = bench::days(Year::Y2015);
-  const analysis::UserClassifier classes(days);
+  const analysis::UserClassifier& classes = bench::classifier(Year::Y2015);
   for (auto _ : state) {
     benchmark::DoNotOptimize(analysis::aps_per_day(ds, days, classes));
   }

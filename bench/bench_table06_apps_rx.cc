@@ -11,7 +11,7 @@ void print_breakdown(bool rx) {
   for (Year y : kAllYears) {
     const Dataset& ds = bench::campaign(y);
     const analysis::AppBreakdown b = analysis::app_breakdown(
-        ds, bench::classification(y), analysis::infer_home_cells(ds));
+        ds, bench::classification(y), bench::home_cells(y));
     std::printf("\n(%s)\n", std::string(to_string(y)).c_str());
     io::TextTable t({"rank", "Cell home", "%", "Cell other", "%", "WiFi home",
                      "%", "WiFi public", "%"});
@@ -50,7 +50,7 @@ void print_reproduction() {
 void BM_AppBreakdown(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   const auto& cls = bench::classification(Year::Y2015);
-  const auto home_cells = analysis::infer_home_cells(ds);
+  const auto& home_cells = bench::home_cells(Year::Y2015);
   for (auto _ : state) {
     benchmark::DoNotOptimize(analysis::app_breakdown(ds, cls, home_cells));
   }

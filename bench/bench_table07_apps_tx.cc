@@ -13,7 +13,7 @@ void print_reproduction() {
   for (Year y : kAllYears) {
     const Dataset& ds = bench::campaign(y);
     const analysis::AppBreakdown b = analysis::app_breakdown(
-        ds, bench::classification(y), analysis::infer_home_cells(ds));
+        ds, bench::classification(y), bench::home_cells(y));
     std::printf("\n(%s)\n", std::string(to_string(y)).c_str());
     io::TextTable t({"rank", "Cell home", "%", "Cell other", "%", "WiFi home",
                      "%", "WiFi public", "%"});
@@ -47,7 +47,7 @@ void print_reproduction() {
 void BM_AppBreakdownTx(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2014);
   const auto& cls = bench::classification(Year::Y2014);
-  const auto home_cells = analysis::infer_home_cells(ds);
+  const auto& home_cells = bench::home_cells(Year::Y2014);
   for (auto _ : state) {
     benchmark::DoNotOptimize(analysis::app_breakdown(ds, cls, home_cells));
   }

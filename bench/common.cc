@@ -67,43 +67,34 @@ const Dataset& campaign(Year year) {
   return *cache[i];
 }
 
-const analysis::ApClassification& classification(Year year) {
+const analysis::AnalysisContext& context(Year year) {
   static std::once_flag once[kNumYears];
-  static const analysis::ApClassification* cache[kNumYears] = {};
+  static const analysis::AnalysisContext* cache[kNumYears] = {};
   const int i = static_cast<int>(year);
   std::call_once(once[i], [&] {
-    cache[i] = new analysis::ApClassification(
-        analysis::classify_aps(campaign(year)));
+    cache[i] = new analysis::AnalysisContext(campaign(year));
   });
   return *cache[i];
+}
+
+const analysis::ApClassification& classification(Year year) {
+  return context(year).classification();
 }
 
 const analysis::UpdateDetection& updates(Year year) {
-  static std::once_flag once[kNumYears];
-  static const analysis::UpdateDetection* cache[kNumYears] = {};
-  const int i = static_cast<int>(year);
-  std::call_once(once[i], [&] {
-    analysis::UpdateDetectOptions opt;
-    // March 10th is day 10 of the 2015 calendar; earlier years have no
-    // in-campaign release, so nothing may be detected.
-    opt.min_day = year == Year::Y2015 ? 9 : campaign(year).num_days();
-    cache[i] = new analysis::UpdateDetection(
-        analysis::detect_updates(campaign(year), opt));
-  });
-  return *cache[i];
+  return context(year).updates();
 }
 
 const std::vector<analysis::UserDay>& days(Year year) {
-  static std::once_flag once[kNumYears];
-  static const std::vector<analysis::UserDay>* cache[kNumYears] = {};
-  const int i = static_cast<int>(year);
-  std::call_once(once[i], [&] {
-    analysis::UserDayOptions opt;
-    opt.update_bin_by_device = &updates(year).update_bin;
-    cache[i] = new std::vector<analysis::UserDay>(
-        analysis::user_days(campaign(year), opt));
-  });
-  return *cache[i];
+  return context(year).days();
+}
+
+const analysis::UserClassifier& classifier(Year year) {
+  return context(year).classifier();
+}
+
+const std::vector<GeoCell>& home_cells(Year year) {
+  return context(year).home_cells();
 }
 
 void print_header(std::string_view experiment, std::string_view paper_ref) {

@@ -14,6 +14,7 @@
 
 #include "analysis/classify.h"
 #include "analysis/common.h"
+#include "analysis/context.h"
 #include "analysis/update.h"
 #include "core/records.h"
 #include "io/table.h"
@@ -27,6 +28,11 @@ namespace tokyonet::bench {
 /// Lazily simulated, cached campaign for `year` at bench_scale().
 [[nodiscard]] const Dataset& campaign(Year year);
 
+/// Memoized analysis context over campaign(year): every shared
+/// intermediate (user days, classifier, AP classification, home cells,
+/// update detection) is computed at most once per bench binary.
+[[nodiscard]] const analysis::AnalysisContext& context(Year year);
+
 /// Cached AP classification for the bench campaign.
 [[nodiscard]] const analysis::ApClassification& classification(Year year);
 
@@ -36,6 +42,12 @@ namespace tokyonet::bench {
 
 /// Cached per-user-day rollup with the paper's update-day exclusion.
 [[nodiscard]] const std::vector<analysis::UserDay>& days(Year year);
+
+/// Cached heavy/light classifier over days(year).
+[[nodiscard]] const analysis::UserClassifier& classifier(Year year);
+
+/// Cached per-device inferred home cells.
+[[nodiscard]] const std::vector<GeoCell>& home_cells(Year year);
 
 /// Prints the standard bench header.
 void print_header(std::string_view experiment, std::string_view paper_ref);

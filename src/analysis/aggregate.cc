@@ -1,11 +1,29 @@
 #include "analysis/aggregate.h"
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+
 #include "analysis/common.h"
+#include "core/dataset_index.h"
+#include "core/parallel.h"
 
 namespace tokyonet::analysis {
 namespace {
 
 constexpr double kBytesPerHourToMbps = 8.0 / 3600.0 / 1e6;
+
+// Chunk length for parallel scans over the SoA columns. Every chunk
+// partial below is an exact integer sum (u64, or doubles holding
+// integers < 2^53), so the reduction is grouping-independent and the
+// merged result is byte-identical to the serial single-pass reference
+// at any thread count.
+constexpr std::size_t kScanChunk = std::size_t{1} << 16;
+
+[[nodiscard]] constexpr std::size_t num_chunks(std::size_t n) noexcept {
+  return (n + kScanChunk - 1) / kScanChunk;
+}
 
 [[nodiscard]] double stream_bytes(const Sample& s, Stream stream) noexcept {
   switch (stream) {
@@ -17,31 +35,112 @@ constexpr double kBytesPerHourToMbps = 8.0 / 3600.0 / 1e6;
   return 0;
 }
 
+[[nodiscard]] std::span<const std::uint32_t> stream_column(
+    const core::DatasetIndex& idx, Stream stream) noexcept {
+  switch (stream) {
+    case Stream::CellRx: return idx.cell_rx();
+    case Stream::CellTx: return idx.cell_tx();
+    case Stream::WifiRx: return idx.wifi_rx();
+    case Stream::WifiTx: return idx.wifi_tx();
+  }
+  return {};
+}
+
 }  // namespace
 
 HourlySeries aggregate_series(const Dataset& ds, Stream stream) {
   HourlySeries out;
-  out.mbps.assign(static_cast<std::size_t>(ds.num_days()) * 24, 0.0);
-  for (const Sample& s : ds.samples) {
-    const auto hour = static_cast<std::size_t>(s.bin / kBinsPerHour);
-    out.mbps[hour] += stream_bytes(s, stream);
+  const auto n_hours = static_cast<std::size_t>(ds.num_days()) * 24;
+  out.mbps.assign(n_hours, 0.0);
+
+  const core::DatasetIndex* idx = ds.index();
+  if (idx == nullptr) {
+    // Unindexed dataset (e.g. hand-built in tests): serial reference.
+    for (const Sample& s : ds.samples) {
+      const auto hour = static_cast<std::size_t>(s.bin / kBinsPerHour);
+      out.mbps[hour] += stream_bytes(s, stream);
+    }
+    for (double& v : out.mbps) v *= kBytesPerHourToMbps;
+    return out;
   }
-  for (double& v : out.mbps) v *= kBytesPerHourToMbps;
+
+  const std::span<const TimeBin> bin = idx->bin();
+  const std::span<const std::uint32_t> bytes = stream_column(*idx, stream);
+  const std::size_t n = bin.size();
+  const std::vector<std::vector<std::uint64_t>> partials =
+      core::parallel_map(num_chunks(n), [&](std::size_t c) {
+        std::vector<std::uint64_t> sums(n_hours, 0);
+        const std::size_t begin = c * kScanChunk;
+        const std::size_t end = std::min(begin + kScanChunk, n);
+        for (std::size_t i = begin; i < end; ++i) {
+          sums[static_cast<std::size_t>(bin[i] / kBinsPerHour)] += bytes[i];
+        }
+        return sums;
+      });
+  std::vector<std::uint64_t> total(n_hours, 0);
+  for (const std::vector<std::uint64_t>& p : partials) {
+    for (std::size_t h = 0; h < n_hours; ++h) total[h] += p[h];
+  }
+  for (std::size_t h = 0; h < n_hours; ++h) {
+    out.mbps[h] = static_cast<double>(total[h]) * kBytesPerHourToMbps;
+  }
   return out;
 }
 
 HourlySeries location_series(const Dataset& ds, const ApClassification& cls,
                              LocationFilter filter, bool rx) {
   HourlySeries out;
-  out.mbps.assign(static_cast<std::size_t>(ds.num_days()) * 24, 0.0);
-  for (const Sample& s : ds.samples) {
-    if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
-    if (cls.class_of(s.ap) != filter.ap_class) continue;
-    if (filter.office_only && !cls.is_office[value(s.ap)]) continue;
-    const auto hour = static_cast<std::size_t>(s.bin / kBinsPerHour);
-    out.mbps[hour] += rx ? s.wifi_rx : s.wifi_tx;
+  const auto n_hours = static_cast<std::size_t>(ds.num_days()) * 24;
+  out.mbps.assign(n_hours, 0.0);
+
+  const core::DatasetIndex* idx = ds.index();
+  if (idx == nullptr) {
+    for (const Sample& s : ds.samples) {
+      if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
+      if (cls.class_of(s.ap) != filter.ap_class) continue;
+      if (filter.office_only && !cls.is_office[value(s.ap)]) continue;
+      const auto hour = static_cast<std::size_t>(s.bin / kBinsPerHour);
+      out.mbps[hour] += rx ? s.wifi_rx : s.wifi_tx;
+    }
+    for (double& v : out.mbps) v *= kBytesPerHourToMbps;
+    return out;
   }
-  for (double& v : out.mbps) v *= kBytesPerHourToMbps;
+
+  // Fold the per-sample class/office test into one per-AP bitmap so the
+  // scan does a single byte lookup per associated sample.
+  std::vector<std::uint8_t> keep(ds.aps.size(), 0);
+  for (std::size_t a = 0; a < ds.aps.size(); ++a) {
+    keep[a] = cls.ap_class[a] == filter.ap_class &&
+              (!filter.office_only || cls.is_office[a]);
+  }
+
+  const std::span<const TimeBin> bin = idx->bin();
+  const std::span<const std::uint32_t> ap = idx->ap();
+  const std::span<const WifiState> state = idx->wifi_state();
+  const std::span<const std::uint32_t> bytes =
+      rx ? idx->wifi_rx() : idx->wifi_tx();
+  const std::size_t n = bin.size();
+  const std::vector<std::vector<std::uint64_t>> partials =
+      core::parallel_map(num_chunks(n), [&](std::size_t c) {
+        std::vector<std::uint64_t> sums(n_hours, 0);
+        const std::size_t begin = c * kScanChunk;
+        const std::size_t end = std::min(begin + kScanChunk, n);
+        for (std::size_t i = begin; i < end; ++i) {
+          if (state[i] != WifiState::Associated || ap[i] == value(kNoAp)) {
+            continue;
+          }
+          if (!keep[ap[i]]) continue;
+          sums[static_cast<std::size_t>(bin[i] / kBinsPerHour)] += bytes[i];
+        }
+        return sums;
+      });
+  std::vector<std::uint64_t> total(n_hours, 0);
+  for (const std::vector<std::uint64_t>& p : partials) {
+    for (std::size_t h = 0; h < n_hours; ++h) total[h] += p[h];
+  }
+  for (std::size_t h = 0; h < n_hours; ++h) {
+    out.mbps[h] = static_cast<double>(total[h]) * kBytesPerHourToMbps;
+  }
   return out;
 }
 
@@ -70,17 +169,59 @@ WeekSplit weekday_weekend_split(const Dataset& ds, Stream stream) {
 WifiLocationShares wifi_location_shares(const Dataset& ds,
                                         const ApClassification& cls) {
   double home = 0, publik = 0, office = 0, other = 0;
-  for (const Sample& s : ds.samples) {
-    if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
-    const double v = static_cast<double>(s.wifi_rx) + s.wifi_tx;
-    switch (cls.class_of(s.ap)) {
-      case ApClass::Home: home += v; break;
-      case ApClass::Public: publik += v; break;
-      case ApClass::Other:
-        (cls.is_office[value(s.ap)] ? office : other) += v;
-        break;
+
+  const core::DatasetIndex* idx = ds.index();
+  if (idx == nullptr) {
+    for (const Sample& s : ds.samples) {
+      if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
+      const double v = static_cast<double>(s.wifi_rx) + s.wifi_tx;
+      switch (cls.class_of(s.ap)) {
+        case ApClass::Home: home += v; break;
+        case ApClass::Public: publik += v; break;
+        case ApClass::Other:
+          (cls.is_office[value(s.ap)] ? office : other) += v;
+          break;
+      }
     }
+  } else {
+    // Per-AP bucket (home/public/office/other) resolved once.
+    std::vector<std::uint8_t> bucket(ds.aps.size(), 3);
+    for (std::size_t a = 0; a < ds.aps.size(); ++a) {
+      switch (cls.ap_class[a]) {
+        case ApClass::Home: bucket[a] = 0; break;
+        case ApClass::Public: bucket[a] = 1; break;
+        case ApClass::Other: bucket[a] = cls.is_office[a] ? 2 : 3; break;
+      }
+    }
+    const std::span<const std::uint32_t> ap = idx->ap();
+    const std::span<const WifiState> state = idx->wifi_state();
+    const std::span<const std::uint32_t> wifi_rx = idx->wifi_rx();
+    const std::span<const std::uint32_t> wifi_tx = idx->wifi_tx();
+    const std::size_t n = ap.size();
+    using Sums = std::array<std::uint64_t, 4>;
+    const std::vector<Sums> partials =
+        core::parallel_map(num_chunks(n), [&](std::size_t c) {
+          Sums sums{};
+          const std::size_t begin = c * kScanChunk;
+          const std::size_t end = std::min(begin + kScanChunk, n);
+          for (std::size_t i = begin; i < end; ++i) {
+            if (state[i] != WifiState::Associated || ap[i] == value(kNoAp)) {
+              continue;
+            }
+            sums[bucket[ap[i]]] += std::uint64_t{wifi_rx[i]} + wifi_tx[i];
+          }
+          return sums;
+        });
+    Sums total{};
+    for (const Sums& p : partials) {
+      for (std::size_t b = 0; b < 4; ++b) total[b] += p[b];
+    }
+    home = static_cast<double>(total[0]);
+    publik = static_cast<double>(total[1]);
+    office = static_cast<double>(total[2]);
+    other = static_cast<double>(total[3]);
   }
+
   const double total = home + publik + office + other;
   WifiLocationShares shares;
   if (total > 0) {

@@ -1,6 +1,10 @@
 #include "analysis/apps.h"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "core/dataset_index.h"
+#include "core/parallel.h"
 
 namespace tokyonet::analysis {
 
@@ -49,32 +53,112 @@ AppBreakdown app_breakdown(const Dataset& ds, const ApClassification& cls,
     }
   }
 
-  for (const Sample& s : ds.samples) {
-    if (s.app_count == 0) continue;
-    if (ds.devices[value(s.device)].os != Os::Android) continue;
-    if (opt.light_users_only &&
-        !include_day[value(s.device) * num_days +
-                     static_cast<std::size_t>(ds.calendar.day_of(s.bin))]) {
-      continue;
-    }
-
-    AppContext ctx = AppContext::CellOther;
-    if (s.wifi_state == WifiState::Associated && s.ap != kNoAp) {
-      switch (cls.class_of(s.ap)) {
-        case ApClass::Home: ctx = AppContext::WifiHome; break;
-        case ApClass::Public: ctx = AppContext::WifiPublic; break;
-        case ApClass::Other: continue;  // office/venue not tabulated
+  const core::DatasetIndex* idx = ds.index();
+  if (idx == nullptr) {
+    for (const Sample& s : ds.samples) {
+      if (s.app_count == 0) continue;
+      if (ds.devices[value(s.device)].os != Os::Android) continue;
+      if (opt.light_users_only &&
+          !include_day[value(s.device) * num_days +
+                       static_cast<std::size_t>(ds.calendar.day_of(s.bin))]) {
+        continue;
       }
-    } else {
-      const GeoCell home = home_cells[value(s.device)];
-      ctx = (home != kNoGeoCell && s.geo_cell == home) ? AppContext::CellHome
-                                                       : AppContext::CellOther;
-    }
 
-    for (const AppTraffic& at : ds.apps_of(s)) {
-      const auto c = static_cast<std::size_t>(at.category);
-      rx_sum[static_cast<std::size_t>(ctx)][c] += at.rx_bytes;
-      tx_sum[static_cast<std::size_t>(ctx)][c] += at.tx_bytes;
+      AppContext ctx = AppContext::CellOther;
+      if (s.wifi_state == WifiState::Associated && s.ap != kNoAp) {
+        switch (cls.class_of(s.ap)) {
+          case ApClass::Home: ctx = AppContext::WifiHome; break;
+          case ApClass::Public: ctx = AppContext::WifiPublic; break;
+          case ApClass::Other: continue;  // office/venue not tabulated
+        }
+      } else {
+        const GeoCell home = home_cells[value(s.device)];
+        ctx = (home != kNoGeoCell && s.geo_cell == home)
+                  ? AppContext::CellHome
+                  : AppContext::CellOther;
+      }
+
+      for (const AppTraffic& at : ds.apps_of(s)) {
+        const auto c = static_cast<std::size_t>(at.category);
+        rx_sum[static_cast<std::size_t>(ctx)][c] += at.rx_bytes;
+        tx_sum[static_cast<std::size_t>(ctx)][c] += at.tx_bytes;
+      }
+    }
+  } else {
+    // Per-device-block partials over the index: the OS check hoists to
+    // one test per device, the light-user day filter to whole per-day
+    // ranges, and only samples that carry app records touch the AoS
+    // array. All sums are u64 over u32 values, so the block reduction
+    // is byte-identical to the serial scan at any thread count.
+    using Sums =
+        std::array<std::array<std::uint64_t, kNumAppCategories>,
+                   kNumAppContexts>;
+    struct Partial {
+      Sums rx{}, tx{};
+    };
+    constexpr std::size_t kDeviceBlock = 16;
+    const std::span<const Sample> ss = ds.samples.span();
+    const std::span<const AppTraffic> apps = ds.app_traffic.span();
+    const std::size_t n_devices = ds.devices.size();
+    const std::size_t n_blocks = (n_devices + kDeviceBlock - 1) / kDeviceBlock;
+    const int days_total = ds.num_days();
+    const std::vector<Partial> partials =
+        core::parallel_map(n_blocks, [&](std::size_t b) {
+          Partial p;
+          const std::size_t d0 = b * kDeviceBlock;
+          const std::size_t d1 = std::min(d0 + kDeviceBlock, n_devices);
+          for (std::size_t d = d0; d < d1; ++d) {
+            if (ds.devices[d].os != Os::Android) continue;
+            const GeoCell home = home_cells[d];
+            const auto scan_range = [&](std::size_t begin, std::size_t end) {
+              for (std::size_t i = begin; i < end; ++i) {
+                const Sample& s = ss[i];
+                if (s.app_count == 0) continue;
+
+                AppContext ctx = AppContext::CellOther;
+                if (s.wifi_state == WifiState::Associated && s.ap != kNoAp) {
+                  switch (cls.class_of(s.ap)) {
+                    case ApClass::Home: ctx = AppContext::WifiHome; break;
+                    case ApClass::Public: ctx = AppContext::WifiPublic; break;
+                    case ApClass::Other: continue;  // not tabulated
+                  }
+                } else {
+                  ctx = (home != kNoGeoCell && s.geo_cell == home)
+                            ? AppContext::CellHome
+                            : AppContext::CellOther;
+                }
+
+                const auto ctx_i = static_cast<std::size_t>(ctx);
+                for (std::size_t a = s.app_begin;
+                     a < s.app_begin + s.app_count; ++a) {
+                  const auto c = static_cast<std::size_t>(apps[a].category);
+                  p.rx[ctx_i][c] += apps[a].rx_bytes;
+                  p.tx[ctx_i][c] += apps[a].tx_bytes;
+                }
+              }
+            };
+            if (opt.light_users_only) {
+              for (int day = 0; day < days_total; ++day) {
+                if (!include_day[d * num_days +
+                                 static_cast<std::size_t>(day)]) {
+                  continue;
+                }
+                scan_range(idx->day_begin(d, day), idx->day_begin(d, day + 1));
+              }
+            } else {
+              scan_range(idx->device_begin(d), idx->device_end(d));
+            }
+          }
+          return p;
+        });
+    for (const Partial& p : partials) {
+      for (std::size_t ctx = 0; ctx < kNumAppContexts; ++ctx) {
+        for (std::size_t c = 0;
+             c < static_cast<std::size_t>(kNumAppCategories); ++c) {
+          rx_sum[ctx][c] += static_cast<double>(p.rx[ctx][c]);
+          tx_sum[ctx][c] += static_cast<double>(p.tx[ctx][c]);
+        }
+      }
     }
   }
 

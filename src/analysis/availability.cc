@@ -1,56 +1,143 @@
 #include "analysis/availability.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
 #include "analysis/common.h"
+#include "core/dataset_index.h"
+#include "core/parallel.h"
 
 namespace tokyonet::analysis {
 
 ScanAvailability scan_availability(const Dataset& ds) {
   ScanAvailability out;
-  for (const Sample& s : ds.samples) {
-    if (s.wifi_state != WifiState::OnUnassociated) continue;
-    if (ds.devices[value(s.device)].os != Os::Android) continue;
-    out.all_24.push_back(s.scan_pub24_all);
-    out.strong_24.push_back(s.scan_pub24_strong);
-    out.all_5.push_back(s.scan_pub5_all);
-    out.strong_5.push_back(s.scan_pub5_strong);
+
+  const core::DatasetIndex* idx = ds.index();
+  if (idx == nullptr) {
+    for (const Sample& s : ds.samples) {
+      if (s.wifi_state != WifiState::OnUnassociated) continue;
+      if (ds.devices[value(s.device)].os != Os::Android) continue;
+      out.all_24.push_back(s.scan_pub24_all);
+      out.strong_24.push_back(s.scan_pub24_strong);
+      out.all_5.push_back(s.scan_pub5_all);
+      out.strong_5.push_back(s.scan_pub5_strong);
+    }
+    return out;
+  }
+
+  // Per-device-block partial vectors, concatenated in block order:
+  // samples are (device, bin)-sorted, so device-ordered concatenation
+  // reproduces the serial emission order exactly.
+  constexpr std::size_t kDeviceBlock = 16;
+  const std::span<const WifiState> state = idx->wifi_state();
+  const std::span<const std::uint8_t> a24 = idx->scan_pub24_all();
+  const std::span<const std::uint8_t> s24 = idx->scan_pub24_strong();
+  const std::span<const std::uint8_t> a5 = idx->scan_pub5_all();
+  const std::span<const std::uint8_t> s5 = idx->scan_pub5_strong();
+  const std::size_t n_devices = ds.devices.size();
+  const std::size_t n_blocks = (n_devices + kDeviceBlock - 1) / kDeviceBlock;
+  const std::vector<ScanAvailability> partials =
+      core::parallel_map(n_blocks, [&](std::size_t b) {
+        ScanAvailability p;
+        const std::size_t d0 = b * kDeviceBlock;
+        const std::size_t d1 = std::min(d0 + kDeviceBlock, n_devices);
+        for (std::size_t d = d0; d < d1; ++d) {
+          if (ds.devices[d].os != Os::Android) continue;
+          const std::size_t end = idx->device_end(d);
+          for (std::size_t i = idx->device_begin(d); i < end; ++i) {
+            if (state[i] != WifiState::OnUnassociated) continue;
+            p.all_24.push_back(a24[i]);
+            p.strong_24.push_back(s24[i]);
+            p.all_5.push_back(a5[i]);
+            p.strong_5.push_back(s5[i]);
+          }
+        }
+        return p;
+      });
+  for (const ScanAvailability& p : partials) {
+    out.all_24.insert(out.all_24.end(), p.all_24.begin(), p.all_24.end());
+    out.strong_24.insert(out.strong_24.end(), p.strong_24.begin(),
+                         p.strong_24.end());
+    out.all_5.insert(out.all_5.end(), p.all_5.begin(), p.all_5.end());
+    out.strong_5.insert(out.strong_5.end(), p.strong_5.begin(),
+                        p.strong_5.end());
   }
   return out;
 }
 
 OffloadOpportunity offload_opportunity(const Dataset& ds,
                                        const OpportunityOptions& opt) {
+  // Per-device metrics, computed in parallel over the index when it is
+  // available; the per-sample accumulation order within a device (the
+  // only non-integer arithmetic) is unchanged, and the cross-device
+  // fold below runs serially in device order, so the result is
+  // byte-identical to the serial reference at any thread count.
+  struct DeviceMetrics {
+    bool counted = false;  // Android with >= 1 sample
+    std::size_t n = 0;
+    std::size_t unassoc = 0, unassoc_strong = 0;
+    double cell_rx_total = 0, cell_rx_covered = 0;
+  };
+
+  const core::DatasetIndex* idx = ds.index();
+  const std::vector<DeviceMetrics> metrics = core::parallel_map(
+      ds.devices.size(), [&](std::size_t d) {
+        DeviceMetrics m;
+        if (ds.devices[d].os != Os::Android) return m;
+        if (idx != nullptr) {
+          const std::size_t begin = idx->device_begin(d);
+          const std::size_t end = idx->device_end(d);
+          if (begin == end) return m;
+          m.counted = true;
+          m.n = end - begin;
+          const std::span<const std::uint32_t> cell_rx = idx->cell_rx();
+          const std::span<const WifiState> state = idx->wifi_state();
+          const std::span<const std::uint8_t> s24 = idx->scan_pub24_strong();
+          const std::span<const std::uint8_t> s5 = idx->scan_pub5_strong();
+          for (std::size_t i = begin; i < end; ++i) {
+            m.cell_rx_total += cell_rx[i] / kBytesPerMb;
+            if (state[i] != WifiState::OnUnassociated) continue;
+            ++m.unassoc;
+            const bool strong = s24[i] + s5[i] > 0;
+            m.unassoc_strong += strong;
+            if (strong) m.cell_rx_covered += cell_rx[i] / kBytesPerMb;
+          }
+        } else {
+          const auto samples = ds.device_samples(ds.devices[d].id);
+          if (samples.empty()) return m;
+          m.counted = true;
+          m.n = samples.size();
+          for (const Sample& s : samples) {
+            m.cell_rx_total += s.cell_rx / kBytesPerMb;
+            if (s.wifi_state != WifiState::OnUnassociated) continue;
+            ++m.unassoc;
+            const bool strong = s.scan_pub24_strong + s.scan_pub5_strong > 0;
+            m.unassoc_strong += strong;
+            if (strong) m.cell_rx_covered += s.cell_rx / kBytesPerMb;
+          }
+        }
+        return m;
+      });
+
   OffloadOpportunity out;
   double offloadable_sum = 0;  // of per-user shares
   int offloadable_n = 0;
-
-  for (const DeviceInfo& dev : ds.devices) {
-    if (dev.os != Os::Android) continue;
-    const auto samples = ds.device_samples(dev.id);
-    if (samples.empty()) continue;
-
-    std::size_t unassoc = 0, unassoc_strong = 0;
-    double cell_rx_total = 0, cell_rx_covered = 0;
-    for (const Sample& s : samples) {
-      cell_rx_total += s.cell_rx / kBytesPerMb;
-      if (s.wifi_state != WifiState::OnUnassociated) continue;
-      ++unassoc;
-      const bool strong = s.scan_pub24_strong + s.scan_pub5_strong > 0;
-      unassoc_strong += strong;
-      if (strong) cell_rx_covered += s.cell_rx / kBytesPerMb;
-    }
+  for (const DeviceMetrics& m : metrics) {
+    if (!m.counted) continue;
     const double avail_share =
-        static_cast<double>(unassoc) / static_cast<double>(samples.size());
+        static_cast<double>(m.unassoc) / static_cast<double>(m.n);
     if (avail_share < opt.available_state_share) continue;
 
     ++out.num_wifi_available_users;
     const double stable_share =
-        unassoc > 0 ? static_cast<double>(unassoc_strong) /
-                          static_cast<double>(unassoc)
-                    : 0;
+        m.unassoc > 0 ? static_cast<double>(m.unassoc_strong) /
+                            static_cast<double>(m.unassoc)
+                      : 0;
     if (stable_share >= opt.stable_bin_share) {
       out.users_with_stable_opportunity += 1;
-      if (cell_rx_total > 0) {
-        offloadable_sum += cell_rx_covered / cell_rx_total;
+      if (m.cell_rx_total > 0) {
+        offloadable_sum += m.cell_rx_covered / m.cell_rx_total;
         ++offloadable_n;
       }
     }

@@ -1,9 +1,12 @@
 #include "analysis/common.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <map>
+#include <span>
 
+#include "core/dataset_index.h"
 #include "core/parallel.h"
 #include "stats/descriptive.h"
 
@@ -35,15 +38,43 @@ namespace {
     ud.day = d;
     out.push_back(ud);
   }
-  for (const Sample& s : ds.device_samples(dev.id)) {
-    if (opt.exclude_tethering && s.tethering) continue;
-    const int d = ds.calendar.day_of(s.bin);
-    if (d >= skip_from && d <= skip_to) continue;
-    UserDay& ud = out[static_cast<std::size_t>(d)];
-    ud.cell_rx_mb += s.cell_rx / kBytesPerMb;
-    ud.cell_tx_mb += s.cell_tx / kBytesPerMb;
-    ud.wifi_rx_mb += s.wifi_rx / kBytesPerMb;
-    ud.wifi_tx_mb += s.wifi_tx / kBytesPerMb;
+  if (const core::DatasetIndex* idx = ds.index()) {
+    // SoA fast path: iterate per-(device, day) ranges over the traffic
+    // columns, skipping update days wholesale. The per-sample divisions
+    // and their order are unchanged, so the sums are bit-identical to
+    // the AoS loop below.
+    const std::size_t dev_i = value(dev.id);
+    const std::span<const std::uint32_t> cell_rx = idx->cell_rx();
+    const std::span<const std::uint32_t> cell_tx = idx->cell_tx();
+    const std::span<const std::uint32_t> wifi_rx = idx->wifi_rx();
+    const std::span<const std::uint32_t> wifi_tx = idx->wifi_tx();
+    const std::span<const std::uint8_t> flags = idx->flags();
+    for (int d = 0; d < num_days; ++d) {
+      if (d >= skip_from && d <= skip_to) continue;
+      UserDay& ud = out[static_cast<std::size_t>(d)];
+      const std::size_t end = idx->day_begin(dev_i, d + 1);
+      for (std::size_t i = idx->day_begin(dev_i, d); i < end; ++i) {
+        if (opt.exclude_tethering &&
+            (flags[i] & core::DatasetIndex::kFlagTethering) != 0) {
+          continue;
+        }
+        ud.cell_rx_mb += cell_rx[i] / kBytesPerMb;
+        ud.cell_tx_mb += cell_tx[i] / kBytesPerMb;
+        ud.wifi_rx_mb += wifi_rx[i] / kBytesPerMb;
+        ud.wifi_tx_mb += wifi_tx[i] / kBytesPerMb;
+      }
+    }
+  } else {
+    for (const Sample& s : ds.device_samples(dev.id)) {
+      if (opt.exclude_tethering && s.tethering) continue;
+      const int d = ds.calendar.day_of(s.bin);
+      if (d >= skip_from && d <= skip_to) continue;
+      UserDay& ud = out[static_cast<std::size_t>(d)];
+      ud.cell_rx_mb += s.cell_rx / kBytesPerMb;
+      ud.cell_tx_mb += s.cell_tx / kBytesPerMb;
+      ud.wifi_rx_mb += s.wifi_rx / kBytesPerMb;
+      ud.wifi_tx_mb += s.wifi_tx / kBytesPerMb;
+    }
   }
   if (skip_from >= 0) {
     // Drop the skipped days entirely rather than keeping zero rows.
@@ -146,20 +177,40 @@ double WeeklyProfile::mean_ratio() const noexcept {
 
 std::vector<GeoCell> infer_home_cells(const Dataset& ds) {
   std::vector<GeoCell> out(ds.devices.size(), kNoGeoCell);
+  const core::DatasetIndex* idx = ds.index();
+
+  // The 22:00-06:00 window depends only on the bin-in-day, so resolve
+  // it once per bin-of-day instead of per sample.
+  std::array<bool, kBinsPerDay> night{};
+  for (int b = 0; b < kBinsPerDay; ++b) {
+    const int hour = b / kBinsPerHour;
+    night[static_cast<std::size_t>(b)] = hour >= 22 || hour < 6;
+  }
+
   // Per-device inference with a disjoint output slot per device.
   core::parallel_for(ds.devices.size(), [&](std::size_t i) {
-    const DeviceInfo& dev = ds.devices[i];
     std::map<GeoCell, int> counts;
-    for (const Sample& s : ds.device_samples(dev.id)) {
-      if (s.geo_cell == kNoGeoCell) continue;
-      if (!ds.calendar.in_hour_window(s.bin, 22, 6)) continue;
-      ++counts[s.geo_cell];
+    if (idx != nullptr) {
+      const std::span<const TimeBin> bin = idx->bin();
+      const std::span<const std::uint16_t> geo = idx->geo_cell();
+      const std::size_t end = idx->device_end(i);
+      for (std::size_t j = idx->device_begin(i); j < end; ++j) {
+        if (geo[j] == kNoGeoCell) continue;
+        if (!night[static_cast<std::size_t>(bin[j] % kBinsPerDay)]) continue;
+        ++counts[geo[j]];
+      }
+    } else {
+      for (const Sample& s : ds.device_samples(ds.devices[i].id)) {
+        if (s.geo_cell == kNoGeoCell) continue;
+        if (!ds.calendar.in_hour_window(s.bin, 22, 6)) continue;
+        ++counts[s.geo_cell];
+      }
     }
     int best = 0;
     for (const auto& [cell, n] : counts) {
       if (n > best) {
         best = n;
-        out[value(dev.id)] = cell;
+        out[i] = cell;
       }
     }
   });

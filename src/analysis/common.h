@@ -85,6 +85,14 @@ class WeeklyProfile {
   void add(const CampaignCalendar& cal, TimeBin bin, double num,
            double den = 1.0) noexcept;
 
+  /// As add(), with the hour-of-week already resolved — pairs with the
+  /// precomputed per-bin table in core::DatasetIndex so scan kernels
+  /// skip the per-sample calendar arithmetic.
+  void add_hour(int hour, double num, double den = 1.0) noexcept {
+    num_[hour] += num;
+    den_[hour] += den;
+  }
+
   /// Hour-of-week index of a bin (0 = Saturday 00:00-01:00).
   [[nodiscard]] static int hour_of_week(const CampaignCalendar& cal,
                                         TimeBin bin) noexcept;

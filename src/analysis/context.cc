@@ -1,0 +1,46 @@
+#include "analysis/context.h"
+
+namespace tokyonet::analysis {
+
+const UpdateDetection& AnalysisContext::updates() const {
+  std::call_once(updates_once_, [&] {
+    UpdateDetectOptions opt;
+    // March 10th is day 9 (0-based) of the 2015 calendar; earlier
+    // campaigns have no in-campaign release, so nothing may be detected.
+    opt.min_day = ds_->year == Year::Y2015 ? 9 : ds_->num_days();
+    updates_ = std::make_unique<UpdateDetection>(detect_updates(*ds_, opt));
+  });
+  return *updates_;
+}
+
+const std::vector<UserDay>& AnalysisContext::days() const {
+  std::call_once(days_once_, [&] {
+    UserDayOptions opt;
+    opt.update_bin_by_device = &updates().update_bin;
+    days_ = std::make_unique<std::vector<UserDay>>(user_days(*ds_, opt));
+  });
+  return *days_;
+}
+
+const UserClassifier& AnalysisContext::classifier() const {
+  std::call_once(classifier_once_, [&] {
+    classifier_ = std::make_unique<UserClassifier>(days());
+  });
+  return *classifier_;
+}
+
+const ApClassification& AnalysisContext::classification() const {
+  std::call_once(classification_once_, [&] {
+    classification_ = std::make_unique<ApClassification>(classify_aps(*ds_));
+  });
+  return *classification_;
+}
+
+const std::vector<GeoCell>& AnalysisContext::home_cells() const {
+  std::call_once(home_cells_once_, [&] {
+    home_cells_ = std::make_unique<std::vector<GeoCell>>(infer_home_cells(*ds_));
+  });
+  return *home_cells_;
+}
+
+}  // namespace tokyonet::analysis

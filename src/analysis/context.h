@@ -1,0 +1,69 @@
+// Memoized per-campaign analysis context.
+//
+// The paper answers 19 figures and 9 tables over the same three
+// campaigns, and almost every one of them re-derives the same expensive
+// intermediates: the user-day volume rollup, the heavy/light user
+// classifier, the AP classification and the per-device home-cell
+// inference. AnalysisContext computes each of them at most once per
+// Dataset — lazily, thread-safely via std::call_once — so the CLI, the
+// bench suite (bench/common.cc) and any multi-kernel driver pay for a
+// shared intermediate exactly once no matter how many kernels consume
+// it.
+//
+// The memoized results are identical to calling the underlying
+// functions directly (enforced by tests/index_equiv_test.cc); the
+// context only removes repetition, never changes an answer.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "analysis/classify.h"
+#include "analysis/common.h"
+#include "analysis/update.h"
+#include "core/records.h"
+
+namespace tokyonet::analysis {
+
+class AnalysisContext {
+ public:
+  /// The context borrows `ds`; the dataset must outlive it.
+  explicit AnalysisContext(const Dataset& ds) : ds_(&ds) {}
+
+  AnalysisContext(const AnalysisContext&) = delete;
+  AnalysisContext& operator=(const AnalysisContext&) = delete;
+
+  [[nodiscard]] const Dataset& dataset() const noexcept { return *ds_; }
+
+  /// iOS software-update detection (§3.7). Uses the campaign's public
+  /// release knowledge: day 9 for the 2015 campaign (March 10th),
+  /// no in-campaign release for earlier years.
+  [[nodiscard]] const UpdateDetection& updates() const;
+
+  /// The paper's main user-day rollup (§2 cleaning applied): tethering
+  /// samples stripped, detected update days excluded.
+  [[nodiscard]] const std::vector<UserDay>& days() const;
+
+  /// Heavy/light user-day classifier over days().
+  [[nodiscard]] const UserClassifier& classifier() const;
+
+  /// AP classification (§3.4.1).
+  [[nodiscard]] const ApClassification& classification() const;
+
+  /// Per-device inferred nighttime home cell.
+  [[nodiscard]] const std::vector<GeoCell>& home_cells() const;
+
+ private:
+  const Dataset* ds_;
+
+  mutable std::once_flag updates_once_, days_once_, classifier_once_,
+      classification_once_, home_cells_once_;
+  mutable std::unique_ptr<UpdateDetection> updates_;
+  mutable std::unique_ptr<std::vector<UserDay>> days_;
+  mutable std::unique_ptr<UserClassifier> classifier_;
+  mutable std::unique_ptr<ApClassification> classification_;
+  mutable std::unique_ptr<std::vector<GeoCell>> home_cells_;
+};
+
+}  // namespace tokyonet::analysis

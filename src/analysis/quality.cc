@@ -1,12 +1,84 @@
 #include "analysis/quality.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <map>
+#include <span>
+#include <unordered_map>
 
+#include "core/dataset_index.h"
+#include "core/parallel.h"
 #include "net/radio.h"
 #include "stats/descriptive.h"
 
 namespace tokyonet::analysis {
+namespace {
+
+// Chunk length for parallel scans over the SoA columns. Chunk partials
+// are max-merges or exact integer sums, both grouping-independent, so
+// the merged result is byte-identical to the serial reference at any
+// thread count.
+constexpr std::size_t kScanChunk = std::size_t{1} << 16;
+
+[[nodiscard]] constexpr std::size_t num_chunks(std::size_t n) noexcept {
+  return (n + kScanChunk - 1) / kScanChunk;
+}
+
+// Devices per parallel_map item for scans that need per-device fields
+// (OS). Fixed, so the partial grouping never depends on the thread
+// count.
+constexpr std::size_t kDeviceBlock = 16;
+
+/// Most common device geolocation per AP while associated, restricted
+/// to APs with keep[ap] != 0; kNoGeoCell for APs never observed. The
+/// per-chunk (ap, cell) counts are merged into per-AP ordered maps, so
+/// the arg-max tie-break (lowest cell wins) matches the serial maps.
+[[nodiscard]] std::vector<GeoCell> top_cell_per_ap(
+    const Dataset& ds, const core::DatasetIndex& idx,
+    const std::vector<std::uint8_t>& keep) {
+  const std::span<const std::uint32_t> ap = idx.ap();
+  const std::span<const WifiState> state = idx.wifi_state();
+  const std::span<const std::uint16_t> geo = idx.geo_cell();
+  const std::size_t n = ap.size();
+
+  using PairCounts = std::unordered_map<std::uint64_t, int>;
+  const std::vector<PairCounts> partials =
+      core::parallel_map(num_chunks(n), [&](std::size_t c) {
+        PairCounts counts;
+        const std::size_t begin = c * kScanChunk;
+        const std::size_t end = std::min(begin + kScanChunk, n);
+        for (std::size_t i = begin; i < end; ++i) {
+          if (state[i] != WifiState::Associated || ap[i] == value(kNoAp)) {
+            continue;
+          }
+          if (geo[i] == kNoGeoCell) continue;
+          if (!keep[ap[i]]) continue;
+          ++counts[(std::uint64_t{ap[i]} << 16) | geo[i]];
+        }
+        return counts;
+      });
+
+  std::vector<std::map<GeoCell, int>> counts(ds.aps.size());
+  for (const PairCounts& p : partials) {
+    for (const auto& [key, k] : p) {
+      counts[key >> 16][static_cast<GeoCell>(key & 0xFFFF)] += k;
+    }
+  }
+  std::vector<GeoCell> out(ds.aps.size(), kNoGeoCell);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    int best = 0;
+    for (const auto& [cell, k] : counts[i]) {
+      if (k > best) {
+        best = k;
+        out[i] = cell;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 stats::Histogram RssiAnalysis::home_pdf() const {
   stats::Histogram h(-95, -20, 25);
@@ -23,11 +95,48 @@ stats::Histogram RssiAnalysis::public_pdf() const {
 RssiAnalysis rssi_analysis(const Dataset& ds, const ApClassification& cls) {
   // Max RSSI per associated 2.4 GHz AP.
   std::vector<double> max_rssi(ds.aps.size(), -1e9);
-  for (const Sample& s : ds.samples) {
-    if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
-    if (ds.aps[value(s.ap)].band != Band::B24GHz) continue;
-    max_rssi[value(s.ap)] =
-        std::max(max_rssi[value(s.ap)], static_cast<double>(s.rssi_dbm));
+
+  const core::DatasetIndex* idx = ds.index();
+  if (idx == nullptr) {
+    for (const Sample& s : ds.samples) {
+      if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
+      if (ds.aps[value(s.ap)].band != Band::B24GHz) continue;
+      max_rssi[value(s.ap)] =
+          std::max(max_rssi[value(s.ap)], static_cast<double>(s.rssi_dbm));
+    }
+  } else {
+    std::vector<std::uint8_t> band24(ds.aps.size(), 0);
+    for (std::size_t a = 0; a < ds.aps.size(); ++a) {
+      band24[a] = ds.aps[a].band == Band::B24GHz;
+    }
+    const std::span<const std::uint32_t> ap = idx->ap();
+    const std::span<const WifiState> state = idx->wifi_state();
+    const std::span<const std::int8_t> rssi = idx->rssi_dbm();
+    const std::size_t n = ap.size();
+    // RSSI is an int8, so track the per-chunk max in int16 with a
+    // below-range sentinel; max-merge is order-independent.
+    constexpr std::int16_t kUnseen = -32768;
+    const std::vector<std::vector<std::int16_t>> partials =
+        core::parallel_map(num_chunks(n), [&](std::size_t c) {
+          std::vector<std::int16_t> mx(ds.aps.size(), kUnseen);
+          const std::size_t begin = c * kScanChunk;
+          const std::size_t end = std::min(begin + kScanChunk, n);
+          for (std::size_t i = begin; i < end; ++i) {
+            if (state[i] != WifiState::Associated || ap[i] == value(kNoAp)) {
+              continue;
+            }
+            if (!band24[ap[i]]) continue;
+            mx[ap[i]] = std::max(mx[ap[i]], std::int16_t{rssi[i]});
+          }
+          return mx;
+        });
+    for (const std::vector<std::int16_t>& p : partials) {
+      for (std::size_t a = 0; a < ds.aps.size(); ++a) {
+        if (p[a] != kUnseen) {
+          max_rssi[a] = std::max(max_rssi[a], static_cast<double>(p[a]));
+        }
+      }
+    }
   }
 
   RssiAnalysis out;
@@ -57,24 +166,80 @@ ChannelAnalysis channel_analysis(const Dataset& ds,
   ChannelAnalysis out;
   std::array<double, 14> home{}, publik{};
   double home_total = 0, public_total = 0;
-  for (const Sample& s : ds.samples) {
-    if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
-    if (ds.devices[value(s.device)].os != Os::Android) continue;
-    const ApInfo& ap = ds.aps[value(s.ap)];
-    if (ap.band != Band::B24GHz || ap.channel > 13) continue;
-    switch (cls.class_of(s.ap)) {
-      case ApClass::Home:
-        home[ap.channel] += 1;
-        home_total += 1;
-        break;
-      case ApClass::Public:
-        publik[ap.channel] += 1;
-        public_total += 1;
-        break;
-      case ApClass::Other:
-        break;
+
+  const core::DatasetIndex* idx = ds.index();
+  if (idx == nullptr) {
+    for (const Sample& s : ds.samples) {
+      if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
+      if (ds.devices[value(s.device)].os != Os::Android) continue;
+      const ApInfo& ap = ds.aps[value(s.ap)];
+      if (ap.band != Band::B24GHz || ap.channel > 13) continue;
+      switch (cls.class_of(s.ap)) {
+        case ApClass::Home:
+          home[ap.channel] += 1;
+          home_total += 1;
+          break;
+        case ApClass::Public:
+          publik[ap.channel] += 1;
+          public_total += 1;
+          break;
+        case ApClass::Other:
+          break;
+      }
+    }
+  } else {
+    // Per-AP code: 0 = skip, 1 + channel = home, 15 + channel = public.
+    std::vector<std::uint8_t> code(ds.aps.size(), 0);
+    for (std::size_t a = 0; a < ds.aps.size(); ++a) {
+      const ApInfo& ap = ds.aps[a];
+      if (ap.band != Band::B24GHz || ap.channel > 13) continue;
+      if (cls.ap_class[a] == ApClass::Home) {
+        code[a] = static_cast<std::uint8_t>(1 + ap.channel);
+      } else if (cls.ap_class[a] == ApClass::Public) {
+        code[a] = static_cast<std::uint8_t>(15 + ap.channel);
+      }
+    }
+    const std::span<const std::uint32_t> ap = idx->ap();
+    const std::span<const WifiState> state = idx->wifi_state();
+    const std::size_t n_devices = ds.devices.size();
+    struct Counts {
+      std::array<std::uint64_t, 14> home{}, publik{};
+    };
+    const std::size_t n_blocks =
+        (n_devices + kDeviceBlock - 1) / kDeviceBlock;
+    const std::vector<Counts> partials =
+        core::parallel_map(n_blocks, [&](std::size_t b) {
+          Counts counts;
+          const std::size_t d0 = b * kDeviceBlock;
+          const std::size_t d1 = std::min(d0 + kDeviceBlock, n_devices);
+          for (std::size_t d = d0; d < d1; ++d) {
+            if (ds.devices[d].os != Os::Android) continue;
+            const std::size_t end = idx->device_end(d);
+            for (std::size_t i = idx->device_begin(d); i < end; ++i) {
+              if (state[i] != WifiState::Associated || ap[i] == value(kNoAp)) {
+                continue;
+              }
+              const std::uint8_t c = code[ap[i]];
+              if (c == 0) continue;
+              if (c < 15) {
+                ++counts.home[c - 1u];
+              } else {
+                ++counts.publik[c - 15u];
+              }
+            }
+          }
+          return counts;
+        });
+    for (const Counts& p : partials) {
+      for (std::size_t c = 0; c < 14; ++c) {
+        home[c] += static_cast<double>(p.home[c]);
+        publik[c] += static_cast<double>(p.publik[c]);
+        home_total += static_cast<double>(p.home[c]);
+        public_total += static_cast<double>(p.publik[c]);
+      }
     }
   }
+
   for (int c = 0; c < 14; ++c) {
     out.home_pmf[static_cast<std::size_t>(c)] =
         home_total > 0 ? home[static_cast<std::size_t>(c)] / home_total : 0;
@@ -89,6 +254,13 @@ namespace {
 
 /// Most common device geolocation per AP while associated (2.4 GHz only).
 std::vector<GeoCell> ap_cells_24(const Dataset& ds) {
+  if (const core::DatasetIndex* idx = ds.index()) {
+    std::vector<std::uint8_t> band24(ds.aps.size(), 0);
+    for (std::size_t a = 0; a < ds.aps.size(); ++a) {
+      band24[a] = ds.aps[a].band == Band::B24GHz;
+    }
+    return top_cell_per_ap(ds, *idx, band24);
+  }
   std::vector<std::map<GeoCell, int>> counts(ds.aps.size());
   for (const Sample& s : ds.samples) {
     if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
@@ -160,26 +332,37 @@ InterferenceAnalysis channel_interference(const Dataset& ds,
 ApDensityMap ap_density_map(const Dataset& ds, const ApClassification& cls,
                             ApClass which, int num_cells) {
   // Most common device geolocation per AP while associated.
-  std::vector<std::map<GeoCell, int>> cells(ds.aps.size());
-  for (const Sample& s : ds.samples) {
-    if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
-    if (s.geo_cell == kNoGeoCell) continue;
-    if (cls.class_of(s.ap) != which) continue;
-    ++cells[value(s.ap)][s.geo_cell];
+  std::vector<GeoCell> top_cell;
+  if (const core::DatasetIndex* idx = ds.index()) {
+    std::vector<std::uint8_t> keep(ds.aps.size(), 0);
+    for (std::size_t a = 0; a < ds.aps.size(); ++a) {
+      keep[a] = cls.ap_class[a] == which;
+    }
+    top_cell = top_cell_per_ap(ds, *idx, keep);
+  } else {
+    std::vector<std::map<GeoCell, int>> cells(ds.aps.size());
+    for (const Sample& s : ds.samples) {
+      if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
+      if (s.geo_cell == kNoGeoCell) continue;
+      if (cls.class_of(s.ap) != which) continue;
+      ++cells[value(s.ap)][s.geo_cell];
+    }
+    top_cell.assign(ds.aps.size(), kNoGeoCell);
+    for (std::size_t i = 0; i < ds.aps.size(); ++i) {
+      int best = 0;
+      for (const auto& [cell, n] : cells[i]) {
+        if (n > best) {
+          best = n;
+          top_cell[i] = cell;
+        }
+      }
+    }
   }
 
   ApDensityMap out;
   out.count_by_cell.assign(static_cast<std::size_t>(num_cells), 0);
   for (std::size_t i = 0; i < ds.aps.size(); ++i) {
-    if (cells[i].empty()) continue;
-    GeoCell best_cell = kNoGeoCell;
-    int best = 0;
-    for (const auto& [cell, n] : cells[i]) {
-      if (n > best) {
-        best = n;
-        best_cell = cell;
-      }
-    }
+    const GeoCell best_cell = top_cell[i];
     if (best_cell != kNoGeoCell && best_cell < num_cells) {
       ++out.count_by_cell[best_cell];
     }

@@ -1,7 +1,10 @@
 #include "analysis/volumes.h"
 
 #include <algorithm>
+#include <span>
 
+#include "core/dataset_index.h"
+#include "core/parallel.h"
 #include "stats/descriptive.h"
 
 namespace tokyonet::analysis {
@@ -13,10 +16,39 @@ DatasetOverview overview(const Dataset& ds) {
     (d.os == Os::Android ? o.n_android : o.n_ios) += 1;
   }
   std::uint64_t lte = 0, total = 0;
-  for (const Sample& s : ds.samples) {
-    if (s.cell_rx == 0) continue;
-    total += s.cell_rx;
-    if (s.tech == CellTech::Lte) lte += s.cell_rx;
+  if (const core::DatasetIndex* idx = ds.index()) {
+    // Chunked u64 sums over the SoA columns: exact and associative, so
+    // the reduction matches the serial scan at any thread count.
+    const std::span<const std::uint32_t> cell_rx = idx->cell_rx();
+    const std::span<const CellTech> tech = idx->tech();
+    const std::size_t n = cell_rx.size();
+    constexpr std::size_t kScanChunk = std::size_t{1} << 16;
+    const std::size_t n_chunks = (n + kScanChunk - 1) / kScanChunk;
+    struct Sums {
+      std::uint64_t lte = 0, total = 0;
+    };
+    const std::vector<Sums> partials =
+        core::parallel_map(n_chunks, [&](std::size_t c) {
+          Sums sums;
+          const std::size_t begin = c * kScanChunk;
+          const std::size_t end = std::min(begin + kScanChunk, n);
+          for (std::size_t i = begin; i < end; ++i) {
+            if (cell_rx[i] == 0) continue;
+            sums.total += cell_rx[i];
+            if (tech[i] == CellTech::Lte) sums.lte += cell_rx[i];
+          }
+          return sums;
+        });
+    for (const Sums& p : partials) {
+      lte += p.lte;
+      total += p.total;
+    }
+  } else {
+    for (const Sample& s : ds.samples) {
+      if (s.cell_rx == 0) continue;
+      total += s.cell_rx;
+      if (s.tech == CellTech::Lte) lte += s.cell_rx;
+    }
   }
   o.lte_traffic_share = total > 0 ? static_cast<double>(lte) / static_cast<double>(total) : 0;
   return o;

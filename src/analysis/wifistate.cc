@@ -1,37 +1,137 @@
 #include "analysis/wifistate.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "core/dataset_index.h"
+#include "core/parallel.h"
+
 namespace tokyonet::analysis {
+namespace {
+
+// Devices per parallel_map item. Fixed, so the per-block partial
+// grouping never depends on the thread count; all accumulations below
+// are 0/1 (integer) sums, exact in doubles, so the block merge is
+// byte-identical to the serial per-sample reference.
+constexpr std::size_t kDeviceBlock = 16;
+
+void merge(WifiStateProfiles& into, const WifiStateProfiles& from) noexcept {
+  into.android_user.merge(from.android_user);
+  into.android_off.merge(from.android_off);
+  into.android_available.merge(from.android_available);
+  into.ios_user.merge(from.ios_user);
+}
+
+}  // namespace
 
 WifiStateProfiles compute_wifi_states(const Dataset& ds) {
-  WifiStateProfiles p;
   const CampaignCalendar& cal = ds.calendar;
-  for (const Sample& s : ds.samples) {
-    const Os os = ds.devices[value(s.device)].os;
-    const bool assoc = s.wifi_state == WifiState::Associated;
-    if (os == Os::Android) {
-      p.android_user.add(cal, s.bin, assoc ? 1.0 : 0.0, 1.0);
-      p.android_off.add(cal, s.bin,
-                        s.wifi_state == WifiState::Off ? 1.0 : 0.0, 1.0);
-      p.android_available.add(
-          cal, s.bin, s.wifi_state == WifiState::OnUnassociated ? 1.0 : 0.0,
-          1.0);
-    } else {
-      p.ios_user.add(cal, s.bin, assoc ? 1.0 : 0.0, 1.0);
+
+  const core::DatasetIndex* idx = ds.index();
+  if (idx == nullptr) {
+    WifiStateProfiles p;
+    for (const Sample& s : ds.samples) {
+      const Os os = ds.devices[value(s.device)].os;
+      const bool assoc = s.wifi_state == WifiState::Associated;
+      if (os == Os::Android) {
+        p.android_user.add(cal, s.bin, assoc ? 1.0 : 0.0, 1.0);
+        p.android_off.add(cal, s.bin,
+                          s.wifi_state == WifiState::Off ? 1.0 : 0.0, 1.0);
+        p.android_available.add(
+            cal, s.bin, s.wifi_state == WifiState::OnUnassociated ? 1.0 : 0.0,
+            1.0);
+      } else {
+        p.ios_user.add(cal, s.bin, assoc ? 1.0 : 0.0, 1.0);
+      }
     }
+    return p;
   }
+
+  const std::span<const TimeBin> bin = idx->bin();
+  const std::span<const WifiState> state = idx->wifi_state();
+  const std::span<const std::uint16_t> how = idx->hour_of_week_table();
+  const std::size_t n_devices = ds.devices.size();
+  const std::size_t n_blocks = (n_devices + kDeviceBlock - 1) / kDeviceBlock;
+  const std::vector<WifiStateProfiles> partials =
+      core::parallel_map(n_blocks, [&](std::size_t b) {
+        WifiStateProfiles p;
+        const std::size_t d0 = b * kDeviceBlock;
+        const std::size_t d1 = std::min(d0 + kDeviceBlock, n_devices);
+        for (std::size_t d = d0; d < d1; ++d) {
+          const bool android = ds.devices[d].os == Os::Android;
+          const std::size_t end = idx->device_end(d);
+          for (std::size_t i = idx->device_begin(d); i < end; ++i) {
+            const int h = how[bin[i]];
+            const WifiState ws = state[i];
+            if (android) {
+              p.android_user.add_hour(
+                  h, ws == WifiState::Associated ? 1.0 : 0.0, 1.0);
+              p.android_off.add_hour(h, ws == WifiState::Off ? 1.0 : 0.0, 1.0);
+              p.android_available.add_hour(
+                  h, ws == WifiState::OnUnassociated ? 1.0 : 0.0, 1.0);
+            } else {
+              p.ios_user.add_hour(h, ws == WifiState::Associated ? 1.0 : 0.0,
+                                  1.0);
+            }
+          }
+        }
+        return p;
+      });
+
+  WifiStateProfiles p;
+  for (const WifiStateProfiles& partial : partials) merge(p, partial);
   return p;
 }
 
 std::array<double, kNumCarriers> ios_wifi_user_by_carrier(const Dataset& ds) {
   std::array<double, kNumCarriers> assoc{};
   std::array<double, kNumCarriers> total{};
-  for (const Sample& s : ds.samples) {
-    const DeviceInfo& dev = ds.devices[value(s.device)];
-    if (dev.os != Os::Ios) continue;
-    const auto c = static_cast<std::size_t>(dev.carrier);
-    total[c] += 1;
-    assoc[c] += s.wifi_state == WifiState::Associated;
+
+  const core::DatasetIndex* idx = ds.index();
+  if (idx == nullptr) {
+    for (const Sample& s : ds.samples) {
+      const DeviceInfo& dev = ds.devices[value(s.device)];
+      if (dev.os != Os::Ios) continue;
+      const auto c = static_cast<std::size_t>(dev.carrier);
+      total[c] += 1;
+      assoc[c] += s.wifi_state == WifiState::Associated;
+    }
+  } else {
+    const std::span<const WifiState> state = idx->wifi_state();
+    struct Counts {
+      std::array<std::uint64_t, kNumCarriers> assoc{}, total{};
+    };
+    const std::size_t n_devices = ds.devices.size();
+    const std::size_t n_blocks = (n_devices + kDeviceBlock - 1) / kDeviceBlock;
+    const std::vector<Counts> partials =
+        core::parallel_map(n_blocks, [&](std::size_t b) {
+          Counts counts;
+          const std::size_t d0 = b * kDeviceBlock;
+          const std::size_t d1 = std::min(d0 + kDeviceBlock, n_devices);
+          for (std::size_t d = d0; d < d1; ++d) {
+            const DeviceInfo& dev = ds.devices[d];
+            if (dev.os != Os::Ios) continue;
+            const auto c = static_cast<std::size_t>(dev.carrier);
+            const std::size_t begin = idx->device_begin(d);
+            const std::size_t end = idx->device_end(d);
+            counts.total[c] += end - begin;
+            std::uint64_t a = 0;
+            for (std::size_t i = begin; i < end; ++i) {
+              a += state[i] == WifiState::Associated;
+            }
+            counts.assoc[c] += a;
+          }
+          return counts;
+        });
+    for (const Counts& p : partials) {
+      for (std::size_t c = 0; c < kNumCarriers; ++c) {
+        assoc[c] += static_cast<double>(p.assoc[c]);
+        total[c] += static_cast<double>(p.total[c]);
+      }
+    }
   }
+
   std::array<double, kNumCarriers> out{};
   for (int c = 0; c < kNumCarriers; ++c) {
     const auto i = static_cast<std::size_t>(c);

@@ -1,0 +1,172 @@
+#include "core/dataset_index.h"
+
+#include <algorithm>
+
+#include "core/parallel.h"
+#include "core/records.h"
+
+namespace tokyonet::core {
+
+std::shared_ptr<const DatasetIndex> DatasetIndex::build(const Dataset& ds) {
+  const std::span<const Sample> ss = ds.samples.span();
+  const std::size_t n = ss.size();
+  const std::size_t n_devices = ds.devices.size();
+  const std::size_t n_bins = static_cast<std::size_t>(ds.calendar.num_bins());
+  const int num_days = ds.calendar.num_days();
+
+  std::shared_ptr<DatasetIndex> idx(new DatasetIndex());
+  idx->num_days_ = num_days;
+  idx->bin_.resize(n);
+  idx->cell_rx_.resize(n);
+  idx->cell_tx_.resize(n);
+  idx->wifi_rx_.resize(n);
+  idx->wifi_tx_.resize(n);
+  idx->ap_.resize(n);
+  idx->wifi_state_.resize(n);
+  idx->tech_.resize(n);
+  idx->battery_.resize(n);
+  idx->rssi_.resize(n);
+  idx->geo_.resize(n);
+  idx->app_count_.resize(n);
+  idx->flags_.resize(n);
+  idx->scan24_all_.resize(n);
+  idx->scan24_strong_.resize(n);
+  idx->scan5_all_.resize(n);
+  idx->scan5_strong_.resize(n);
+
+  TimeBin* const bin = idx->bin_.data();
+  std::uint32_t* const cell_rx = idx->cell_rx_.data();
+  std::uint32_t* const cell_tx = idx->cell_tx_.data();
+  std::uint32_t* const wifi_rx = idx->wifi_rx_.data();
+  std::uint32_t* const wifi_tx = idx->wifi_tx_.data();
+  std::uint32_t* const ap = idx->ap_.data();
+  WifiState* const wifi_state = idx->wifi_state_.data();
+  CellTech* const tech = idx->tech_.data();
+  std::uint8_t* const battery = idx->battery_.data();
+  std::int8_t* const rssi = idx->rssi_.data();
+  std::uint16_t* const geo = idx->geo_.data();
+  std::uint8_t* const app_count = idx->app_count_.data();
+  std::uint8_t* const flags = idx->flags_.data();
+  std::uint8_t* const scan24_all = idx->scan24_all_.data();
+  std::uint8_t* const scan24_strong = idx->scan24_strong_.data();
+  std::uint8_t* const scan5_all = idx->scan5_all_.data();
+  std::uint8_t* const scan5_strong = idx->scan5_strong_.data();
+
+  // One parallel chunked pass projects the SoA columns and verifies the
+  // Dataset contract at the same time: every sample must reference a
+  // known device, carry an in-calendar bin, and follow its predecessor
+  // in (device, bin) order. Each chunk also checks the ordering edge to
+  // its predecessor chunk, so coverage is seamless. Any violation makes
+  // build() return nullptr instead of silently indexing a wrong stream.
+  constexpr std::size_t kChunk = 1 << 16;
+  const std::size_t n_chunks = (n + kChunk - 1) / kChunk;
+  const std::vector<char> chunk_ok =
+      parallel_map(n_chunks, [&](std::size_t c) -> char {
+        const std::size_t begin = c * kChunk;
+        const std::size_t end = std::min(begin + kChunk, n);
+        for (std::size_t i = begin; i < end; ++i) {
+          const Sample& s = ss[i];
+          if (value(s.device) >= n_devices) return 0;
+          if (std::size_t{s.bin} >= n_bins) return 0;
+          if (i > 0) {
+            const Sample& p = ss[i - 1];
+            if (value(p.device) > value(s.device) ||
+                (p.device == s.device && p.bin > s.bin)) {
+              return 0;
+            }
+          }
+          bin[i] = s.bin;
+          cell_rx[i] = s.cell_rx;
+          cell_tx[i] = s.cell_tx;
+          wifi_rx[i] = s.wifi_rx;
+          wifi_tx[i] = s.wifi_tx;
+          ap[i] = value(s.ap);
+          wifi_state[i] = s.wifi_state;
+          tech[i] = s.tech;
+          battery[i] = s.battery_pct;
+          rssi[i] = s.rssi_dbm;
+          geo[i] = s.geo_cell;
+          app_count[i] = s.app_count;
+          flags[i] =
+              static_cast<std::uint8_t>(s.tethering ? kFlagTethering : 0);
+          scan24_all[i] = s.scan_pub24_all;
+          scan24_strong[i] = s.scan_pub24_strong;
+          scan5_all[i] = s.scan_pub5_all;
+          scan5_strong[i] = s.scan_pub5_strong;
+        }
+        return 1;
+      });
+  if (std::find(chunk_ok.begin(), chunk_ok.end(), char{0}) != chunk_ok.end()) {
+    return nullptr;
+  }
+
+  // Device boundaries: the stream is (device, bin)-sorted, so each
+  // device's range starts at the partition point of its id.
+  idx->device_offset_.assign(n_devices + 1, 0);
+  idx->device_offset_[n_devices] = n;
+  parallel_for(n_devices, [&](std::size_t d) {
+    const Sample* first =
+        std::partition_point(ss.data(), ss.data() + n, [&](const Sample& s) {
+          return value(s.device) < d;
+        });
+    idx->device_offset_[d] = static_cast<std::size_t>(first - ss.data());
+  });
+
+  // Per-(device, day) boundaries and per-device app-traffic ranges, one
+  // linear walk of each device's (already cache-dense) bin column.
+  const std::size_t day_stride = static_cast<std::size_t>(num_days) + 1;
+  idx->day_offset_.assign(n_devices * day_stride, 0);
+  idx->app_range_.assign(n_devices * 2, 0);
+  parallel_for(n_devices, [&](std::size_t d) {
+    const std::size_t begin = idx->device_offset_[d];
+    const std::size_t end = idx->device_offset_[d + 1];
+    std::size_t* const days = idx->day_offset_.data() + d * day_stride;
+    std::size_t i = begin;
+    for (int day = 0; day < num_days; ++day) {
+      days[day] = i;
+      const auto limit = static_cast<TimeBin>((day + 1) * kBinsPerDay);
+      while (i < end && bin[i] < limit) ++i;
+    }
+    days[num_days] = end;
+
+    // Per-application records are spliced in device order (simulator /
+    // snapshot contract), so the union of this device's sample app
+    // ranges is itself contiguous.
+    std::size_t ab = 0, ae = 0;
+    bool any = false;
+    for (std::size_t j = begin; j < end; ++j) {
+      if (app_count[j] == 0) continue;  // dense column, not the 48-byte AoS
+      const Sample& s = ss[j];
+      const auto lo = std::size_t{s.app_begin};
+      const std::size_t hi = lo + s.app_count;
+      if (!any) {
+        ab = lo;
+        any = true;
+      } else {
+        ab = std::min(ab, lo);
+      }
+      ae = std::max(ae, hi);
+    }
+    idx->app_range_[2 * d] = ab;
+    idx->app_range_[2 * d + 1] = ae;
+  });
+
+  // Hour-of-week LUT, Saturday-based to match WeeklyProfile's axes.
+  idx->hour_of_week_.resize(n_bins);
+  for (int day = 0; day < num_days; ++day) {
+    const int sat_based =
+        (static_cast<int>(ds.calendar.weekday_of_day(day)) + 2) % 7;
+    for (int h = 0; h < 24; ++h) {
+      const auto how = static_cast<std::uint16_t>(sat_based * 24 + h);
+      const std::size_t base = static_cast<std::size_t>(day) * kBinsPerDay +
+                               static_cast<std::size_t>(h) * kBinsPerHour;
+      for (std::size_t b = 0; b < kBinsPerHour; ++b) {
+        idx->hour_of_week_[base + b] = how;
+      }
+    }
+  }
+
+  return idx;
+}
+
+}  // namespace tokyonet::core

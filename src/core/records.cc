@@ -4,39 +4,30 @@
 #include <cassert>
 #include <string>
 
+#include "core/dataset_index.h"
 #include "core/parallel.h"
 
 namespace tokyonet {
 
-void Dataset::build_index() {
-  // Read through a const view so indexing a borrowed (mmapped) column
-  // does not materialize an owned copy.
-  const std::span<const Sample> ss = samples.span();
-  device_offset_.assign(devices.size() + 1, 0);
-  for (const Sample& s : ss) {
-    assert(value(s.device) < devices.size());
-    ++device_offset_[value(s.device) + 1];
-  }
-  for (std::size_t i = 1; i < device_offset_.size(); ++i) {
-    device_offset_[i] += device_offset_[i - 1];
-  }
-#ifndef NDEBUG
-  // Verify (device, bin) ordering, the contract for device_samples().
-  for (std::size_t i = 1; i < ss.size(); ++i) {
-    const Sample& a = ss[i - 1];
-    const Sample& b = ss[i];
-    assert(value(a.device) < value(b.device) ||
-           (a.device == b.device && a.bin <= b.bin));
-  }
-#endif
+bool Dataset::build_index() {
+  index_ = core::DatasetIndex::build(*this);
+  return index_ != nullptr;
+}
+
+bool Dataset::indexed() const noexcept {
+  return index_ != nullptr && index_->num_samples() == samples.size();
+}
+
+const core::DatasetIndex* Dataset::index() const noexcept {
+  return indexed() ? index_.get() : nullptr;
 }
 
 std::span<const Sample> Dataset::device_samples(DeviceId id) const {
   assert(indexed());
   const std::size_t d = value(id);
   assert(d < devices.size());
-  const std::size_t begin = device_offset_[d];
-  const std::size_t end = device_offset_[d + 1];
+  const std::size_t begin = index_->device_begin(d);
+  const std::size_t end = index_->device_end(d);
   return {samples.data() + begin, end - begin};
 }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -22,6 +23,10 @@
 #include "core/clock.h"
 #include "core/column.h"
 #include "core/types.h"
+
+namespace tokyonet::core {
+class DatasetIndex;
+}  // namespace tokyonet::core
 
 namespace tokyonet {
 
@@ -201,9 +206,14 @@ class Dataset {
   }
   [[nodiscard]] int num_days() const noexcept { return calendar.num_days(); }
 
-  /// (Re)build the per-device sample index. Requires `samples` sorted by
-  /// (device, bin). Called by the simulator and by deserialization.
-  void build_index();
+  /// (Re)build the shared acceleration index (core/dataset_index.h):
+  /// per-device sample / app-traffic / per-day ranges plus SoA column
+  /// projections of the hot sample fields. Requires `samples` sorted by
+  /// (device, bin); returns false — leaving the dataset unindexed —
+  /// when the stream violates that contract (unordered samples,
+  /// out-of-range device or bin). Called by the simulator and by
+  /// deserialization.
+  bool build_index();
 
   /// Release-mode structural validation (the promoted form of the debug
   /// asserts in build_index()/device_samples()): checks device/AP/app
@@ -214,11 +224,13 @@ class Dataset {
   /// sample scan runs on the core/parallel pool.
   [[nodiscard]] std::string validate() const;
 
-  /// True once build_index() has run and matches the current sample count.
-  [[nodiscard]] bool indexed() const noexcept {
-    return !device_offset_.empty() &&
-           device_offset_.back() == samples.size();
-  }
+  /// True once build_index() has succeeded and matches the current
+  /// sample count.
+  [[nodiscard]] bool indexed() const noexcept;
+
+  /// The shared acceleration index, or nullptr when build_index() has
+  /// not run (or no longer matches the sample count).
+  [[nodiscard]] const core::DatasetIndex* index() const noexcept;
 
   /// All samples of one device, in time order.
   [[nodiscard]] std::span<const Sample> device_samples(DeviceId id) const;
@@ -229,7 +241,7 @@ class Dataset {
   }
 
  private:
-  std::vector<std::size_t> device_offset_;  // size devices+1
+  std::shared_ptr<const core::DatasetIndex> index_;
 };
 
 }  // namespace tokyonet

@@ -333,7 +333,10 @@ CsvResult load_dataset_csv(const fs::path& dir, Dataset& out) {
   // the analysis layer (which never reads them) stays safe to call.
   out.truth.devices.resize(out.devices.size());
   out.truth.aps.resize(out.aps.size());
-  out.build_index();
+  if (!out.build_index()) {
+    result.error = "samples.csv: rows not (device, bin)-ordered";
+    return result;
+  }
   return result;
 }
 

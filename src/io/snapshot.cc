@@ -660,7 +660,15 @@ SnapshotResult load_snapshot(const fs::path& path, Dataset& out,
     result.error = err;
     return result;
   }
-  out.build_index();
+  if (!out.build_index()) {
+    // validate() passed, so this is unreachable in practice; treat a
+    // disagreement between the two checks as a corrupt file anyway.
+    const std::string err =
+        path_err(path, "invalid dataset: samples not (device, bin)-ordered");
+    out = Dataset{};
+    result.error = err;
+    return result;
+  }
 
   if (info_out != nullptr) *info_out = info;
   return result;

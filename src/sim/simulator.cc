@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <optional>
 #include <span>
@@ -150,7 +151,11 @@ class CampaignRunner {
     deployment_.export_to(ds);
     stats::Rng survey_rng = root_rng_.fork(0x50BE);
     build_survey(config_, users_, survey_rng, ds);
-    ds.build_index();
+    // Samples are (device, bin)-ordered by construction, so indexing
+    // cannot fail here.
+    const bool ok = ds.build_index();
+    assert(ok);
+    (void)ok;
     return ds;
   }
 

@@ -5,7 +5,8 @@
 # streaming-ingest replay throughput lines that bench_ingest prints
 # ("tokyonet-ingest: key=value ...") are parsed into the JSON too.
 #
-# Usage: tools/run_bench.sh [--cache-dir DIR] [--smoke] [build_dir] [out.json]
+# Usage: tools/run_bench.sh [--cache-dir DIR] [--smoke] [--allow-debug]
+#                           [build_dir] [out.json]
 #   --cache-dir DIR  enable the on-disk campaign cache: pre-warm DIR via
 #                    `tokyonet snapshot warm`, then run every bench with
 #                    TOKYONET_CACHE_DIR=DIR so campaigns are mmap-loaded
@@ -13,7 +14,12 @@
 #                    output JSON.
 #   --smoke          print only each binary's reproduction (skip kernel
 #                    timings) — fast correctness pass, e.g. in ctest.
-#   build_dir        defaults to ./build
+#                    Exempt from the Release-build requirement.
+#   --allow-debug    record timings from a non-Release build anyway. By
+#                    default the script refuses: a Debug/unset build type
+#                    would quietly poison the BENCH JSON trajectory.
+#   build_dir        defaults to ./build; configured + built at
+#                    CMAKE_BUILD_TYPE=Release automatically if missing
 #   out.json         defaults to BENCH_$(date +%Y%m%d).json in the repo root
 #
 # Respects TOKYONET_THREADS and TOKYONET_BENCH_SCALE; both are recorded
@@ -23,6 +29,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cache_dir=""
 smoke=0
+allow_debug=0
 positional=()
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -31,6 +38,8 @@ while [ $# -gt 0 ]; do
       cache_dir="$2"; shift 2 ;;
     --smoke)
       smoke=1; shift ;;
+    --allow-debug)
+      allow_debug=1; shift ;;
     -*)
       echo "error: unknown flag $1" >&2; exit 2 ;;
     *)
@@ -42,9 +51,30 @@ out_json="${positional[1]:-${repo_root}/BENCH_$(date +%Y%m%d).json}"
 bench_dir="${build_dir}/bench"
 
 if [ ! -d "${bench_dir}" ]; then
-  echo "error: ${bench_dir} not found — build first:" >&2
-  echo "  cmake -B build -S . && cmake --build build -j" >&2
-  exit 1
+  echo "${bench_dir} not found — configuring ${build_dir} at Release..."
+  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${build_dir}" -j
+fi
+
+# Timings from anything but an optimized build are noise; read the build
+# type straight from the CMake cache so a stale Debug tree can't sneak
+# into the trajectory.
+build_type=""
+if [ -f "${build_dir}/CMakeCache.txt" ]; then
+  build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+      "${build_dir}/CMakeCache.txt")"
+fi
+if [ "${smoke}" -eq 0 ] && [ "${build_type}" != "Release" ]; then
+  if [ "${allow_debug}" -eq 1 ]; then
+    echo "warning: recording timings from a '${build_type:-unset}' build" \
+         "(--allow-debug)" >&2
+  else
+    echo "error: ${build_dir} is built with" \
+         "CMAKE_BUILD_TYPE='${build_type:-unset}', not Release." >&2
+    echo "  reconfigure with -DCMAKE_BUILD_TYPE=Release, or pass" \
+         "--allow-debug to record timings from it anyway." >&2
+    exit 1
+  fi
 fi
 
 if [ -n "${cache_dir}" ]; then
@@ -118,11 +148,12 @@ ingest_lines="${tmp_dir}/ingest_lines.txt"
 cat "${tmp_dir}"/*.log | grep '^tokyonet-ingest: ' > "${ingest_lines}" || true
 
 python3 - "${tmp_dir}" "${out_json}" "${cache_dir}" "${cache_hits}" \
-         "${cache_misses}" "${ingest_lines}" <<'PY'
+         "${cache_misses}" "${ingest_lines}" "${build_type}" <<'PY'
 import json, os, sys
 from datetime import datetime, timezone
 
-tmp_dir, out_json, cache_dir, hits, misses, ingest_lines = sys.argv[1:7]
+tmp_dir, out_json, cache_dir, hits, misses, ingest_lines, build_type = \
+    sys.argv[1:8]
 
 def parse_ingest_line(line):
     # "tokyonet-ingest: year=2015 mode=block shards=4 ... records_per_sec=..."
@@ -147,6 +178,7 @@ result = {
     "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
     "threads": os.environ.get("TOKYONET_THREADS", "auto"),
     "bench_scale": os.environ.get("TOKYONET_BENCH_SCALE", "1.0"),
+    "build_type": build_type,
     "campaign_cache": {
         "enabled": bool(cache_dir),
         "hits": int(hits),

@@ -47,6 +47,7 @@
 
 #include "analysis/aggregate.h"
 #include "analysis/classify.h"
+#include "analysis/context.h"
 #include "analysis/ratios.h"
 #include "analysis/update.h"
 #include "analysis/usertype.h"
@@ -219,12 +220,17 @@ void print_report(const Dataset& ds) {
               std::string(to_string(ds.year)).c_str(), ds.num_days(),
               ds.devices.size(), ds.samples.size());
 
+  // One memoized context: user days, AP classification, the user
+  // classifier, and update detection are each computed exactly once and
+  // shared by every section below.
+  const analysis::AnalysisContext ctx(ds);
+
   const analysis::DatasetOverview ov = analysis::overview(ds);
   std::printf("devices: %d Android + %d iOS; LTE carries %.0f%% of "
               "cellular download\n",
               ov.n_android, ov.n_ios, 100 * ov.lte_traffic_share);
 
-  const auto days = analysis::user_days(ds);
+  const auto& days = ctx.days();
   const analysis::DailyVolumeStats vs = analysis::daily_volume_stats(days);
   io::TextTable volumes({"daily download", "median [MB]", "mean [MB]"});
   volumes.add_row({"total", io::TextTable::num(vs.median_all),
@@ -235,7 +241,7 @@ void print_report(const Dataset& ds) {
                    io::TextTable::num(vs.mean_wifi)});
   volumes.print();
 
-  const analysis::ApClassification cls = analysis::classify_aps(ds);
+  const analysis::ApClassification& cls = ctx.classification();
   const auto counts = cls.counts();
   std::printf("\nAPs: %d home, %d public, %d other (%d office); %.0f%% of "
               "devices have a home AP\n",
@@ -247,7 +253,7 @@ void print_report(const Dataset& ds) {
   std::printf("WiFi volume: %.1f%% home, %.1f%% public, %.1f%% office\n",
               100 * shares.home, 100 * shares.publik, 100 * shares.office);
 
-  const analysis::UserClassifier classes(days);
+  const analysis::UserClassifier& classes = ctx.classifier();
   const analysis::WifiRatios ratios =
       analysis::compute_wifi_ratios(ds, days, classes);
   std::printf("WiFi-traffic ratio %.2f, WiFi-user ratio %.2f "
@@ -263,9 +269,7 @@ void print_report(const Dataset& ds) {
               100 * types.wifi_intensive_frac, 100 * types.mixed_frac);
 
   if (ds.year == Year::Y2015) {
-    analysis::UpdateDetectOptions opt;
-    opt.min_day = 9;
-    const auto det = analysis::detect_updates(ds, opt);
+    const analysis::UpdateDetection& det = ctx.updates();
     const auto timing = analysis::analyze_update_timing(ds, det, cls);
     std::printf("iOS 8.2: %.0f%% of iOS devices updated; home/no-home "
                 "median delay %.1f / %.1f days\n",
