@@ -7,57 +7,6 @@ namespace {
 
 using namespace tokyonet;
 
-struct PrecisionRecall {
-  double precision = 0;
-  double recall = 0;
-  double device_share = 0;
-};
-
-PrecisionRecall evaluate(const Dataset& ds,
-                         const analysis::ApClassification& cls) {
-  int inferred = 0, correct = 0, owners = 0, correct_owner = 0;
-  for (std::size_t i = 0; i < ds.devices.size(); ++i) {
-    const DeviceTruth& t = ds.truth.devices[i];
-    owners += t.has_home_ap;
-    const ApId ap = cls.home_ap_of_device[i];
-    if (ap == kNoAp) continue;
-    ++inferred;
-    if (t.has_home_ap && ap == t.home_ap) {
-      ++correct;
-      ++correct_owner;
-    }
-  }
-  PrecisionRecall pr;
-  if (inferred > 0) pr.precision = static_cast<double>(correct) / inferred;
-  if (owners > 0) pr.recall = static_cast<double>(correct_owner) / owners;
-  pr.device_share = cls.home_ap_device_share();
-  return pr;
-}
-
-void print_reproduction() {
-  bench::print_header("bench_ablate_home_threshold",
-                      "ablation of §3.4.1's 70% nightly-presence rule");
-  const Dataset& ds = bench::campaign(Year::Y2015);
-  io::TextTable t({"threshold", "precision", "recall", "inferred share",
-                   "home APs"});
-  for (double threshold : {0.50, 0.60, 0.70, 0.80, 0.90}) {
-    analysis::ClassifyOptions opt;
-    opt.home_presence_threshold = threshold;
-    const auto cls = analysis::classify_aps(ds, opt);
-    const PrecisionRecall pr = evaluate(ds, cls);
-    t.add_row({io::TextTable::pct(threshold, 0),
-               io::TextTable::pct(pr.precision),
-               io::TextTable::pct(pr.recall),
-               io::TextTable::pct(pr.device_share),
-               std::to_string(cls.counts().home)});
-  }
-  t.print();
-  std::printf("\nreading: lower thresholds mislabel overnight visits "
-              "(precision drops); higher thresholds miss flappy home "
-              "links (recall drops). The paper's 70%% sits on the "
-              "plateau.\n");
-}
-
 void BM_ClassifyAtThreshold(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   analysis::ClassifyOptions opt;
@@ -75,4 +24,4 @@ BENCHMARK(BM_ClassifyAtThreshold)
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("ablate_home_threshold")

@@ -8,34 +8,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_ablate_rssi_cutoff",
-                      "ablation of §3.5's availability definition");
-  const Dataset& ds = bench::campaign(Year::Y2015);
-
-  // The record schema pre-bins scans at the -70 dBm cutoff (strong vs
-  // all), mirroring what the measurement software could cheaply report.
-  // Two sweeps bracket the definition: (a) what counts as a usable
-  // network (strong only vs any detection), (b) how often a user must
-  // see one to count as having a "stable" opportunity.
-  io::TextTable t({"usable =", "stable-bin share", "users w/ opportunity",
-                   "offloadable cell share"});
-  for (double stable : {0.05, 0.15, 0.30, 0.50}) {
-    analysis::OpportunityOptions opt;
-    opt.stable_bin_share = stable;
-    const auto o = analysis::offload_opportunity(ds, opt);
-    t.add_row({"strong (>= -70 dBm)", io::TextTable::pct(stable, 0),
-               io::TextTable::pct(o.users_with_stable_opportunity, 0),
-               io::TextTable::pct(o.offloadable_cell_share, 0)});
-  }
-  t.print();
-  std::printf("\nreading: the offloadable share is insensitive to the "
-              "stability requirement (the coverage is bimodal: downtown "
-              "users see strong APs constantly, suburban users almost "
-              "never), which is why the paper's single -70 dBm cutoff "
-              "yields a robust 15-20%% estimate.\n");
-}
-
 void BM_Opportunity(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   analysis::OpportunityOptions opt;
@@ -48,4 +20,4 @@ BENCHMARK(BM_Opportunity)->Arg(5)->Arg(30)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("ablate_rssi_cutoff")

@@ -8,39 +8,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_ablate_user_bands",
-                      "ablation of §2's light/heavy user definitions");
-  const Dataset& ds = bench::campaign(Year::Y2015);
-  const auto& days = bench::days(Year::Y2015);
-
-  io::TextTable t({"light band", "heavy band", "light WiFi ratio",
-                   "heavy WiFi ratio", "separation"});
-  struct Bands {
-    double lo, hi, heavy;
-  };
-  for (const Bands& b : {Bands{30, 70, 95}, Bands{40, 60, 95},
-                         Bands{45, 55, 95}, Bands{40, 60, 99},
-                         Bands{40, 60, 90}}) {
-    const analysis::UserClassifier classes(days, b.lo, b.hi, b.heavy);
-    const analysis::WifiRatios r =
-        analysis::compute_wifi_ratios(ds, days, classes);
-    const double light = r.traffic_light.mean_ratio();
-    const double heavy = r.traffic_heavy.mean_ratio();
-    char light_band[32], heavy_band[32];
-    std::snprintf(light_band, sizeof light_band, "%.0f-%.0f pct", b.lo, b.hi);
-    std::snprintf(heavy_band, sizeof heavy_band, "top %.0f%%", 100 - b.heavy);
-    t.add_row({light_band, heavy_band, io::TextTable::pct(light, 0),
-               io::TextTable::pct(heavy, 0),
-               io::TextTable::num(heavy - light, 2)});
-  }
-  t.print();
-  std::printf("\nreading: the heavy-vs-light offloading separation "
-              "(Fig 7) is robust to the exact band boundaries — widening "
-              "the light band or trimming the heavy tail moves the means "
-              "only slightly.\n");
-}
-
 void BM_RatiosUnderBands(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   const auto& days = bench::days(Year::Y2015);
@@ -54,4 +21,4 @@ BENCHMARK(BM_RatiosUnderBands)->Arg(90)->Arg(95)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("ablate_user_bands")

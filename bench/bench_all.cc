@@ -1,0 +1,24 @@
+// Runs the entire figure catalog through the shared runner: every
+// registered reproduction, stacked over its paper years, in id order.
+// The trailing "tokyonet-figures: count=N" line is machine-read by
+// tools/run_bench.sh to record catalog coverage in the BENCH json.
+#include "common.h"
+
+namespace {
+
+using namespace tokyonet;
+
+void print_reproduction() {
+  bench::print_header("bench_all", "the full figure catalog");
+  const auto& registry = report::FigureRegistry::instance();
+  for (const report::FigureSpec& spec : registry.figures()) {
+    std::printf("\n");
+    std::fputs(report::to_text(bench::runner().run_stacked(spec)).c_str(),
+               stdout);
+  }
+  std::printf("\ntokyonet-figures: count=%zu\n", registry.size());
+}
+
+}  // namespace
+
+TOKYONET_BENCH_MAIN()

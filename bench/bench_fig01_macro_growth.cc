@@ -7,23 +7,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_fig01_macro_growth",
-                      "Fig 1 (RBB vs cellular download, Japan)");
-  io::TextTable t({"year", "RBB download [Gbps]", "cellular 3G+LTE [Gbps]",
-                   "cell/RBB"});
-  for (const analysis::MacroPoint& p : analysis::macro_growth_series(1)) {
-    t.add_row({io::TextTable::num(p.year, 0), io::TextTable::num(p.rbb_gbps, 0),
-               io::TextTable::num(p.cell_gbps, 0),
-               io::TextTable::pct(p.cell_gbps / p.rbb_gbps)});
-  }
-  t.print();
-  std::printf(
-      "\npaper anchor: cellular = 20%% of RBB at end of 2014 -> model %.0f%%\n",
-      100.0 * analysis::cellular_download_gbps(2014.9) /
-          analysis::rbb_download_gbps(2014.9));
-}
-
 void BM_MacroSeries(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(analysis::macro_growth_series(12));
@@ -33,4 +16,4 @@ BENCHMARK(BM_MacroSeries);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("fig01")

@@ -7,44 +7,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_fig02_aggregate_volume",
-                      "Fig 2 (aggregated traffic volume, 2015)");
-  const Dataset& ds = bench::campaign(Year::Y2015);
-  const auto cell_rx = analysis::aggregate_series(ds, analysis::Stream::CellRx);
-  const auto cell_tx = analysis::aggregate_series(ds, analysis::Stream::CellTx);
-  const auto wifi_rx = analysis::aggregate_series(ds, analysis::Stream::WifiRx);
-  const auto wifi_tx = analysis::aggregate_series(ds, analysis::Stream::WifiTx);
-
-  io::TextTable t({"date", "hour", "Cell TX", "Cell RX", "WiFi TX", "WiFi RX"});
-  for (int day = 0; day < 8 && day < ds.num_days(); ++day) {
-    for (int hour = 0; hour < 24; hour += 3) {
-      const auto i = static_cast<std::size_t>(day * 24 + hour);
-      t.add_row({ds.calendar.day_label(day), std::to_string(hour) + ":00",
-                 io::TextTable::num(cell_tx.mbps[i], 2),
-                 io::TextTable::num(cell_rx.mbps[i], 2),
-                 io::TextTable::num(wifi_tx.mbps[i], 2),
-                 io::TextTable::num(wifi_rx.mbps[i], 2)});
-    }
-  }
-  t.print();
-
-  const double wifi = wifi_rx.total_mb() + wifi_tx.total_mb();
-  const double cell = cell_rx.total_mb() + cell_tx.total_mb();
-  std::printf("\nWiFi share of total volume: %.0f%% (paper: 67%% in 2015)\n",
-              100 * wifi / (wifi + cell));
-
-  const analysis::WeekSplit cell_split =
-      analysis::weekday_weekend_split(ds, analysis::Stream::CellRx);
-  const analysis::WeekSplit wifi_split =
-      analysis::weekday_weekend_split(ds, analysis::Stream::WifiRx);
-  std::printf("weekday vs weekend mean rate [Mbps]: cellular %.1f vs %.1f, "
-              "WiFi %.1f vs %.1f   [paper: cellular drops on weekends, "
-              "WiFi rises]\n",
-              cell_split.weekday_mbps, cell_split.weekend_mbps,
-              wifi_split.weekday_mbps, wifi_split.weekend_mbps);
-}
-
 void BM_AggregateSeries(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   for (auto _ : state) {
@@ -56,4 +18,4 @@ BENCHMARK(BM_AggregateSeries)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("fig02")

@@ -7,30 +7,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_fig03_daily_total_cdf",
-                      "Fig 3 (CDFs of daily total traffic per user)");
-  io::TextTable t({"MB", "RX'13", "RX'14", "RX'15", "TX'13", "TX'14",
-                   "TX'15"});
-  analysis::DailyVolumeCdfs cdfs[kNumYears];
-  for (Year y : kAllYears) {
-    cdfs[static_cast<int>(y)] = analysis::daily_volume_cdfs(bench::days(y));
-  }
-  for (double mb : {1.0, 3.0, 10.0, 30.0, 57.9, 100.0, 300.0, 1000.0, 3000.0}) {
-    std::vector<std::string> row{io::TextTable::num(mb, 1)};
-    for (int y = 0; y < kNumYears; ++y) {
-      row.push_back(io::TextTable::num(cdfs[y].all_rx.at(mb), 3));
-    }
-    for (int y = 0; y < kNumYears; ++y) {
-      row.push_back(io::TextTable::num(cdfs[y].all_tx.at(mb), 3));
-    }
-    t.add_row(std::move(row));
-  }
-  t.print();
-  std::printf("\nRX/TX median ratio 2015: %.1fx (paper: RX ~5x TX)\n",
-              cdfs[2].all_rx.quantile(0.5) / cdfs[2].all_tx.quantile(0.5));
-}
-
 void BM_DailyCdfs(benchmark::State& state) {
   const auto& days = bench::days(Year::Y2015);
   for (auto _ : state) {
@@ -49,4 +25,4 @@ BENCHMARK(BM_UserDayRollup)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("fig03")

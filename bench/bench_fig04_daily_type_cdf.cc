@@ -8,33 +8,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_fig04_daily_type_cdf",
-                      "Fig 4 (daily volume per type, 2015)");
-  const auto& days = bench::days(Year::Y2015);
-  const analysis::DailyVolumeCdfs cdfs = analysis::daily_volume_cdfs(days);
-
-  io::TextTable t({"MB", "WiFi RX", "WiFi TX", "Cell RX", "Cell TX"});
-  for (double mb : {0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0}) {
-    t.add_row({io::TextTable::num(mb, 1),
-               io::TextTable::num(cdfs.wifi_rx.at(mb), 3),
-               io::TextTable::num(cdfs.wifi_tx.at(mb), 3),
-               io::TextTable::num(cdfs.cell_rx.at(mb), 3),
-               io::TextTable::num(cdfs.cell_tx.at(mb), 3)});
-  }
-  t.print();
-
-  const analysis::DailyVolumeFacts f = analysis::daily_volume_facts(days);
-  std::printf("\nidle cellular interfaces: %s (paper 8%%)\n",
-              io::TextTable::pct(f.zero_cell_share, 1).c_str());
-  std::printf("idle WiFi interfaces:     %s (paper 20%%)\n",
-              io::TextTable::pct(f.zero_wifi_share, 1).c_str());
-  std::printf("user-days over the 1 GB/3-day cap: %s (paper 1.4%%)\n",
-              io::TextTable::pct(f.over_cap_share, 2).c_str());
-  std::printf("top heavy hitter: %.1f GB in one day (paper 11 GB)\n",
-              f.max_daily_rx_mb / 1000.0);
-}
-
 void BM_DailyFacts(benchmark::State& state) {
   const auto& days = bench::days(Year::Y2015);
   for (auto _ : state) {
@@ -45,4 +18,4 @@ BENCHMARK(BM_DailyFacts)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("fig04")

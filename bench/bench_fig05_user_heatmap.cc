@@ -7,39 +7,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_fig05_user_heatmap",
-                      "Fig 5 (daily traffic volume per user, 2015 + 2013)");
-  const auto heat = analysis::user_day_heatmap(bench::days(Year::Y2015), 3);
-
-  // Coarse ASCII density map: x = cellular MB, y = WiFi MB, 10^-2..10^3.
-  std::printf("WiFi MB (rows, top=10^3) vs cellular MB (cols, right=10^3)\n");
-  for (int y = heat.bins() - 1; y >= 0; --y) {
-    std::printf("%8.2g |", heat.bin_center(y));
-    for (int x = 0; x < heat.bins(); ++x) {
-      const double c = heat.count(x, y);
-      std::fputc(c == 0 ? '.' : c < 5 ? ':' : c < 25 ? 'o' : c < 100 ? 'O' : '@',
-                 stdout);
-    }
-    std::fputc('\n', stdout);
-  }
-
-  io::TextTable t({"year", "cellular-intensive", "wifi-intensive", "mixed",
-                   "mixed above diagonal"});
-  for (Year y : {Year::Y2013, Year::Y2015}) {
-    const analysis::UserTypeStats s =
-        analysis::user_type_stats(bench::campaign(y), bench::days(y));
-    t.add_row({std::string(to_string(y)),
-               io::TextTable::pct(s.cellular_intensive_frac, 0),
-               io::TextTable::pct(s.wifi_intensive_frac, 0),
-               io::TextTable::pct(s.mixed_frac, 0),
-               io::TextTable::pct(s.mixed_above_diagonal_frac, 0)});
-  }
-  t.print();
-  std::printf("\npaper: cellular-intensive 35%% (2013) -> 22%% (2015); "
-              "wifi-intensive ~8%%; 55%% of mixed users above the diagonal\n");
-}
-
 void BM_UserTypeStats(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   const auto& days = bench::days(Year::Y2015);
@@ -59,4 +26,4 @@ BENCHMARK(BM_Heatmap)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("fig05")

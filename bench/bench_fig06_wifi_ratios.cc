@@ -7,47 +7,6 @@ namespace {
 
 using namespace tokyonet;
 
-const analysis::WifiRatios& ratios(Year y) {
-  static const analysis::WifiRatios* cache[kNumYears] = {};
-  const int i = static_cast<int>(y);
-  if (cache[i] == nullptr) {
-    const auto& days = bench::days(y);
-    cache[i] = new analysis::WifiRatios(analysis::compute_wifi_ratios(
-        bench::campaign(y), days, bench::classifier(y)));
-  }
-  return *cache[i];
-}
-
-void print_reproduction() {
-  bench::print_header("bench_fig06_wifi_ratios",
-                      "Fig 6 (WiFi-traffic & WiFi-user ratio)");
-  static const char* kDays[] = {"Sat", "Sun", "Mon", "Tue", "Wed", "Thu", "Fri"};
-  const auto t13 = ratios(Year::Y2013).traffic_all.ratio_series();
-  const auto t15 = ratios(Year::Y2015).traffic_all.ratio_series();
-  const auto u13 = ratios(Year::Y2013).users_all.ratio_series();
-  const auto u15 = ratios(Year::Y2015).users_all.ratio_series();
-
-  io::TextTable t({"day", "hour", "traffic'13", "traffic'15", "users'13",
-                   "users'15"});
-  for (int d = 0; d < 7; ++d) {
-    for (int h = 0; h < 24; h += 4) {
-      const auto i = static_cast<std::size_t>(d * 24 + h);
-      t.add_row({kDays[d], std::to_string(h) + ":00",
-                 io::TextTable::num(t13[i], 2), io::TextTable::num(t15[i], 2),
-                 io::TextTable::num(u13[i], 2), io::TextTable::num(u15[i], 2)});
-    }
-  }
-  t.print();
-  std::printf("\nmean WiFi-traffic ratio: %.2f (2013) -> %.2f (2015)"
-              "   [paper 0.58 -> 0.71]\n",
-              ratios(Year::Y2013).traffic_all.mean_ratio(),
-              ratios(Year::Y2015).traffic_all.mean_ratio());
-  std::printf("mean WiFi-user ratio:    %.2f (2013) -> %.2f (2015)"
-              "   [paper 0.32 -> 0.48]\n",
-              ratios(Year::Y2013).users_all.mean_ratio(),
-              ratios(Year::Y2015).users_all.mean_ratio());
-}
-
 void BM_ComputeRatios(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   const auto& days = bench::days(Year::Y2015);
@@ -60,4 +19,4 @@ BENCHMARK(BM_ComputeRatios)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("fig06")

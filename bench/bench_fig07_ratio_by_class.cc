@@ -7,37 +7,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_year(Year y) {
-  const auto& days = bench::days(y);
-  const analysis::WifiRatios r = analysis::compute_wifi_ratios(
-      bench::campaign(y), days, bench::classifier(y));
-  static const char* kDays[] = {"Sat", "Sun", "Mon", "Tue", "Wed", "Thu", "Fri"};
-  const auto heavy = r.traffic_heavy.ratio_series();
-  const auto light = r.traffic_light.ratio_series();
-
-  std::printf("\n(%s)\n", std::string(to_string(y)).c_str());
-  io::TextTable t({"day", "hour", "heavy", "light"});
-  for (int d = 0; d < 7; ++d) {
-    for (int h = 0; h < 24; h += 6) {
-      const auto i = static_cast<std::size_t>(d * 24 + h);
-      t.add_row({kDays[d], std::to_string(h) + ":00",
-                 io::TextTable::num(heavy[i], 2),
-                 io::TextTable::num(light[i], 2)});
-    }
-  }
-  t.print();
-  std::printf("means: heavy %.2f, light %.2f\n",
-              r.traffic_heavy.mean_ratio(), r.traffic_light.mean_ratio());
-}
-
-void print_reproduction() {
-  bench::print_header("bench_fig07_ratio_by_class",
-                      "Fig 7 (WiFi-traffic ratio by user class)");
-  print_year(Year::Y2013);
-  print_year(Year::Y2015);
-  std::printf("\npaper means: heavy 73%% -> 89%%; light 42%% -> 52%%\n");
-}
-
 void BM_ClassifyUserDays(benchmark::State& state) {
   const auto& days = bench::days(Year::Y2015);
   for (auto _ : state) {
@@ -48,4 +17,4 @@ BENCHMARK(BM_ClassifyUserDays)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("fig07")

@@ -6,38 +6,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_year(Year y) {
-  const auto& days = bench::days(y);
-  const analysis::WifiRatios r = analysis::compute_wifi_ratios(
-      bench::campaign(y), days, bench::classifier(y));
-  static const char* kDays[] = {"Sat", "Sun", "Mon", "Tue", "Wed", "Thu", "Fri"};
-  const auto heavy = r.users_heavy.ratio_series();
-  const auto light = r.users_light.ratio_series();
-
-  std::printf("\n(%s)\n", std::string(to_string(y)).c_str());
-  io::TextTable t({"day", "hour", "heavy", "light"});
-  for (int d = 0; d < 7; ++d) {
-    for (int h = 0; h < 24; h += 6) {
-      const auto i = static_cast<std::size_t>(d * 24 + h);
-      t.add_row({kDays[d], std::to_string(h) + ":00",
-                 io::TextTable::num(heavy[i], 2),
-                 io::TextTable::num(light[i], 2)});
-    }
-  }
-  t.print();
-  std::printf("means: heavy %.2f, light %.2f\n", r.users_heavy.mean_ratio(),
-              r.users_light.mean_ratio());
-}
-
-void print_reproduction() {
-  bench::print_header("bench_fig08_user_ratio_by_class",
-                      "Fig 8 (WiFi-user ratio by user class)");
-  print_year(Year::Y2013);
-  print_year(Year::Y2015);
-  std::printf("\npaper: heavy-hitter mean 51%% (2013) -> 68%% (2015); "
-              ">80%% of heavy hitters on WiFi at peak in 2015\n");
-}
-
 void BM_RatiosWithClasses(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2013);
   const auto& days = bench::days(Year::Y2013);
@@ -50,4 +18,4 @@ BENCHMARK(BM_RatiosWithClasses)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("fig08")

@@ -7,51 +7,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_fig09_wifi_state",
-                      "Fig 9 (WiFi interface states by OS)");
-  static const char* kDays[] = {"Sat", "Sun", "Mon", "Tue", "Wed", "Thu", "Fri"};
-  const analysis::WifiStateProfiles p13 =
-      analysis::compute_wifi_states(bench::campaign(Year::Y2013));
-  const analysis::WifiStateProfiles p15 =
-      analysis::compute_wifi_states(bench::campaign(Year::Y2015));
-
-  io::TextTable t({"day", "hour", "user'13", "off'13", "avail'13", "user'15",
-                   "off'15", "avail'15", "iOS'13", "iOS'15"});
-  const auto u13 = p13.android_user.ratio_series();
-  const auto o13 = p13.android_off.ratio_series();
-  const auto a13 = p13.android_available.ratio_series();
-  const auto u15 = p15.android_user.ratio_series();
-  const auto o15 = p15.android_off.ratio_series();
-  const auto a15 = p15.android_available.ratio_series();
-  const auto i13 = p13.ios_user.ratio_series();
-  const auto i15 = p15.ios_user.ratio_series();
-  for (int d = 0; d < 7; ++d) {
-    for (int h = 0; h < 24; h += 6) {
-      const auto i = static_cast<std::size_t>(d * 24 + h);
-      t.add_row({kDays[d], std::to_string(h) + ":00",
-                 io::TextTable::num(u13[i], 2), io::TextTable::num(o13[i], 2),
-                 io::TextTable::num(a13[i], 2), io::TextTable::num(u15[i], 2),
-                 io::TextTable::num(o15[i], 2), io::TextTable::num(a15[i], 2),
-                 io::TextTable::num(i13[i], 2), io::TextTable::num(i15[i], 2)});
-    }
-  }
-  t.print();
-  std::printf("\nmean Android WiFi-off: %.2f (2013) -> %.2f (2015)"
-              "   [paper: daytime 50%% -> 40%%]\n",
-              p13.mean_android_off(), p15.mean_android_off());
-  std::printf("mean Android WiFi-available: %.2f / %.2f   [paper ~0.25]\n",
-              p13.mean_android_available(), p15.mean_android_available());
-  std::printf("iOS vs Android WiFi-user (2015): %.2f vs %.2f"
-              "   [paper: iOS ~30%% higher]\n",
-              p15.ios_user.mean_ratio(), p15.android_user.mean_ratio());
-  const auto carriers =
-      analysis::ios_wifi_user_by_carrier(bench::campaign(Year::Y2015));
-  std::printf("iOS WiFi-user share by carrier: %.2f / %.2f / %.2f"
-              "   [paper: no carrier difference]\n",
-              carriers[0], carriers[1], carriers[2]);
-}
-
 void BM_WifiStates(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   for (auto _ : state) {
@@ -62,4 +17,4 @@ BENCHMARK(BM_WifiStates)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("fig09")

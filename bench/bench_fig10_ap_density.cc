@@ -8,46 +8,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_map(std::string_view caption, const analysis::ApDensityMap& m,
-               const geo::Grid& grid) {
-  std::printf("\n%.*s  (cells>=1: %d, cells>=100: %d, max: %d)\n",
-              static_cast<int>(caption.size()), caption.data(),
-              m.cells_with_ap, m.cells_with_100, m.max_count);
-  for (int y = grid.height() - 1; y >= 0; y -= 2) {
-    for (int x = 0; x < grid.width(); x += 2) {
-      int n = 0;
-      for (int dy = 0; dy < 2 && y - dy >= 0; ++dy) {
-        for (int dx = 0; dx < 2 && x + dx < grid.width(); ++dx) {
-          n += m.count_by_cell[static_cast<std::size_t>(
-              (y - dy) * grid.width() + x + dx)];
-        }
-      }
-      std::fputc(n == 0 ? '.' : n < 5 ? ':' : n < 20 ? 'o' : n < 80 ? 'O' : '@',
-                 stdout);
-    }
-    std::fputc('\n', stdout);
-  }
-}
-
-void print_reproduction() {
-  bench::print_header("bench_fig10_ap_density",
-                      "Fig 10 (associated APs per 5 km cell)");
-  const geo::TokyoRegion region;
-  const int cells = region.grid().num_cells();
-  for (Year y : {Year::Y2013, Year::Y2015}) {
-    const auto home = analysis::ap_density_map(
-        bench::campaign(y), bench::classification(y), ApClass::Home, cells);
-    const auto pub = analysis::ap_density_map(
-        bench::campaign(y), bench::classification(y), ApClass::Public, cells);
-    print_map(std::string("home ") + std::string(to_string(y)), home,
-              region.grid());
-    print_map(std::string("public ") + std::string(to_string(y)), pub,
-              region.grid());
-  }
-  std::printf("\npaper: public cells with >=1 AP grow 229 -> 265; "
-              "cells with >100 APs grow 10 -> 23\n");
-}
-
 void BM_DensityMap(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   const auto& cls = bench::classification(Year::Y2015);
@@ -61,4 +21,4 @@ BENCHMARK(BM_DensityMap)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("fig10")

@@ -7,53 +7,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_year(Year y) {
-  const Dataset& ds = bench::campaign(y);
-  const auto& cls = bench::classification(y);
-  const auto home_rx =
-      analysis::location_series(ds, cls, {ApClass::Home, false}, true);
-  const auto home_tx =
-      analysis::location_series(ds, cls, {ApClass::Home, false}, false);
-  const auto pub_rx =
-      analysis::location_series(ds, cls, {ApClass::Public, false}, true);
-  const auto pub_tx =
-      analysis::location_series(ds, cls, {ApClass::Public, false}, false);
-  const auto off_rx =
-      analysis::location_series(ds, cls, {ApClass::Other, true}, true);
-  const auto off_tx =
-      analysis::location_series(ds, cls, {ApClass::Other, true}, false);
-
-  std::printf("\n(%s)  [Mbps]\n", std::string(to_string(y)).c_str());
-  io::TextTable t({"date", "hour", "Home RX", "Home TX", "Public RX",
-                   "Public TX", "Office RX", "Office TX"});
-  for (int day = 0; day < 8 && day < ds.num_days(); ++day) {
-    for (int hour = 0; hour < 24; hour += 6) {
-      const auto i = static_cast<std::size_t>(day * 24 + hour);
-      t.add_row({ds.calendar.day_label(day), std::to_string(hour) + ":00",
-                 io::TextTable::num(home_rx.mbps[i], 2),
-                 io::TextTable::num(home_tx.mbps[i], 2),
-                 io::TextTable::num(pub_rx.mbps[i], 3),
-                 io::TextTable::num(pub_tx.mbps[i], 3),
-                 io::TextTable::num(off_rx.mbps[i], 3),
-                 io::TextTable::num(off_tx.mbps[i], 3)});
-    }
-  }
-  t.print();
-}
-
-void print_reproduction() {
-  bench::print_header("bench_fig11_location_volume",
-                      "Fig 11 (WiFi traffic by AP location)");
-  print_year(Year::Y2013);
-  print_year(Year::Y2015);
-  const analysis::WifiLocationShares s = analysis::wifi_location_shares(
-      bench::campaign(Year::Y2015), bench::classification(Year::Y2015));
-  std::printf("\n2015 WiFi volume shares: home %.1f%%, public %.1f%%, "
-              "office %.1f%%, other %.1f%%   [paper: home 95%%, "
-              "public+office ~4%%]\n",
-              100 * s.home, 100 * s.publik, 100 * s.office, 100 * s.other);
-}
-
 void BM_LocationSeries(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   const auto& cls = bench::classification(Year::Y2015);
@@ -66,4 +19,4 @@ BENCHMARK(BM_LocationSeries)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("fig11")

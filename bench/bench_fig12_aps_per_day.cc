@@ -7,29 +7,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_fig12_aps_per_day",
-                      "Fig 12 (associated APs per user per day)");
-  io::TextTable t({"year", "class", "1 AP", "2 APs", "3 APs", "4+ APs"});
-  static const char* kClasses[] = {"all", "heavy", "light"};
-  for (Year y : kAllYears) {
-    const auto& days = bench::days(y);
-    const analysis::ApsPerDay a = analysis::aps_per_day(
-        bench::campaign(y), days, bench::classifier(y));
-    for (int c = 0; c < 3; ++c) {
-      t.add_row({std::string(to_string(y)), kClasses[c],
-                 io::TextTable::pct(a.share[static_cast<std::size_t>(c)][0], 0),
-                 io::TextTable::pct(a.share[static_cast<std::size_t>(c)][1], 0),
-                 io::TextTable::pct(a.share[static_cast<std::size_t>(c)][2], 0),
-                 io::TextTable::pct(a.share[static_cast<std::size_t>(c)][3], 0)});
-    }
-  }
-  t.print();
-  std::printf("\npaper: 70%% of users touch one AP per day in 2013, "
-              "dropping ~10 points by 2015; heavy vs light show no "
-              "significant mobility difference\n");
-}
-
 void BM_ApsPerDay(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   const auto& days = bench::days(Year::Y2015);
@@ -42,4 +19,4 @@ BENCHMARK(BM_ApsPerDay)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("fig12")

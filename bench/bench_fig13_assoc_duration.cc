@@ -1,42 +1,11 @@
 // Fig 13: CCDFs of consecutive WiFi association time with one AP, by
-// inferred AP class, all three years.
+// inferred AP class, 2013 vs 2015.
 #include "analysis/wifiusage.h"
 #include "common.h"
-#include "stats/descriptive.h"
-#include "stats/distribution.h"
 
 namespace {
 
 using namespace tokyonet;
-
-void print_reproduction() {
-  bench::print_header("bench_fig13_assoc_duration",
-                      "Fig 13 (CCDFs of WiFi association time)");
-  io::TextTable t({"hours", "home'13", "home'15", "office'13", "office'15",
-                   "public'13", "public'15"});
-  const analysis::AssociationDurations d13 = analysis::association_durations(
-      bench::campaign(Year::Y2013), bench::classification(Year::Y2013));
-  const analysis::AssociationDurations d15 = analysis::association_durations(
-      bench::campaign(Year::Y2015), bench::classification(Year::Y2015));
-  const stats::Ecdf h13(d13.home_hours), h15(d15.home_hours);
-  const stats::Ecdf o13(d13.office_hours), o15(d15.office_hours);
-  const stats::Ecdf p13(d13.public_hours), p15(d15.public_hours);
-  for (double hours : {0.2, 0.5, 1.0, 2.0, 4.0, 8.0, 12.0, 24.0, 48.0}) {
-    t.add_row({io::TextTable::num(hours, 1),
-               io::TextTable::num(h13.ccdf(hours), 4),
-               io::TextTable::num(h15.ccdf(hours), 4),
-               io::TextTable::num(o13.ccdf(hours), 4),
-               io::TextTable::num(o15.ccdf(hours), 4),
-               io::TextTable::num(p13.ccdf(hours), 4),
-               io::TextTable::num(p15.ccdf(hours), 4)});
-  }
-  t.print();
-  std::printf("\n90th percentiles (2015): home %.1f h, office %.1f h, "
-              "public %.1f h   [paper: 12 h / 8 h / 1 h]\n",
-              stats::percentile(d15.home_hours, 90),
-              stats::percentile(d15.office_hours, 90),
-              stats::percentile(d15.public_hours, 90));
-}
 
 void BM_AssociationDurations(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
@@ -49,4 +18,4 @@ BENCHMARK(BM_AssociationDurations)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("fig13")

@@ -7,29 +7,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_fig14_band_fraction",
-                      "Fig 14 (5 GHz share of associated APs)");
-  io::TextTable t({"location", "2013", "2014", "2015", "paper 2015"});
-  analysis::BandFractions f[kNumYears];
-  for (Year y : kAllYears) {
-    f[static_cast<int>(y)] =
-        analysis::band_fractions(bench::campaign(y), bench::classification(y));
-  }
-  t.add_row({"home", io::TextTable::pct(f[0].home, 0),
-             io::TextTable::pct(f[1].home, 0),
-             io::TextTable::pct(f[2].home, 0), "<20%"});
-  t.add_row({"office", io::TextTable::pct(f[0].office, 0),
-             io::TextTable::pct(f[1].office, 0),
-             io::TextTable::pct(f[2].office, 0), "<20%"});
-  t.add_row({"public", io::TextTable::pct(f[0].publik, 0),
-             io::TextTable::pct(f[1].publik, 0),
-             io::TextTable::pct(f[2].publik, 0), ">50%"});
-  t.print();
-  std::printf("\npaper: aggressive public 5 GHz rollout; home/office lag "
-              "due to long device lifecycles\n");
-}
-
 void BM_BandFractions(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   const auto& cls = bench::classification(Year::Y2015);
@@ -41,4 +18,4 @@ BENCHMARK(BM_BandFractions)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("fig14")

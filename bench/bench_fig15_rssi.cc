@@ -7,28 +7,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_fig15_rssi",
-                      "Fig 15 (RSSI PDFs of associated APs, 2015)");
-  const analysis::RssiAnalysis r = analysis::rssi_analysis(
-      bench::campaign(Year::Y2015), bench::classification(Year::Y2015));
-  const auto home = r.home_pdf();
-  const auto pub = r.public_pdf();
-
-  io::TextTable t({"RSSI [dBm]", "home PDF", "public PDF"});
-  for (int i = 0; i < home.bins(); ++i) {
-    t.add_row({io::TextTable::num(home.bin_center(i), 0),
-               io::TextTable::num(home.pdf(i), 4),
-               io::TextTable::num(pub.pdf(i), 4)});
-  }
-  t.print();
-  std::printf("\nhome mean %.0f dBm (paper -54); public mean %.0f dBm "
-              "(paper ~-60)\n", r.home_mean, r.public_mean);
-  std::printf("below -70 dBm: home %s (paper 3%%), public %s (paper 12%%)\n",
-              io::TextTable::pct(r.home_below_70_share, 0).c_str(),
-              io::TextTable::pct(r.public_below_70_share, 0).c_str());
-}
-
 void BM_RssiAnalysis(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   const auto& cls = bench::classification(Year::Y2015);
@@ -40,4 +18,4 @@ BENCHMARK(BM_RssiAnalysis)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("fig15")

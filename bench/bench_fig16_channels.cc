@@ -2,34 +2,10 @@
 // and public APs, 2013 vs 2015.
 #include "analysis/quality.h"
 #include "common.h"
-#include "geo/region.h"
 
 namespace {
 
 using namespace tokyonet;
-
-void print_reproduction() {
-  bench::print_header("bench_fig16_channels",
-                      "Fig 16 (associated 2.4 GHz channels)");
-  const analysis::ChannelAnalysis c13 = analysis::channel_analysis(
-      bench::campaign(Year::Y2013), bench::classification(Year::Y2013));
-  const analysis::ChannelAnalysis c15 = analysis::channel_analysis(
-      bench::campaign(Year::Y2015), bench::classification(Year::Y2015));
-
-  io::TextTable t({"channel", "home'13", "public'13", "home'15", "public'15"});
-  for (int ch = 1; ch <= 13; ++ch) {
-    const auto i = static_cast<std::size_t>(ch);
-    t.add_row({std::to_string(ch), io::TextTable::num(c13.home_pmf[i], 3),
-               io::TextTable::num(c13.public_pmf[i], 3),
-               io::TextTable::num(c15.home_pmf[i], 3),
-               io::TextTable::num(c15.public_pmf[i], 3)});
-  }
-  t.print();
-  std::printf("\npaper: public APs planned on 1/6/11; home Ch1 pile-up in "
-              "2013 (factory defaults) disperses by 2015\n");
-  std::printf("home Ch1 share: %.2f (2013) -> %.2f (2015)\n",
-              c13.home_pmf[1], c15.home_pmf[1]);
-}
 
 void BM_ChannelAnalysis(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
@@ -42,4 +18,4 @@ BENCHMARK(BM_ChannelAnalysis)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("fig16")

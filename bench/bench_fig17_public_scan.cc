@@ -1,49 +1,13 @@
 // Fig 17: CCDFs of the number of detected public WiFi networks per
-// WiFi-available device per 10 minutes (2.4/5 GHz x all/strong), plus
-// §3.5's offloadable-traffic estimate.
+// WiFi-available device per 10 minutes (2.4/5 GHz x all/strong). §3.5's
+// offloadable-traffic estimate is its own registry figure
+// (sec35_opportunity; see bench_all for the full catalog).
 #include "analysis/availability.h"
 #include "common.h"
 
 namespace {
 
 using namespace tokyonet;
-
-void print_reproduction() {
-  bench::print_header("bench_fig17_public_scan",
-                      "Fig 17 + §3.5 (public WiFi availability)");
-  const analysis::ScanAvailability s =
-      analysis::scan_availability(bench::campaign(Year::Y2015));
-  const auto a24 = s.ccdf_all_24();
-  const auto s24 = s.ccdf_strong_24();
-  const auto a5 = s.ccdf_all_5();
-  const auto s5 = s.ccdf_strong_5();
-
-  io::TextTable t({"#APs", "2.4G all", "2.4G strong", "5G all", "5G strong"});
-  for (double n : {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
-    t.add_row({io::TextTable::num(n, 0), io::TextTable::num(a24.ccdf(n), 4),
-               io::TextTable::num(s24.ccdf(n), 4),
-               io::TextTable::num(a5.ccdf(n), 4),
-               io::TextTable::num(s5.ccdf(n), 4)});
-  }
-  t.print();
-  std::printf("\npaper: 90%% of devices see fewer than 10 2.4 GHz APs; "
-              "~30%% see any 5 GHz, ~10%% a strong one\n");
-
-  io::TextTable o({"year", "WiFi-available users", "stable opportunity",
-                   "offloadable cellular share"});
-  for (Year y : kAllYears) {
-    const analysis::OffloadOpportunity opp =
-        analysis::offload_opportunity(bench::campaign(y));
-    o.add_row({std::string(to_string(y)),
-               std::to_string(opp.num_wifi_available_users),
-               io::TextTable::pct(opp.users_with_stable_opportunity, 0),
-               io::TextTable::pct(opp.offloadable_cell_share, 0)});
-  }
-  o.print();
-  std::printf("\npaper (§3.5, 2015): 60%% of WiFi-available users have "
-              "stable public options; 15-20%% of their cellular volume is "
-              "offloadable\n");
-}
 
 void BM_ScanAvailability(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
@@ -63,4 +27,4 @@ BENCHMARK(BM_OffloadOpportunity)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("fig17")

@@ -2,48 +2,10 @@
 // since the first observed update, split by inferred home-AP presence.
 #include "analysis/update.h"
 #include "common.h"
-#include "stats/distribution.h"
 
 namespace {
 
 using namespace tokyonet;
-
-void print_reproduction() {
-  bench::print_header("bench_fig18_update",
-                      "Fig 18 (software update timing, §3.7)");
-  const Dataset& ds = bench::campaign(Year::Y2015);
-  const auto& det = bench::updates(Year::Y2015);
-  const analysis::UpdateTiming t = analysis::analyze_update_timing(
-      ds, det, bench::classification(Year::Y2015));
-
-  const stats::Ecdf all(t.delay_days_all);
-  const stats::Ecdf no_home(t.delay_days_no_home);
-  const auto n_ios = static_cast<double>(det.num_ios);
-
-  io::TextTable table({"days since release", "CDF (all iOS)",
-                       "CDF (updated, no home AP)", "PDF (per day)"});
-  for (double day = 0; day <= 15; ++day) {
-    // CDF over all iOS devices, as in the paper's Fig 18.
-    const double cdf_all =
-        all.at(day) * static_cast<double>(t.delay_days_all.size()) / n_ios;
-    const double pdf = (all.at(day + 0.5) - all.at(day - 0.5)) *
-                       static_cast<double>(t.delay_days_all.size()) / n_ios;
-    table.add_row({io::TextTable::num(day, 0), io::TextTable::num(cdf_all, 3),
-                   io::TextTable::num(no_home.at(day), 3),
-                   io::TextTable::num(pdf, 3)});
-  }
-  table.print();
-
-  std::printf("\nupdated within the window: %s of iOS devices (paper 58%%)\n",
-              io::TextTable::pct(t.updated_share_all, 0).c_str());
-  std::printf("updated on the first day:   %s (paper ~10%%)\n",
-              io::TextTable::pct(t.first_day_share, 0).c_str());
-  std::printf("no-home-AP users updated:   %s (paper 14%%)\n",
-              io::TextTable::pct(t.updated_share_no_home, 0).c_str());
-  std::printf("median delay: home %.1f days vs no-home %.1f days "
-              "(paper gap 3.5 days)\n",
-              t.median_delay_home, t.median_delay_no_home);
-}
 
 void BM_DetectUpdates(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
@@ -67,4 +29,4 @@ BENCHMARK(BM_UpdateTiming)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("fig18")

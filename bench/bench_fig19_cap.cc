@@ -8,35 +8,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_year(Year y) {
-  const analysis::CapAnalysis c =
-      analysis::analyze_cap(bench::campaign(y), bench::days(y));
-  std::printf("\n(%s)\n", std::string(to_string(y)).c_str());
-  io::TextTable t({"daily / 3-day mean", "CDF capped", "CDF others"});
-  for (double ratio : {0.01, 0.03, 0.1, 0.3, 0.5, 1.0, 2.0, 5.0, 10.0}) {
-    t.add_row({io::TextTable::num(ratio, 2),
-               io::TextTable::num(c.ratio_capped.at(ratio), 3),
-               io::TextTable::num(c.ratio_others.at(ratio), 3)});
-  }
-  t.print();
-  std::printf("potentially capped users: %s; gap at ratio 0.5: %.2f "
-              "(capped %.0f%% vs others %.0f%% below half)\n",
-              io::TextTable::pct(c.capped_user_share, 1).c_str(),
-              c.gap_at_half, 100 * c.capped_below_half,
-              100 * c.others_below_half);
-}
-
-void print_reproduction() {
-  bench::print_header("bench_fig19_cap",
-                      "Fig 19 + §3.8 (soft bandwidth cap effect)");
-  print_year(Year::Y2014);
-  print_year(Year::Y2015);
-  std::printf("\npaper: capped users 0.8%% (2014) / 1.4%% (2015); gap at "
-              "the median 0.29 (2014) -> 0.15 (2015) after two carriers "
-              "relaxed the policy; ~45%% of capped users below half vs "
-              "~30%% of others (2014)\n");
-}
-
 void BM_CapAnalysis(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   const auto& days = bench::days(Year::Y2015);
@@ -48,4 +19,4 @@ BENCHMARK(BM_CapAnalysis)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("fig19")

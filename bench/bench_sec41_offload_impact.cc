@@ -7,38 +7,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_sec41_offload_impact",
-                      "§4.1 (impact of home WiFi offload)");
-  io::TextTable t({"metric", "2013", "2014", "2015", "paper 2015"});
-  analysis::OffloadImpact o[kNumYears];
-  for (Year y : kAllYears) {
-    o[static_cast<int>(y)] = analysis::offload_impact(
-        bench::campaign(y), bench::days(y), bench::classification(y));
-  }
-  t.add_row({"median cellular RX [MB/day]", io::TextTable::num(o[0].median_cell_rx_mb),
-             io::TextTable::num(o[1].median_cell_rx_mb),
-             io::TextTable::num(o[2].median_cell_rx_mb), "36"});
-  t.add_row({"median WiFi RX [MB/day]", io::TextTable::num(o[0].median_wifi_rx_mb),
-             io::TextTable::num(o[1].median_wifi_rx_mb),
-             io::TextTable::num(o[2].median_wifi_rx_mb), "51"});
-  t.add_row({"WiFi share of smartphone traffic",
-             io::TextTable::pct(o[0].wifi_share, 0),
-             io::TextTable::pct(o[1].wifi_share, 0),
-             io::TextTable::pct(o[2].wifi_share, 0), "58%"});
-  t.add_row({"WiFi : cellular ratio", io::TextTable::num(o[0].wifi_to_cell_ratio, 2),
-             io::TextTable::num(o[1].wifi_to_cell_ratio, 2),
-             io::TextTable::num(o[2].wifi_to_cell_ratio, 2), "1.4"});
-  t.add_row({"est. share of RBB volume", io::TextTable::pct(o[0].est_rbb_share, 0),
-             io::TextTable::pct(o[1].est_rbb_share, 0),
-             io::TextTable::pct(o[2].est_rbb_share, 0), "28%"});
-  t.add_row({"est. share of a home's daily download",
-             io::TextTable::pct(o[0].est_home_share, 0),
-             io::TextTable::pct(o[1].est_home_share, 0),
-             io::TextTable::pct(o[2].est_home_share, 0), "12%"});
-  t.print();
-}
-
 void BM_OffloadImpact(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   const auto& days = bench::days(Year::Y2015);
@@ -51,4 +19,4 @@ BENCHMARK(BM_OffloadImpact)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("sec41_offload")

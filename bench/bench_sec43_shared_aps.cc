@@ -7,25 +7,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_sec43_shared_aps",
-                      "§4.3 (multi-provider shared APs)");
-  io::TextTable t({"year", "associated public APs", "shared boxes",
-                   "networks on shared hardware"});
-  for (Year y : kAllYears) {
-    const analysis::SharedApAnalysis s = analysis::detect_shared_aps(
-        bench::campaign(y), bench::classification(y));
-    t.add_row({std::string(to_string(y)), std::to_string(s.public_aps),
-               std::to_string(s.groups.size()),
-               io::TextTable::pct(s.shared_share)});
-  }
-  t.print();
-  std::printf("\npaper (§4.3): confirms such APs exist by checking similar "
-              "BSSIDs assigned to different providers, and recommends them "
-              "as the cost-effective path for free visitor WiFi toward the "
-              "2020 Olympics\n");
-}
-
 void BM_DetectSharedAps(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   const auto& cls = bench::classification(Year::Y2015);
@@ -37,4 +18,4 @@ BENCHMARK(BM_DetectSharedAps)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("sec43_shared_aps")

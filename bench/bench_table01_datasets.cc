@@ -7,25 +7,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_table01_datasets", "Table 1 (dataset overview)");
-  io::TextTable t({"year", "duration", "#And", "#iOS", "#total", "%LTE",
-                   "paper %LTE"});
-  const char* paper_lte[] = {"25%", "70%", "80%"};
-  for (Year y : kAllYears) {
-    const Dataset& ds = bench::campaign(y);
-    const analysis::DatasetOverview o = analysis::overview(ds);
-    t.add_row({std::string(to_string(y)),
-               std::to_string(ds.num_days()) + " days",
-               std::to_string(o.n_android), std::to_string(o.n_ios),
-               std::to_string(o.n_total),
-               io::TextTable::pct(o.lte_traffic_share, 0),
-               paper_lte[static_cast<int>(y)]});
-  }
-  t.print();
-  std::printf("\npaper panel: 1755 / 1676 / 1616 devices\n");
-}
-
 void BM_Overview2015(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   for (auto _ : state) {
@@ -45,4 +26,4 @@ BENCHMARK(BM_SimulateCampaign)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("table01")

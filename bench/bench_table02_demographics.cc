@@ -6,25 +6,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_table02_demographics",
-                      "Table 2 (user demographics)");
-  io::TextTable t({"occupation", "2013", "2014", "2015"});
-  analysis::Demographics d[kNumYears];
-  for (Year y : kAllYears) {
-    d[static_cast<int>(y)] = analysis::demographics(bench::campaign(y));
-  }
-  for (int o = 0; o < kNumOccupations; ++o) {
-    t.add_row({std::string(to_string(static_cast<Occupation>(o))),
-               io::TextTable::num(d[0].percent[static_cast<std::size_t>(o)]),
-               io::TextTable::num(d[1].percent[static_cast<std::size_t>(o)]),
-               io::TextTable::num(d[2].percent[static_cast<std::size_t>(o)])});
-  }
-  t.print();
-  std::printf("\nrespondents: %d / %d / %d\n", d[0].respondents,
-              d[1].respondents, d[2].respondents);
-}
-
 void BM_Demographics(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   for (auto _ : state) {
@@ -35,4 +16,4 @@ BENCHMARK(BM_Demographics)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("table02")

@@ -2,63 +2,10 @@
 // the annual growth rates.
 #include "analysis/volumes.h"
 #include "common.h"
-#include "stats/descriptive.h"
 
 namespace {
 
 using namespace tokyonet;
-
-void print_reproduction() {
-  bench::print_header("bench_table03_growth",
-                      "Table 3 (daily download per user + AGR)");
-  analysis::DailyVolumeStats s[kNumYears];
-  for (Year y : kAllYears) {
-    s[static_cast<int>(y)] = analysis::daily_volume_stats(bench::days(y));
-  }
-  const auto agr = [&](double a, double b, double c) {
-    const double series[] = {a, b, c};
-    return stats::annual_growth_rate(series);
-  };
-
-  io::TextTable t({"metric", "2013", "2014", "2015", "AGR", "paper"});
-  t.add_row({"median All", io::TextTable::num(s[0].median_all),
-             io::TextTable::num(s[1].median_all),
-             io::TextTable::num(s[2].median_all),
-             io::TextTable::pct(agr(s[0].median_all, s[1].median_all,
-                                    s[2].median_all), 0),
-             "57.9/90.3/126.5 (48%)"});
-  t.add_row({"median Cell", io::TextTable::num(s[0].median_cell),
-             io::TextTable::num(s[1].median_cell),
-             io::TextTable::num(s[2].median_cell),
-             io::TextTable::pct(agr(s[0].median_cell, s[1].median_cell,
-                                    s[2].median_cell), 0),
-             "19.5/27.6/35.6 (35%)"});
-  t.add_row({"median WiFi", io::TextTable::num(s[0].median_wifi),
-             io::TextTable::num(s[1].median_wifi),
-             io::TextTable::num(s[2].median_wifi),
-             io::TextTable::pct(agr(s[0].median_wifi, s[1].median_wifi,
-                                    s[2].median_wifi), 0),
-             "9.2/24.3/50.7 (134%)"});
-  t.add_row({"mean All", io::TextTable::num(s[0].mean_all),
-             io::TextTable::num(s[1].mean_all),
-             io::TextTable::num(s[2].mean_all),
-             io::TextTable::pct(agr(s[0].mean_all, s[1].mean_all,
-                                    s[2].mean_all), 0),
-             "102.9/179.9/239.5 (53%)"});
-  t.add_row({"mean Cell", io::TextTable::num(s[0].mean_cell),
-             io::TextTable::num(s[1].mean_cell),
-             io::TextTable::num(s[2].mean_cell),
-             io::TextTable::pct(agr(s[0].mean_cell, s[1].mean_cell,
-                                    s[2].mean_cell), 0),
-             "42.2/58.5/71.5 (30%)"});
-  t.add_row({"mean WiFi", io::TextTable::num(s[0].mean_wifi),
-             io::TextTable::num(s[1].mean_wifi),
-             io::TextTable::num(s[2].mean_wifi),
-             io::TextTable::pct(agr(s[0].mean_wifi, s[1].mean_wifi,
-                                    s[2].mean_wifi), 0),
-             "60.7/121.5/168.1 (66%)"});
-  t.print();
-}
 
 void BM_DailyStats(benchmark::State& state) {
   const auto& days = bench::days(Year::Y2015);
@@ -70,4 +17,4 @@ BENCHMARK(BM_DailyStats)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("table03")

@@ -5,35 +5,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_table04_ap_counts",
-                      "Table 4 (number of estimated APs)");
-  io::TextTable t({"type", "2013", "2014", "2015", "paper"});
-  analysis::ApClassification::Counts c[kNumYears];
-  double home_share[kNumYears];
-  for (Year y : kAllYears) {
-    c[static_cast<int>(y)] = bench::classification(y).counts();
-    home_share[static_cast<int>(y)] =
-        bench::classification(y).home_ap_device_share();
-  }
-  t.add_row({"home", std::to_string(c[0].home), std::to_string(c[1].home),
-             std::to_string(c[2].home), "1139/1223/1289"});
-  t.add_row({"public", std::to_string(c[0].publik),
-             std::to_string(c[1].publik), std::to_string(c[2].publik),
-             "5041/9302/10481"});
-  t.add_row({"other", std::to_string(c[0].other), std::to_string(c[1].other),
-             std::to_string(c[2].other), "545/673/664"});
-  t.add_row({"(office)", std::to_string(c[0].office),
-             std::to_string(c[1].office), std::to_string(c[2].office),
-             "166/168/166"});
-  t.add_row({"total", std::to_string(c[0].total), std::to_string(c[1].total),
-             std::to_string(c[2].total), "6725/11198/12434"});
-  t.print();
-  std::printf("\nusers with inferred home AP: %.0f%% / %.0f%% / %.0f%%"
-              "   [paper 66%% / 73%% / 79%%]\n",
-              100 * home_share[0], 100 * home_share[1], 100 * home_share[2]);
-}
-
 void BM_ClassifyAps(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   for (auto _ : state) {
@@ -44,4 +15,4 @@ BENCHMARK(BM_ClassifyAps)->Unit(benchmark::kMillisecond)->Iterations(3);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("table04")

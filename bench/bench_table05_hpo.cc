@@ -7,44 +7,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_table05_hpo",
-                      "Table 5 (ESSID combinations per user-day)");
-  analysis::HpoBreakdown h[kNumYears];
-  for (Year y : kAllYears) {
-    h[static_cast<int>(y)] =
-        analysis::hpo_breakdown(bench::campaign(y), bench::classification(y));
-  }
-
-  // Collect the union of combinations, ordered by total ESSIDs then key.
-  std::map<std::array<int, 3>, bool> keys;
-  for (const auto& b : h) {
-    for (const auto& [key, share] : b.share) keys[key] = true;
-  }
-
-  io::TextTable t({"#ESSIDs", "HPO", "2013", "2014", "2015"});
-  for (int total = 1; total <= 3; ++total) {
-    for (const auto& [key, _] : keys) {
-      if (key[0] + key[1] + key[2] != total) continue;
-      const auto share_of = [&](int year) {
-        const auto it = h[year].share.find(key);
-        return it == h[year].share.end() ? 0.0 : it->second;
-      };
-      char hpo[8];
-      std::snprintf(hpo, sizeof hpo, "%d%d%d", key[0], key[1], key[2]);
-      t.add_row({std::to_string(total), hpo, io::TextTable::pct(share_of(0)),
-                 io::TextTable::pct(share_of(1)),
-                 io::TextTable::pct(share_of(2))});
-    }
-  }
-  t.add_row({"4+", "-", io::TextTable::pct(h[0].four_plus),
-             io::TextTable::pct(h[1].four_plus),
-             io::TextTable::pct(h[2].four_plus)});
-  t.print();
-  std::printf("\npaper: HPO=100 falls 54.7%% -> 46.4%%; HPO=101 rises "
-              "10.7%% -> 16.5%%; 4+ rises 2.3%% -> 3.2%%\n");
-}
-
 void BM_HpoBreakdown(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   const auto& cls = bench::classification(Year::Y2015);
@@ -56,4 +18,4 @@ BENCHMARK(BM_HpoBreakdown)->Unit(benchmark::kMillisecond)->Iterations(5);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("table05")

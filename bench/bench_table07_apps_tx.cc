@@ -7,43 +7,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_table07_apps_tx",
-                      "Table 7 (top app categories by TX volume)");
-  for (Year y : kAllYears) {
-    const Dataset& ds = bench::campaign(y);
-    const analysis::AppBreakdown b = analysis::app_breakdown(
-        ds, bench::classification(y), bench::home_cells(y));
-    std::printf("\n(%s)\n", std::string(to_string(y)).c_str());
-    io::TextTable t({"rank", "Cell home", "%", "Cell other", "%", "WiFi home",
-                     "%", "WiFi public", "%"});
-    std::vector<std::vector<analysis::AppBreakdown::Entry>> tops;
-    for (int ctx = 0; ctx < analysis::kNumAppContexts; ++ctx) {
-      tops.push_back(
-          b.top(static_cast<analysis::AppContext>(ctx), /*rx=*/false, 5));
-    }
-    for (int rank = 0; rank < 5; ++rank) {
-      std::vector<std::string> row{std::to_string(rank + 1)};
-      for (const auto& top : tops) {
-        if (rank < static_cast<int>(top.size())) {
-          row.push_back(std::string(
-              to_string(top[static_cast<std::size_t>(rank)].category)));
-          row.push_back(io::TextTable::num(
-              100 * top[static_cast<std::size_t>(rank)].share));
-        } else {
-          row.push_back("-");
-          row.push_back("-");
-        }
-      }
-      t.add_row(std::move(row));
-    }
-    t.print();
-  }
-  std::printf("\npaper highlights: social/communication upload-heavy on "
-              "cellular; productivity (online storage, WiFi-gated sync) "
-              "peaks at 39.5%% of WiFi-home TX in 2014\n");
-}
-
 void BM_AppBreakdownTx(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2014);
   const auto& cls = bench::classification(Year::Y2014);
@@ -56,4 +19,4 @@ BENCHMARK(BM_AppBreakdownTx)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("table07")

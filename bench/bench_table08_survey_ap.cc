@@ -6,32 +6,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_table08_survey_ap",
-                      "Table 8 (survey: associated WiFi APs)");
-  analysis::SurveyApUsage u[kNumYears];
-  for (Year y : kAllYears) {
-    u[static_cast<int>(y)] = analysis::survey_ap_usage(bench::campaign(y));
-  }
-  io::TextTable t({"location", "answer", "2013", "2014", "2015", "paper"});
-  static const char* kPaperYes[] = {"70.4/72.9/78.2", "31.6/25.6/28.0",
-                                    "44.9/47.9/53.6"};
-  for (int loc = 0; loc < kNumSurveyLocations; ++loc) {
-    const auto l = static_cast<std::size_t>(loc);
-    const std::string name{to_string(static_cast<SurveyLocation>(loc))};
-    t.add_row({name, "yes", io::TextTable::num(u[0].yes[l]),
-               io::TextTable::num(u[1].yes[l]), io::TextTable::num(u[2].yes[l]),
-               kPaperYes[loc]});
-    t.add_row({name, "no", io::TextTable::num(u[0].no[l]),
-               io::TextTable::num(u[1].no[l]), io::TextTable::num(u[2].no[l]),
-               ""});
-    t.add_row({name, "NA", io::TextTable::num(u[0].not_answered[l]),
-               io::TextTable::num(u[1].not_answered[l]),
-               io::TextTable::num(u[2].not_answered[l]), ""});
-  }
-  t.print();
-}
-
 void BM_SurveyApUsage(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   for (auto _ : state) {
@@ -42,4 +16,4 @@ BENCHMARK(BM_SurveyApUsage)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("table08")

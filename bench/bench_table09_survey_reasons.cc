@@ -7,37 +7,6 @@ namespace {
 
 using namespace tokyonet;
 
-void print_reproduction() {
-  bench::print_header("bench_table09_survey_reasons",
-                      "Table 9 (survey: reasons for unavailability)");
-  analysis::SurveyReasons r[kNumYears];
-  for (Year y : kAllYears) {
-    r[static_cast<int>(y)] = analysis::survey_reasons(bench::campaign(y));
-  }
-  for (int loc = 0; loc < kNumSurveyLocations; ++loc) {
-    const auto l = static_cast<std::size_t>(loc);
-    std::printf("\n%s (respondents: %d / %d / %d)\n",
-                std::string(to_string(static_cast<SurveyLocation>(loc))).c_str(),
-                r[0].respondents[l], r[1].respondents[l], r[2].respondents[l]);
-    io::TextTable t({"reason", "2013", "2014", "2015"});
-    for (int reason = 0; reason < kNumSurveyReasons; ++reason) {
-      const auto re = static_cast<std::size_t>(reason);
-      const bool asked_2013 =
-          reason != static_cast<int>(SurveyReason::SecurityIssue) &&
-          reason != static_cast<int>(SurveyReason::LteIsEnough);
-      t.add_row({std::string(to_string(static_cast<SurveyReason>(reason))),
-                 asked_2013 ? io::TextTable::num(r[0].percent[l][re], 0) : "NA",
-                 io::TextTable::num(r[1].percent[l][re], 0),
-                 io::TextTable::num(r[2].percent[l][re], 0)});
-    }
-    t.print();
-  }
-  std::printf("\npaper trends: configuration pain shrinks (SIM-auth "
-              "rollout); public-WiFi security concern grows to 35%% by "
-              "2015; battery worries fade; 'LTE is enough' appears from "
-              "2014\n");
-}
-
 void BM_SurveyReasons(benchmark::State& state) {
   const Dataset& ds = bench::campaign(Year::Y2015);
   for (auto _ : state) {
@@ -48,4 +17,4 @@ BENCHMARK(BM_SurveyReasons)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-TOKYONET_BENCH_MAIN()
+TOKYONET_BENCH_FIGURE("table09")

@@ -3,9 +3,9 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
 #include "core/parallel.h"
+#include "report/table.h"
 
 namespace tokyonet::bench {
 
@@ -42,39 +42,23 @@ double bench_scale() {
   return scale;
 }
 
-// The lazy per-year caches below are initialized via std::call_once so
-// concurrent first use (google-benchmark worker threads, TSan builds)
-// is safe; the pointers are written exactly once and read-only after.
-
-const Dataset& campaign(Year year) {
-  static std::once_flag once[kNumYears];
-  static const Dataset* cache[kNumYears] = {};
-  const int i = static_cast<int>(year);
-  std::call_once(once[i], [&] {
-    sim::CampaignCacheStatus status;
-    cache[i] = new Dataset(sim::cached_campaign(
-        scenario_config(year, bench_scale()), &status));
-    if (status.enabled) {
-      // run_bench.sh greps these lines to count cache hits per run.
-      std::printf("tokyonet-cache: %s %s\n", status.hit ? "hit" : "miss",
-                  status.path.string().c_str());
-      if (!status.detail.empty()) {
-        std::fprintf(stderr, "tokyonet-cache: note: %s\n",
-                     status.detail.c_str());
-      }
-    }
-  });
-  return *cache[i];
+report::Runner& runner() {
+  // One Runner per bench process: campaigns and analysis contexts are
+  // memoized inside it (std::call_once), so concurrent first use from
+  // google-benchmark worker threads is safe.
+  static report::Runner instance{[] {
+    report::Runner::Options opt;
+    opt.scale = bench_scale();
+    opt.announce_cache = true;  // run_bench.sh greps the cache lines
+    return opt;
+  }()};
+  return instance;
 }
 
+const Dataset& campaign(Year year) { return runner().dataset(year); }
+
 const analysis::AnalysisContext& context(Year year) {
-  static std::once_flag once[kNumYears];
-  static const analysis::AnalysisContext* cache[kNumYears] = {};
-  const int i = static_cast<int>(year);
-  std::call_once(once[i], [&] {
-    cache[i] = new analysis::AnalysisContext(campaign(year));
-  });
-  return *cache[i];
+  return runner().analysis(year);
 }
 
 const analysis::ApClassification& classification(Year year) {
@@ -109,14 +93,34 @@ void print_header(std::string_view experiment, std::string_view paper_ref) {
   std::printf("================================================================\n");
 }
 
-int bench_main(int argc, char** argv, void (*print_reproduction)()) {
-  print_reproduction();
+namespace {
+
+int run_benchmarks(int argc, char** argv) {
   std::printf("\n-- analysis kernel timings --\n");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;
+}
+
+}  // namespace
+
+int bench_main(int argc, char** argv, const char* figure_id) {
+  const report::FigureSpec* spec =
+      report::FigureRegistry::instance().find(figure_id);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown figure id: %s\n", figure_id);
+    return 1;
+  }
+  print_header(spec->id, spec->paper_ref);
+  std::fputs(report::to_text(runner().run_stacked(*spec)).c_str(), stdout);
+  return run_benchmarks(argc, argv);
+}
+
+int bench_main(int argc, char** argv, void (*print_reproduction)()) {
+  print_reproduction();
+  return run_benchmarks(argc, argv);
 }
 
 }  // namespace tokyonet::bench

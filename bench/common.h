@@ -1,9 +1,10 @@
 // Shared infrastructure for the per-figure/per-table bench binaries.
 //
 // Each bench binary does two things:
-//   1. prints the reproduced rows/series of its paper table or figure
-//      (the "reproduction"), generated at TOKYONET_BENCH_SCALE (default
-//      1.0 = the paper's full panel); and
+//   1. prints its paper table/figure reproduction by running the
+//      registered figure (report::FigureRegistry) through the shared
+//      report::Runner at TOKYONET_BENCH_SCALE (default 1.0 = the
+//      paper's full panel); and
 //   2. registers google-benchmark timings for the analysis kernels it
 //      exercises.
 #pragma once
@@ -18,12 +19,19 @@
 #include "analysis/update.h"
 #include "core/records.h"
 #include "io/table.h"
+#include "report/registry.h"
+#include "report/runner.h"
 #include "sim/simulator.h"
 
 namespace tokyonet::bench {
 
 /// Scale of the simulated panels (TOKYONET_BENCH_SCALE env override).
 [[nodiscard]] double bench_scale();
+
+/// The process-wide figure runner: campaign simulation (through the
+/// on-disk campaign cache) and analysis memoization shared by the
+/// reproduction printer and every registered benchmark.
+[[nodiscard]] report::Runner& runner();
 
 /// Lazily simulated, cached campaign for `year` at bench_scale().
 [[nodiscard]] const Dataset& campaign(Year year);
@@ -52,11 +60,23 @@ namespace tokyonet::bench {
 /// Prints the standard bench header.
 void print_header(std::string_view experiment, std::string_view paper_ref);
 
-/// Runs the reproduction printer, then google-benchmark. Call from each
-/// binary's main().
+/// Prints the registered figure named `figure_id` (stacked over its
+/// paper years), then runs google-benchmark. Call from each binary's
+/// main().
+int bench_main(int argc, char** argv, const char* figure_id);
+
+/// Variant for binaries whose reproduction is not a registry figure
+/// (bench_ingest): runs a free printer function instead.
 int bench_main(int argc, char** argv, void (*print_reproduction)());
 
 }  // namespace tokyonet::bench
+
+/// Boilerplate main for a bench binary that reproduces the registered
+/// figure `id`.
+#define TOKYONET_BENCH_FIGURE(id)                           \
+  int main(int argc, char** argv) {                         \
+    return tokyonet::bench::bench_main(argc, argv, id);     \
+  }
 
 /// Boilerplate main for a bench binary with a `print_reproduction()`
 /// free function defined in the same translation unit.

@@ -25,7 +25,7 @@ std::string TextTable::pct(double fraction, int decimals) {
   return buf;
 }
 
-void TextTable::print(std::FILE* out) const {
+std::string TextTable::to_string() const {
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c) {
     widths[c] = headers_[c].size();
@@ -33,18 +33,28 @@ void TextTable::print(std::FILE* out) const {
       widths[c] = std::max(widths[c], row[c].size());
     }
   }
-  auto print_row = [&](const std::vector<std::string>& row) {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      std::fprintf(out, "%-*s%s", static_cast<int>(widths[c]), row[c].c_str(),
-                   c + 1 < row.size() ? "  " : "\n");
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(widths[c] - row[c].size() + 2, ' ');
+      }
     }
+    out += '\n';
   };
-  print_row(headers_);
-  std::size_t total = headers_.size() - 1;
+  append_row(headers_);
+  std::size_t total = headers_.empty() ? 0 : headers_.size() - 1;
   for (std::size_t w : widths) total += w + 1;
-  for (std::size_t i = 0; i < total; ++i) std::fputc('-', out);
-  std::fputc('\n', out);
-  for (const auto& row : rows_) print_row(row);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+void TextTable::print(std::FILE* out) const {
+  const std::string s = to_string();
+  std::fwrite(s.data(), 1, s.size(), out);
 }
 
 void print_series(std::string_view caption, std::span<const double> x,

@@ -25,6 +25,10 @@ class TextTable {
   /// Renders to `out` (defaults to stdout).
   void print(std::FILE* out = stdout) const;
 
+  /// The same rendering as print(), as a string (used by the report
+  /// layer and by tests).
+  [[nodiscard]] std::string to_string() const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

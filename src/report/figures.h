@@ -1,0 +1,22 @@
+// Registration entry points for the figure catalog. Each function adds
+// one thematic group of FigureSpecs; FigureRegistry's constructor calls
+// all of them, so every binary that links the library sees the same 35
+// reproductions.
+#pragma once
+
+namespace tokyonet::report {
+
+class FigureRegistry;
+
+void register_macro_figures(FigureRegistry& r);     // fig01, table03
+void register_overview_figures(FigureRegistry& r);  // table01/02/08/09
+void register_volume_figures(FigureRegistry& r);    // fig02..fig05
+void register_ratio_figures(FigureRegistry& r);     // fig06..fig09
+void register_wifi_figures(FigureRegistry& r);      // fig10..14, table04/05
+void register_quality_figures(FigureRegistry& r);   // fig15..17, sec35
+void register_app_figures(FigureRegistry& r);       // table06/07
+void register_event_figures(FigureRegistry& r);     // fig18, fig19, sec42
+void register_section_figures(FigureRegistry& r);   // sec41, sec43
+void register_ablation_figures(FigureRegistry& r);  // ablate_*
+
+}  // namespace tokyonet::report

@@ -1,0 +1,71 @@
+// Longitudinal figures: the macro growth model (Fig 1) and the daily
+// download growth table (Table 3). Both span years, so they register as
+// longitudinal (years = {}) and render exactly once.
+#include "analysis/macro.h"
+#include "analysis/volumes.h"
+#include "report/figures.h"
+#include "report/registry.h"
+#include "report/runner.h"
+#include "stats/descriptive.h"
+
+namespace tokyonet::report {
+namespace {
+
+Table fig01(const FigureContext&) {
+  Table t({"year", "RBB download [Gbps]", "cellular 3G+LTE [Gbps]",
+           "cell/RBB"});
+  for (const analysis::MacroPoint& p : analysis::macro_growth_series(1)) {
+    t.add_row({Value::real(p.year, 0), Value::real(p.rbb_gbps, 0),
+               Value::real(p.cell_gbps, 0),
+               Value::pct(p.cell_gbps / p.rbb_gbps, 1)});
+  }
+  t.notes.push_back(strf(
+      "paper anchor: cellular = 20%% of RBB at end of 2014 -> model %.0f%%",
+      100.0 * analysis::cellular_download_gbps(2014.9) /
+          analysis::rbb_download_gbps(2014.9)));
+  return t;
+}
+
+Table table03(const FigureContext& ctx) {
+  analysis::DailyVolumeStats s[kNumYears];
+  for (const Year y : kAllYears) {
+    s[static_cast<int>(y)] =
+        analysis::daily_volume_stats(ctx.analysis(y).days());
+  }
+  const auto agr = [](double a, double b, double c) {
+    const double series[] = {a, b, c};
+    return stats::annual_growth_rate(series);
+  };
+
+  Table t({"metric", "2013", "2014", "2015", "AGR", "paper"});
+  const auto row = [&](const char* metric, double a, double b, double c,
+                       const char* paper) {
+    t.add_row({Value::text(metric), Value::real(a, 1), Value::real(b, 1),
+               Value::real(c, 1), Value::pct(agr(a, b, c), 0),
+               Value::text(paper)});
+  };
+  row("median All", s[0].median_all, s[1].median_all, s[2].median_all,
+      "57.9/90.3/126.5 (48%)");
+  row("median Cell", s[0].median_cell, s[1].median_cell, s[2].median_cell,
+      "19.5/27.6/35.6 (35%)");
+  row("median WiFi", s[0].median_wifi, s[1].median_wifi, s[2].median_wifi,
+      "9.2/24.3/50.7 (134%)");
+  row("mean All", s[0].mean_all, s[1].mean_all, s[2].mean_all,
+      "102.9/179.9/239.5 (53%)");
+  row("mean Cell", s[0].mean_cell, s[1].mean_cell, s[2].mean_cell,
+      "42.2/58.5/71.5 (30%)");
+  row("mean WiFi", s[0].mean_wifi, s[1].mean_wifi, s[2].mean_wifi,
+      "60.7/121.5/168.1 (66%)");
+  return t;
+}
+
+}  // namespace
+
+void register_macro_figures(FigureRegistry& r) {
+  r.add({"fig01", "growth of Japanese RBB vs cellular download volume",
+         "Fig 1 (RBB vs cellular download, Japan)", {}, &fig01});
+  r.add({"table03", "median/mean daily download per user + annual growth",
+         "Table 3 (daily download per user + AGR)", {}, &table03});
+}
+
+}  // namespace tokyonet::report

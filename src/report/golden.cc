@@ -1,0 +1,98 @@
+#include "report/golden.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "report/registry.h"
+#include "report/runner.h"
+#include "report/table.h"
+
+namespace tokyonet::report {
+namespace {
+
+/// Every (figure, year) rendering the harness covers, in registry
+/// (id-sorted) order.
+std::vector<std::pair<const FigureSpec*, std::optional<Year>>> combinations() {
+  std::vector<std::pair<const FigureSpec*, std::optional<Year>>> out;
+  for (const FigureSpec& spec : FigureRegistry::instance().figures()) {
+    if (!spec.per_year()) {
+      out.emplace_back(&spec, std::nullopt);
+      continue;
+    }
+    for (const Year y : spec.years) out.emplace_back(&spec, y);
+  }
+  return out;
+}
+
+/// Human-readable pointer to the first differing line of two texts.
+std::string first_diff(const std::string& expected, const std::string& actual) {
+  std::istringstream a(expected);
+  std::istringstream b(actual);
+  std::string la, lb;
+  int line = 0;
+  while (true) {
+    ++line;
+    const bool has_a = static_cast<bool>(std::getline(a, la));
+    const bool has_b = static_cast<bool>(std::getline(b, lb));
+    if (!has_a && !has_b) return "contents identical";  // length-only diff
+    if (la != lb || has_a != has_b) {
+      return strf("line %d: golden '%s' vs actual '%s'", line,
+                  has_a ? la.c_str() : "<eof>", has_b ? lb.c_str() : "<eof>");
+    }
+  }
+}
+
+}  // namespace
+
+std::string golden_filename(const FigureSpec& spec, std::optional<Year> year) {
+  if (!year) return spec.id + ".json";
+  return spec.id + "_" + std::to_string(year_number(*year)) + ".json";
+}
+
+GoldenReport write_goldens(const std::filesystem::path& dir, Runner& runner) {
+  GoldenReport report;
+  std::filesystem::create_directories(dir);
+  for (const auto& [spec, year] : combinations()) {
+    ++report.figures;
+    const std::string json = to_canonical_json(runner.run(*spec, year));
+    const std::filesystem::path path = dir / golden_filename(*spec, year);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << json;
+    if (!out) {
+      ++report.mismatched;
+      report.errors.push_back("failed to write " + path.string());
+      continue;
+    }
+    ++report.written;
+  }
+  return report;
+}
+
+GoldenReport check_goldens(const std::filesystem::path& dir, Runner& runner) {
+  GoldenReport report;
+  for (const auto& [spec, year] : combinations()) {
+    ++report.figures;
+    const std::filesystem::path path = dir / golden_filename(*spec, year);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      ++report.mismatched;
+      report.errors.push_back(spec->id + ": missing golden " + path.string());
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string expected = buf.str();
+    const std::string actual = to_canonical_json(runner.run(*spec, year));
+    if (actual != expected) {
+      ++report.mismatched;
+      std::string label = spec->id;
+      if (year) label += " (" + std::to_string(year_number(*year)) + ")";
+      report.errors.push_back(label + ": golden mismatch in " + path.string() +
+                              " — " + first_diff(expected, actual));
+    }
+  }
+  return report;
+}
+
+}  // namespace tokyonet::report

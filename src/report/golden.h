@@ -1,0 +1,52 @@
+// Golden-file regression over the figure catalog.
+//
+// Every (figure, year) combination renders to canonical JSON at a fixed
+// smoke scale and seed; the bytes are pinned under tests/golden/. Since
+// each analysis kernel is byte-identical at any thread count, a golden
+// mismatch means the analysis result actually changed — re-generate
+// with `tokyonet fig all --update-goldens` after an intentional change.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace tokyonet::report {
+
+struct FigureSpec;
+class Runner;
+
+/// The panel scale every golden is rendered at. Small enough for CI,
+/// large enough that no figure collapses to an empty table.
+inline constexpr double kGoldenScale = 0.05;
+
+/// "fig06_2013.json" for per-year renderings, "table03.json" for
+/// longitudinal figures.
+[[nodiscard]] std::string golden_filename(const FigureSpec& spec,
+                                          std::optional<Year> year);
+
+struct GoldenReport {
+  int figures = 0;   // (figure, year) combinations visited
+  int written = 0;   // files (re)written — update mode only
+  int mismatched = 0;
+  /// One entry per mismatch/missing file, naming the figure and the
+  /// first differing line.
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const noexcept { return mismatched == 0; }
+};
+
+/// Renders every registered figure for every applicable year through
+/// `runner` (which must be configured at kGoldenScale) and writes the
+/// canonical JSON files into `dir`, creating it if needed.
+GoldenReport write_goldens(const std::filesystem::path& dir, Runner& runner);
+
+/// Renders every combination and byte-compares against the files in
+/// `dir`. Missing or differing files are reported as mismatches.
+[[nodiscard]] GoldenReport check_goldens(const std::filesystem::path& dir,
+                                         Runner& runner);
+
+}  // namespace tokyonet::report

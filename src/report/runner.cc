@@ -1,0 +1,94 @@
+#include "report/runner.h"
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/scenario.h"
+#include "sim/simulator.h"
+
+namespace tokyonet::report {
+
+void Runner::adopt(Year year, Dataset ds) {
+  const int i = static_cast<int>(year);
+  assert(ds_[i] == nullptr && "adopt() must precede dataset() resolution");
+  adopted_[i] = std::make_unique<Dataset>(std::move(ds));
+}
+
+const Dataset& Runner::dataset(Year year) {
+  const int i = static_cast<int>(year);
+  std::call_once(once_[i], [&] {
+    if (adopted_[i] != nullptr) {
+      ds_[i] = std::move(adopted_[i]);
+    } else {
+      ScenarioConfig config = scenario_config(year, opt_.scale);
+      if (opt_.seed) config.seed = *opt_.seed;
+      sim::CampaignCacheStatus status;
+      ds_[i] = std::make_unique<Dataset>(sim::cached_campaign(config, &status));
+      if (status.enabled && opt_.announce_cache) {
+        // run_bench.sh greps these lines to count cache hits per run.
+        std::printf("tokyonet-cache: %s %s\n", status.hit ? "hit" : "miss",
+                    status.path.string().c_str());
+        if (!status.detail.empty()) {
+          std::fprintf(stderr, "tokyonet-cache: note: %s\n",
+                       status.detail.c_str());
+        }
+      }
+    }
+    ctx_[i] = std::make_unique<analysis::AnalysisContext>(*ds_[i]);
+  });
+  return *ds_[i];
+}
+
+const analysis::AnalysisContext& Runner::analysis(Year year) {
+  (void)dataset(year);  // ensure materialized
+  return *ctx_[static_cast<int>(year)];
+}
+
+Table Runner::run(const FigureSpec& spec, std::optional<Year> year) {
+  if (spec.per_year() != year.has_value()) {
+    throw std::invalid_argument(
+        spec.per_year()
+            ? "figure '" + spec.id + "' is per-year: a year is required"
+            : "figure '" + spec.id + "' is longitudinal: no year applies");
+  }
+  const FigureContext ctx(*this, year);
+  Table t = spec.fn(ctx);
+  t.id = spec.id;
+  if (t.title.empty()) t.title = spec.title;
+  if (t.paper_ref.empty()) t.paper_ref = spec.paper_ref;
+  t.year = year ? std::optional<int>(year_number(*year)) : std::nullopt;
+  return t;
+}
+
+Table Runner::run_stacked(const FigureSpec& spec) {
+  if (!spec.per_year()) return run(spec, std::nullopt);
+
+  std::optional<Table> stacked;
+  for (const Year y : spec.years) {
+    Table t = run(spec, y);
+    if (!stacked) {
+      stacked = std::move(t);
+      continue;
+    }
+    if (t.columns() != stacked->columns()) {
+      throw std::logic_error("figure '" + spec.id +
+                             "' emits different columns per year");
+    }
+    // Year-qualify the earlier notes once we know several years stack.
+    if (stacked->year) {
+      for (std::string& note : stacked->notes) {
+        note = "[" + std::to_string(*stacked->year) + "] " + note;
+      }
+      stacked->year = std::nullopt;
+    }
+    stacked->append_rows(t);
+    for (const std::string& note : t.notes) {
+      stacked->notes.push_back("[" + std::to_string(year_number(y)) + "] " +
+                               note);
+    }
+  }
+  return std::move(*stacked);
+}
+
+}  // namespace tokyonet::report

@@ -1,0 +1,78 @@
+// Runner: the one execution path for registered figures.
+//
+// Resolves campaign datasets through the on-disk campaign cache
+// (sim::cached_campaign; TOKYONET_CACHE_DIR), builds exactly one
+// analysis::AnalysisContext per year (std::call_once, shared by every
+// figure), and renders any FigureSpec as a report::Table. The CLI, the
+// bench binaries (bench/common.cc routes its old per-binary lazy
+// caches here) and the golden harness all drive figures through this
+// class.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "analysis/context.h"
+#include "core/records.h"
+#include "report/registry.h"
+
+namespace tokyonet::report {
+
+class Runner {
+ public:
+  struct Options {
+    /// Panel scale passed to scenario_config().
+    double scale = 1.0;
+    /// Simulation seed override (default: the scenario's).
+    std::optional<std::uint64_t> seed;
+    /// Print "tokyonet-cache: hit|miss <path>" lines when the campaign
+    /// cache is enabled (run_bench.sh counts them).
+    bool announce_cache = false;
+  };
+
+  Runner() = default;
+  explicit Runner(const Options& opt) : opt_(opt) {}
+
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  [[nodiscard]] const Options& options() const noexcept { return opt_; }
+
+  /// Memoized campaign for `year`: simulated (or cache-loaded) at most
+  /// once per Runner, thread-safely.
+  [[nodiscard]] const Dataset& dataset(Year year);
+
+  /// Memoized analysis context over dataset(year).
+  [[nodiscard]] const analysis::AnalysisContext& analysis(Year year);
+
+  /// Installs an externally loaded dataset (CSV import, snapshot) as
+  /// `year`'s campaign. Must be called before the first dataset(year)
+  /// resolution for that year.
+  void adopt(Year year, Dataset ds);
+
+  /// Renders one figure. For per-year figures `year` must be set (any
+  /// campaign year is accepted — `spec.years` lists the paper's
+  /// defaults, not a hard restriction); for longitudinal figures it
+  /// must be nullopt. The result carries the spec's id/title/paper_ref
+  /// and the rendered year.
+  [[nodiscard]] Table run(const FigureSpec& spec, std::optional<Year> year);
+
+  /// Renders a figure for every year in `spec.years` and stacks the
+  /// per-year rows into one table (figures emit a leading "year"
+  /// column, so the stack reads like the paper's multi-year tables).
+  /// Longitudinal figures render once, unchanged.
+  [[nodiscard]] Table run_stacked(const FigureSpec& spec);
+
+ private:
+  Options opt_;
+
+  std::once_flag once_[kNumYears];
+  std::unique_ptr<Dataset> adopted_[kNumYears];
+  std::unique_ptr<Dataset> ds_[kNumYears];
+  std::unique_ptr<analysis::AnalysisContext> ctx_[kNumYears];
+};
+
+}  // namespace tokyonet::report

@@ -1,0 +1,262 @@
+#include "report/table.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "io/table.h"
+
+namespace tokyonet::report {
+
+Value Value::text(std::string s) {
+  Value v;
+  v.kind_ = Kind::Text;
+  v.text_ = std::move(s);
+  return v;
+}
+
+Value Value::integer(long long x) {
+  Value v;
+  v.kind_ = Kind::Int;
+  v.int_ = x;
+  return v;
+}
+
+Value Value::real(double x, int decimals) {
+  Value v;
+  v.kind_ = Kind::Real;
+  v.real_ = x;
+  v.decimals_ = decimals;
+  return v;
+}
+
+Value Value::pct(double fraction, int decimals) {
+  Value v = real(fraction, decimals);
+  v.percent_ = true;
+  return v;
+}
+
+std::string Value::render_text() const {
+  switch (kind_) {
+    case Kind::Null:
+      return "-";
+    case Kind::Text:
+      return text_;
+    case Kind::Int:
+      return std::to_string(int_);
+    case Kind::Real:
+      return percent_ ? io::TextTable::pct(real_, decimals_)
+                      : io::TextTable::num(real_, decimals_);
+  }
+  return {};
+}
+
+std::string strf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[512];
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  assert(ec == std::errc());
+  (void)ec;
+  return std::string(buf, end);
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Value::append_json(std::string& out) const {
+  switch (kind_) {
+    case Kind::Null:
+      out += "null";
+      return;
+    case Kind::Text:
+      append_json_string(out, text_);
+      return;
+    case Kind::Int:
+      out += std::to_string(int_);
+      return;
+    case Kind::Real:
+      // JSON has no NaN/Inf literals; a non-finite kernel output maps
+      // to null (still deterministic, still diffs against a finite
+      // golden value).
+      if (!std::isfinite(real_)) {
+        out += "null";
+      } else {
+        out += format_double(real_);
+      }
+      return;
+  }
+}
+
+void Value::append_csv(std::string& out) const {
+  switch (kind_) {
+    case Kind::Null:
+      return;  // empty cell
+    case Kind::Text: {
+      const bool needs_quotes =
+          text_.find_first_of(",\"\n") != std::string::npos;
+      if (!needs_quotes) {
+        out += text_;
+        return;
+      }
+      out += '"';
+      for (const char c : text_) {
+        if (c == '"') out += '"';
+        out += c;
+      }
+      out += '"';
+      return;
+    }
+    case Kind::Int:
+      out += std::to_string(int_);
+      return;
+    case Kind::Real:
+      out += std::isfinite(real_) ? format_double(real_) : std::string("nan");
+      return;
+  }
+}
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<Value> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::append_rows(const Table& other) {
+  assert(other.columns_ == columns_);
+  rows_.insert(rows_.end(), other.rows_.begin(), other.rows_.end());
+}
+
+std::string to_text(const Table& t) {
+  std::string out;
+  if (!t.id.empty() || !t.title.empty()) {
+    out += t.id;
+    if (t.year) out += " (" + std::to_string(*t.year) + ")";
+    if (!t.title.empty()) out += (out.empty() ? "" : ": ") + t.title;
+    if (!t.paper_ref.empty()) out += "   [" + t.paper_ref + "]";
+    out += '\n';
+  }
+  io::TextTable text(t.columns());
+  for (const auto& row : t.rows()) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Value& v : row) cells.push_back(v.render_text());
+    text.add_row(std::move(cells));
+  }
+  out += text.to_string();
+  for (const std::string& note : t.notes) {
+    out += note;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string to_csv(const Table& t) {
+  std::string out;
+  for (std::size_t c = 0; c < t.columns().size(); ++c) {
+    if (c > 0) out += ',';
+    Value::text(t.columns()[c]).append_csv(out);
+  }
+  out += '\n';
+  for (const auto& row : t.rows()) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      row[c].append_csv(out);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string to_canonical_json(const Table& t) {
+  // Keys in sorted order: columns, id, notes, paper_ref, rows, title,
+  // year. Every key is always present (year is null for longitudinal
+  // tables) so two goldens always have the same line structure and a
+  // value change shows up as a one-line diff.
+  std::string out;
+  out += "{\n";
+
+  out += "  \"columns\": [";
+  for (std::size_t c = 0; c < t.columns().size(); ++c) {
+    if (c > 0) out += ", ";
+    append_json_string(out, t.columns()[c]);
+  }
+  out += "],\n";
+
+  out += "  \"id\": ";
+  append_json_string(out, t.id);
+  out += ",\n";
+
+  out += "  \"notes\": [";
+  for (std::size_t i = 0; i < t.notes.size(); ++i) {
+    if (i > 0) out += ", ";
+    append_json_string(out, t.notes[i]);
+  }
+  out += "],\n";
+
+  out += "  \"paper_ref\": ";
+  append_json_string(out, t.paper_ref);
+  out += ",\n";
+
+  out += "  \"rows\": [";
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    out += r > 0 ? ",\n    [" : "\n    [";
+    const auto& row = t.rows()[r];
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ", ";
+      row[c].append_json(out);
+    }
+    out += ']';
+  }
+  out += t.num_rows() > 0 ? "\n  ],\n" : "],\n";
+
+  out += "  \"title\": ";
+  append_json_string(out, t.title);
+  out += ",\n";
+
+  out += "  \"year\": ";
+  out += t.year ? std::to_string(*t.year) : std::string("null");
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace tokyonet::report

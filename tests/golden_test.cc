@@ -1,0 +1,39 @@
+// Golden-file regression over the whole figure catalog: every
+// registered figure, for every applicable campaign year, rendered to
+// canonical JSON at the pinned golden scale, must byte-match the files
+// under tests/golden/. The kernels are byte-identical at any thread
+// count, so CMake registers this binary twice (golden_threads1 /
+// golden_threads4) with different TOKYONET_THREADS values.
+//
+// After an intentional analysis change, regenerate the files with
+//   tokyonet fig all --update-goldens --goldens tests/golden
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "report/golden.h"
+#include "report/runner.h"
+
+#ifndef TOKYONET_GOLDEN_DIR
+#error "TOKYONET_GOLDEN_DIR must name the pinned golden directory"
+#endif
+
+namespace tokyonet::report {
+namespace {
+
+TEST(Golden, EveryFigureMatchesItsGoldenFile) {
+  Runner::Options opt;
+  opt.scale = kGoldenScale;
+  Runner runner(opt);
+  const GoldenReport report = check_goldens(TOKYONET_GOLDEN_DIR, runner);
+  for (const std::string& error : report.errors) {
+    ADD_FAILURE() << error;
+  }
+  EXPECT_TRUE(report.ok());
+  // One rendering per (figure, applicable year) combination; a new
+  // figure must come with a regenerated golden set.
+  EXPECT_EQ(report.figures, 75);
+}
+
+}  // namespace
+}  // namespace tokyonet::report

@@ -36,6 +36,37 @@ TEST(TextTable, AlignsColumns) {
   EXPECT_NE(out.find("---"), std::string::npos);
 }
 
+TEST(TextTable, ToStringMatchesPrintedBytes) {
+  TextTable t({"id", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("id     value"), std::string::npos);
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+  EXPECT_NE(out.find("b      22"), std::string::npos);
+  char buf[256] = {};
+  std::FILE* mem = fmemopen(buf, sizeof buf, "w");
+  ASSERT_NE(mem, nullptr);
+  t.print(mem);
+  std::fclose(mem);
+  EXPECT_EQ(std::string(buf), out);
+}
+
+TEST(TextTable, EmptyTableRendersHeaderAndRuleOnly) {
+  TextTable t({"a", "bb"});
+  const std::string out = t.to_string();
+  int lines = 0;
+  for (const char c : out) lines += c == '\n';
+  EXPECT_EQ(lines, 2);  // header + rule, no data rows
+  EXPECT_EQ(out.rfind("a  bb\n", 0), 0u);
+}
+
+TEST(TextTable, NumHandlesNegativeAndWholeValues) {
+  EXPECT_EQ(TextTable::num(-2.5, 1), "-2.5");
+  EXPECT_EQ(TextTable::num(1234567.0, 0), "1234567");
+  EXPECT_EQ(TextTable::pct(0.0, 1), "0.0%");
+}
+
 TEST(PrintSeries, SubsamplesLongSeries) {
   std::vector<double> y(1000, 1.0);
   char buf[8192] = {};

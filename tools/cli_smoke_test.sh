@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Asserts the tokyonet CLI's documented exit-code contract:
+#   0 success, 2 bad usage / malformed flags, 3 load/IO failure,
+#   4 verification failure.
+#
+# Usage: tools/cli_smoke_test.sh [build_dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+tokyonet="${build_dir}/tools/tokyonet"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "${tmp}"' EXIT
+
+expect() {
+  local want="$1"
+  shift
+  local got=0
+  "$@" >/dev/null 2>&1 || got=$?
+  if [ "${got}" != "${want}" ]; then
+    echo "FAIL: '$*' exited ${got}, want ${want}" >&2
+    exit 1
+  fi
+  echo "ok (exit ${want}): $*"
+}
+
+# 0: success paths (tiny scale keeps this fast).
+expect 0 "${tokyonet}" fig list
+expect 0 "${tokyonet}" fig run table01 --year 2015 --scale 0.02 --format json
+
+# 2: bad usage and malformed flags (strict numeric parsing).
+expect 2 "${tokyonet}" bogus-command
+expect 2 "${tokyonet}" fig run table01 --year 20x5
+expect 2 "${tokyonet}" report --year 2015 --scale abc
+expect 2 "${tokyonet}" fig run table01 --year 2015 --seed -3
+expect 2 "${tokyonet}" fig run no_such_figure
+expect 2 "${tokyonet}" fig run fig01 --year 2015  # longitudinal: no --year
+expect 2 "${tokyonet}" fig run table01 --year 2015 --format yaml
+expect 2 "${tokyonet}" report --year 2020
+
+# 3: missing inputs.
+expect 3 "${tokyonet}" report --in "${tmp}/no-such-dir"
+expect 3 "${tokyonet}" snapshot load --in "${tmp}/missing.snap"
+
+# 4: verification failures.
+echo "this is not a snapshot" > "${tmp}/corrupt.snap"
+expect 4 "${tokyonet}" snapshot load --in "${tmp}/corrupt.snap"
+mkdir "${tmp}/empty-goldens"
+expect 4 "${tokyonet}" fig all --check-goldens --goldens "${tmp}/empty-goldens"
+
+echo "PASS: exit-code contract holds"

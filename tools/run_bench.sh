@@ -147,13 +147,20 @@ fi
 ingest_lines="${tmp_dir}/ingest_lines.txt"
 cat "${tmp_dir}"/*.log | grep '^tokyonet-ingest: ' > "${ingest_lines}" || true
 
+# Figure-catalog coverage: bench_all prints "tokyonet-figures: count=N"
+# after rendering every registered reproduction.
+figure_count="$(cat "${tmp_dir}"/*.log \
+    | sed -n 's/^tokyonet-figures: count=//p' | head -n 1)"
+figure_count="${figure_count:-0}"
+
 python3 - "${tmp_dir}" "${out_json}" "${cache_dir}" "${cache_hits}" \
-         "${cache_misses}" "${ingest_lines}" "${build_type}" <<'PY'
+         "${cache_misses}" "${ingest_lines}" "${build_type}" \
+         "${figure_count}" <<'PY'
 import json, os, sys
 from datetime import datetime, timezone
 
-tmp_dir, out_json, cache_dir, hits, misses, ingest_lines, build_type = \
-    sys.argv[1:8]
+tmp_dir, out_json, cache_dir, hits, misses, ingest_lines, build_type, \
+    figure_count = sys.argv[1:9]
 
 def parse_ingest_line(line):
     # "tokyonet-ingest: year=2015 mode=block shards=4 ... records_per_sec=..."
@@ -185,6 +192,7 @@ result = {
         "misses": int(misses),
     },
     "ingest": ingest_runs,
+    "figures": int(figure_count),
     "benches": {},
 }
 for fname in sorted(os.listdir(tmp_dir)):

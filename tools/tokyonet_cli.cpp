@@ -1,15 +1,32 @@
 // tokyonet command-line tool.
 //
+//   tokyonet fig list [--ids]
+//       Enumerate the figure registry: every paper figure/table
+//       reproduction with its id, years and paper reference.
+//
+//   tokyonet fig run <id> [--year Y] [--scale S] [--seed N]
+//                    [--format text|csv|json]
+//       Render one registered reproduction. Without --year a per-year
+//       figure is stacked over all its paper years; longitudinal
+//       figures take no --year.
+//
+//   tokyonet fig all [--format text|csv|json]
+//   tokyonet fig all --update-goldens [--goldens DIR]
+//   tokyonet fig all --check-goldens [--goldens DIR]
+//       Render the whole catalog, or write / byte-compare the golden
+//       canonical-JSON files (always at the pinned golden scale).
+//
 //   tokyonet simulate --year 2015 [--scale S] [--seed N] --out DIR
 //       Simulate a campaign and export it as CSV (observable data only).
 //
 //   tokyonet report (--in DIR | --year Y [--scale S])
-//       Print the headline analysis report for a dataset: Table 1/3/4
-//       numbers, WiFi ratios, user types, location shares and (for 2015)
-//       the update event.
+//       Print the headline reproductions for a dataset through the
+//       figure registry (Table 1/4, user types, offload opportunity,
+//       and for 2015 the update event).
 //
 //   tokyonet years [--scale S]
-//       Run all three campaigns and print the longitudinal summary.
+//       Headline report for all three campaigns plus the longitudinal
+//       figures (Fig 1, Table 3).
 //
 //   tokyonet snapshot save --year Y [--scale S] [--seed N] --out FILE
 //   tokyonet snapshot load --in FILE
@@ -36,22 +53,25 @@
 //       Loopback replay: stream a campaign through an in-process ingest
 //       server, print throughput/counters, and verify the incremental
 //       results are byte-identical to the batch kernels.
+//
+// Exit codes: 0 success; 1 runtime failure; 2 bad usage or malformed
+// flags; 3 load/IO failure (missing input, unreadable file); 4
+// verification failure (golden mismatch, corrupt snapshot, incremental
+// != batch).
+#include <cerrno>
 #include <chrono>
 #include <cinttypes>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <filesystem>
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 
-#include "analysis/aggregate.h"
-#include "analysis/classify.h"
-#include "analysis/context.h"
-#include "analysis/ratios.h"
-#include "analysis/update.h"
-#include "analysis/usertype.h"
-#include "analysis/volumes.h"
 #include "analysis/incremental.h"
 #include "ingest/replay.h"
 #include "ingest/server.h"
@@ -59,11 +79,21 @@
 #include "io/csv.h"
 #include "io/snapshot.h"
 #include "io/table.h"
+#include "report/golden.h"
+#include "report/registry.h"
+#include "report/runner.h"
+#include "report/table.h"
 #include "sim/simulator.h"
 
 using namespace tokyonet;
 
 namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitFailure = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitLoad = 3;
+constexpr int kExitVerify = 4;
 
 struct Args {
   std::string command;
@@ -73,6 +103,14 @@ struct Args {
   std::optional<std::uint64_t> seed;
   std::string in_dir;
   std::string out_dir;
+
+  // fig flags
+  std::string figure_id;
+  std::string format = "text";
+  std::string golden_dir = "tests/golden";
+  bool update_goldens = false;
+  bool check_goldens = false;
+  bool ids_only = false;
 
   // ingest flags
   std::string host = "127.0.0.1";
@@ -90,6 +128,12 @@ struct Args {
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
+               "  tokyonet fig list [--ids]\n"
+               "  tokyonet fig run <id> [--year Y] [--scale S] [--seed N] "
+               "[--format text|csv|json]\n"
+               "  tokyonet fig all [--format text|csv|json]\n"
+               "  tokyonet fig all --update-goldens|--check-goldens "
+               "[--goldens DIR]\n"
                "  tokyonet simulate --year 2013|2014|2015 [--scale S] "
                "[--seed N] --out DIR\n"
                "  tokyonet report (--in DIR | --year Y [--scale S])\n"
@@ -107,15 +151,59 @@ int usage() {
                "[--multiplier M]\n"
                "  tokyonet ingest stats --year Y [--scale S] [--seed N] "
                "[--shards N] [--queue N] [--shed] [--rate R] [--batch B] "
-               "[--multiplier M] [--no-verify]\n");
-  return 2;
+               "[--multiplier M] [--no-verify]\n"
+               "exit codes: 0 ok, 1 failure, 2 usage, 3 load/IO, "
+               "4 verification\n");
+  return kExitUsage;
+}
+
+// Strict numeric flag parsing: the whole token must parse, so
+// "--year 20x5" or "--scale abc" are rejected instead of silently
+// truncating (the old std::atoi/atof behavior).
+bool parse_int_flag(const char* flag, const char* value, int& out) {
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || parsed < INT_MIN ||
+      parsed > INT_MAX) {
+    std::fprintf(stderr, "invalid integer for %s: '%s'\n", flag, value);
+    return false;
+  }
+  out = static_cast<int>(parsed);
+  return true;
+}
+
+bool parse_u64_flag(const char* flag, const char* value, std::uint64_t& out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || value[0] == '-') {
+    std::fprintf(stderr, "invalid unsigned integer for %s: '%s'\n", flag,
+                 value);
+    return false;
+  }
+  out = static_cast<std::uint64_t>(parsed);
+  return true;
+}
+
+bool parse_double_flag(const char* flag, const char* value, double& out) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "invalid number for %s: '%s'\n", flag, value);
+    return false;
+  }
+  out = parsed;
+  return true;
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
   args.command = argv[1];
   int first_flag = 2;
-  if (args.command == "snapshot" || args.command == "ingest") {
+  if (args.command == "snapshot" || args.command == "ingest" ||
+      args.command == "fig") {
     if (argc < 3) return false;
     args.subcommand = argv[2];
     first_flag = 3;
@@ -125,18 +213,32 @@ bool parse_args(int argc, char** argv, Args& args) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    if (!flag.empty() && flag[0] != '-') {
+      // The only positional operand is `fig run <id>`.
+      if (args.command == "fig" && args.subcommand == "run" &&
+          args.figure_id.empty()) {
+        args.figure_id = flag;
+        continue;
+      }
+      std::fprintf(stderr, "unexpected argument: %s\n", flag.c_str());
+      return false;
+    }
     if (flag == "--year") {
       const char* v = next();
       if (v == nullptr) return false;
-      args.year = std::atoi(v);
+      int year = 0;
+      if (!parse_int_flag("--year", v, year)) return false;
+      args.year = year;
     } else if (flag == "--scale") {
       const char* v = next();
       if (v == nullptr) return false;
-      args.scale = std::atof(v);
+      if (!parse_double_flag("--scale", v, args.scale)) return false;
     } else if (flag == "--seed") {
       const char* v = next();
       if (v == nullptr) return false;
-      args.seed = std::strtoull(v, nullptr, 10);
+      std::uint64_t seed = 0;
+      if (!parse_u64_flag("--seed", v, seed)) return false;
+      args.seed = seed;
     } else if (flag == "--in") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -145,6 +247,20 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.out_dir = v;
+    } else if (flag == "--format") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.format = v;
+    } else if (flag == "--goldens") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.golden_dir = v;
+    } else if (flag == "--update-goldens") {
+      args.update_goldens = true;
+    } else if (flag == "--check-goldens") {
+      args.check_goldens = true;
+    } else if (flag == "--ids") {
+      args.ids_only = true;
     } else if (flag == "--host") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -152,31 +268,31 @@ bool parse_args(int argc, char** argv, Args& args) {
     } else if (flag == "--port") {
       const char* v = next();
       if (v == nullptr) return false;
-      args.port = std::atoi(v);
+      if (!parse_int_flag("--port", v, args.port)) return false;
     } else if (flag == "--shards") {
       const char* v = next();
       if (v == nullptr) return false;
-      args.shards = std::atoi(v);
+      if (!parse_int_flag("--shards", v, args.shards)) return false;
     } else if (flag == "--queue") {
       const char* v = next();
       if (v == nullptr) return false;
-      args.queue = std::atoi(v);
+      if (!parse_int_flag("--queue", v, args.queue)) return false;
     } else if (flag == "--sessions") {
       const char* v = next();
       if (v == nullptr) return false;
-      args.sessions = std::atoi(v);
+      if (!parse_int_flag("--sessions", v, args.sessions)) return false;
     } else if (flag == "--rate") {
       const char* v = next();
       if (v == nullptr) return false;
-      args.rate = std::atof(v);
+      if (!parse_double_flag("--rate", v, args.rate)) return false;
     } else if (flag == "--batch") {
       const char* v = next();
       if (v == nullptr) return false;
-      args.batch = std::atoi(v);
+      if (!parse_int_flag("--batch", v, args.batch)) return false;
     } else if (flag == "--multiplier") {
       const char* v = next();
       if (v == nullptr) return false;
-      args.multiplier = std::atoi(v);
+      if (!parse_int_flag("--multiplier", v, args.multiplier)) return false;
     } else if (flag == "--shed") {
       args.shed = true;
     } else if (flag == "--no-verify") {
@@ -194,15 +310,147 @@ std::optional<Year> to_year(int y) {
   return static_cast<Year>(y - 2013);
 }
 
-void print_cache_status(const sim::CampaignCacheStatus& status) {
-  if (!status.enabled) return;
-  std::printf("tokyonet-cache: %s %s\n", status.hit ? "hit" : "miss",
-              status.path.string().c_str());
-  if (!status.detail.empty()) {
-    std::fprintf(stderr, "tokyonet-cache: note: %s\n",
-                 status.detail.c_str());
-  }
+report::Runner::Options runner_options(const Args& args) {
+  report::Runner::Options opt;
+  opt.scale = args.scale;
+  opt.seed = args.seed;
+  opt.announce_cache = true;
+  return opt;
 }
+
+// ---------------------------------------------------------------------
+// fig: the figure registry.
+
+std::string years_label(const report::FigureSpec& spec) {
+  if (!spec.per_year()) return "longitudinal";
+  std::string out;
+  for (Year y : spec.years) {
+    if (!out.empty()) out += ' ';
+    out += std::string(to_string(y));
+  }
+  return out;
+}
+
+int cmd_fig_list(const Args& args) {
+  const auto& registry = report::FigureRegistry::instance();
+  if (args.ids_only) {
+    for (const report::FigureSpec& spec : registry.figures()) {
+      std::printf("%s\n", spec.id.c_str());
+    }
+    return kExitOk;
+  }
+  io::TextTable table({"id", "years", "paper ref", "title"});
+  for (const report::FigureSpec& spec : registry.figures()) {
+    table.add_row({spec.id, years_label(spec), spec.paper_ref, spec.title});
+  }
+  table.print();
+  std::printf("\n%zu reproductions; render one with "
+              "`tokyonet fig run <id>`\n",
+              registry.size());
+  return kExitOk;
+}
+
+bool render_table(const report::Table& table, const std::string& format) {
+  if (format == "text") {
+    std::fputs(report::to_text(table).c_str(), stdout);
+  } else if (format == "csv") {
+    std::fputs(report::to_csv(table).c_str(), stdout);
+  } else if (format == "json") {
+    std::fputs(report::to_canonical_json(table).c_str(), stdout);
+    std::printf("\n");
+  } else {
+    std::fprintf(stderr, "unknown --format '%s' (text|csv|json)\n",
+                 format.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmd_fig_run(const Args& args) {
+  if (args.figure_id.empty()) return usage();
+  const report::FigureSpec* spec =
+      report::FigureRegistry::instance().find(args.figure_id);
+  if (spec == nullptr) {
+    std::fprintf(stderr,
+                 "unknown figure id '%s'; see `tokyonet fig list`\n",
+                 args.figure_id.c_str());
+    return kExitUsage;
+  }
+  std::optional<Year> year;
+  if (args.year) {
+    if (!spec->per_year()) {
+      std::fprintf(stderr, "%s is longitudinal; it takes no --year\n",
+                   spec->id.c_str());
+      return kExitUsage;
+    }
+    year = to_year(*args.year);
+    if (!year) {
+      std::fprintf(stderr, "year must be 2013..2015\n");
+      return kExitUsage;
+    }
+  }
+  report::Runner runner(runner_options(args));
+  const report::Table table = (spec->per_year() && !year)
+                                  ? runner.run_stacked(*spec)
+                                  : runner.run(*spec, year);
+  return render_table(table, args.format) ? kExitOk : kExitUsage;
+}
+
+int cmd_fig_all(const Args& args) {
+  if (args.update_goldens || args.check_goldens) {
+    // Goldens are pinned at a fixed scale and the scenario's own seed;
+    // --scale/--seed do not apply here.
+    report::Runner::Options opt;
+    opt.scale = report::kGoldenScale;
+    report::Runner runner(opt);
+    if (args.update_goldens) {
+      const report::GoldenReport r =
+          report::write_goldens(args.golden_dir, runner);
+      for (const std::string& e : r.errors) {
+        std::fprintf(stderr, "golden: %s\n", e.c_str());
+      }
+      std::printf("wrote %d golden files (%d figure renderings) to %s\n",
+                  r.written, r.figures, args.golden_dir.c_str());
+      return r.errors.empty() ? kExitOk : kExitLoad;
+    }
+    const report::GoldenReport r =
+        report::check_goldens(args.golden_dir, runner);
+    for (const std::string& e : r.errors) {
+      std::fprintf(stderr, "golden: %s\n", e.c_str());
+    }
+    if (!r.ok()) {
+      std::fprintf(stderr, "golden check FAILED: %d of %d renderings "
+                   "mismatched under %s\n",
+                   r.mismatched, r.figures, args.golden_dir.c_str());
+      return kExitVerify;
+    }
+    std::printf("golden check OK: %d renderings match %s\n", r.figures,
+                args.golden_dir.c_str());
+    return kExitOk;
+  }
+
+  report::Runner runner(runner_options(args));
+  const auto& registry = report::FigureRegistry::instance();
+  bool first = true;
+  for (const report::FigureSpec& spec : registry.figures()) {
+    if (!first && args.format == "text") std::printf("\n");
+    first = false;
+    if (!render_table(runner.run_stacked(spec), args.format)) {
+      return kExitUsage;
+    }
+  }
+  return kExitOk;
+}
+
+int cmd_fig(const Args& args) {
+  if (args.subcommand == "list") return cmd_fig_list(args);
+  if (args.subcommand == "run") return cmd_fig_run(args);
+  if (args.subcommand == "all") return cmd_fig_all(args);
+  return usage();
+}
+
+// ---------------------------------------------------------------------
+// simulate / report / years.
 
 Dataset make_dataset(const Args& args, Year year) {
   ScenarioConfig config = scenario_config(year, args.scale);
@@ -211,71 +459,42 @@ Dataset make_dataset(const Args& args, Year year) {
   // otherwise this is a plain simulation.
   sim::CampaignCacheStatus status;
   Dataset ds = sim::cached_campaign(config, &status);
-  print_cache_status(status);
+  if (status.enabled) {
+    std::printf("tokyonet-cache: %s %s\n", status.hit ? "hit" : "miss",
+                status.path.string().c_str());
+    if (!status.detail.empty()) {
+      std::fprintf(stderr, "tokyonet-cache: note: %s\n",
+                   status.detail.c_str());
+    }
+  }
   return ds;
 }
 
-void print_report(const Dataset& ds) {
-  std::printf("dataset: %s campaign, %d days, %zu devices, %zu samples\n\n",
+// The headline reproductions for one campaign year, rendered through
+// the registry: dataset/panel overview, AP census, user types, offload
+// opportunity, and (2015) the iOS update event.
+void print_report(report::Runner& runner, Year year) {
+  const Dataset& ds = runner.dataset(year);
+  std::printf("dataset: %s campaign, %d days, %zu devices, %zu samples\n",
               std::string(to_string(ds.year)).c_str(), ds.num_days(),
               ds.devices.size(), ds.samples.size());
 
-  // One memoized context: user days, AP classification, the user
-  // classifier, and update detection are each computed exactly once and
-  // shared by every section below.
-  const analysis::AnalysisContext ctx(ds);
-
-  const analysis::DatasetOverview ov = analysis::overview(ds);
-  std::printf("devices: %d Android + %d iOS; LTE carries %.0f%% of "
-              "cellular download\n",
-              ov.n_android, ov.n_ios, 100 * ov.lte_traffic_share);
-
-  const auto& days = ctx.days();
-  const analysis::DailyVolumeStats vs = analysis::daily_volume_stats(days);
-  io::TextTable volumes({"daily download", "median [MB]", "mean [MB]"});
-  volumes.add_row({"total", io::TextTable::num(vs.median_all),
-                   io::TextTable::num(vs.mean_all)});
-  volumes.add_row({"cellular", io::TextTable::num(vs.median_cell),
-                   io::TextTable::num(vs.mean_cell)});
-  volumes.add_row({"WiFi", io::TextTable::num(vs.median_wifi),
-                   io::TextTable::num(vs.mean_wifi)});
-  volumes.print();
-
-  const analysis::ApClassification& cls = ctx.classification();
-  const auto counts = cls.counts();
-  std::printf("\nAPs: %d home, %d public, %d other (%d office); %.0f%% of "
-              "devices have a home AP\n",
-              counts.home, counts.publik, counts.other, counts.office,
-              100 * cls.home_ap_device_share());
-
-  const analysis::WifiLocationShares shares =
-      analysis::wifi_location_shares(ds, cls);
-  std::printf("WiFi volume: %.1f%% home, %.1f%% public, %.1f%% office\n",
-              100 * shares.home, 100 * shares.publik, 100 * shares.office);
-
-  const analysis::UserClassifier& classes = ctx.classifier();
-  const analysis::WifiRatios ratios =
-      analysis::compute_wifi_ratios(ds, days, classes);
-  std::printf("WiFi-traffic ratio %.2f, WiFi-user ratio %.2f "
-              "(heavy %.2f / light %.2f)\n",
-              ratios.traffic_all.mean_ratio(), ratios.users_all.mean_ratio(),
-              ratios.traffic_heavy.mean_ratio(),
-              ratios.traffic_light.mean_ratio());
-
-  const analysis::UserTypeStats types = analysis::user_type_stats(ds, days);
-  std::printf("user types: %.0f%% cellular-intensive, %.0f%% "
-              "WiFi-intensive, %.0f%% mixed\n",
-              100 * types.cellular_intensive_frac,
-              100 * types.wifi_intensive_frac, 100 * types.mixed_frac);
-
-  if (ds.year == Year::Y2015) {
-    const analysis::UpdateDetection& det = ctx.updates();
-    const auto timing = analysis::analyze_update_timing(ds, det, cls);
-    std::printf("iOS 8.2: %.0f%% of iOS devices updated; home/no-home "
-                "median delay %.1f / %.1f days\n",
-                100 * timing.updated_share_all, timing.median_delay_home,
-                timing.median_delay_no_home);
+  const auto& registry = report::FigureRegistry::instance();
+  static constexpr const char* kHeadline[] = {
+      "table01", "table04", "fig05", "sec35_opportunity"};
+  for (const char* id : kHeadline) {
+    const report::FigureSpec* spec = registry.find(id);
+    if (spec == nullptr) continue;
+    std::printf("\n");
+    std::fputs(report::to_text(runner.run(*spec, year)).c_str(), stdout);
   }
+  if (year == Year::Y2015) {
+    if (const report::FigureSpec* spec = registry.find("fig18")) {
+      std::printf("\n");
+      std::fputs(report::to_text(runner.run(*spec, year)).c_str(), stdout);
+    }
+  }
+  std::printf("\n(full catalog: tokyonet fig list)\n");
 }
 
 int cmd_simulate(const Args& args) {
@@ -283,57 +502,75 @@ int cmd_simulate(const Args& args) {
   const auto year = to_year(*args.year);
   if (!year) {
     std::fprintf(stderr, "year must be 2013..2015\n");
-    return 2;
+    return kExitUsage;
   }
   const Dataset ds = make_dataset(args, *year);
   const io::CsvResult r = io::save_dataset_csv(ds, args.out_dir);
   if (!r.ok()) {
     std::fprintf(stderr, "export failed: %s\n", r.error.c_str());
-    return 1;
+    return kExitLoad;
   }
   std::printf("wrote %zu devices / %zu samples to %s\n", ds.devices.size(),
               ds.samples.size(), args.out_dir.c_str());
-  return 0;
+  return kExitOk;
 }
 
 int cmd_report(const Args& args) {
-  Dataset ds;
+  report::Runner runner(runner_options(args));
+  Year year;
   if (!args.in_dir.empty()) {
+    Dataset ds;
     const io::CsvResult r = io::load_dataset_csv(args.in_dir, ds);
     if (!r.ok()) {
       std::fprintf(stderr, "load failed: %s\n", r.error.c_str());
-      return 1;
+      return kExitLoad;
     }
+    year = ds.year;
+    runner.adopt(year, std::move(ds));
   } else if (args.year) {
-    const auto year = to_year(*args.year);
-    if (!year) {
+    const auto y = to_year(*args.year);
+    if (!y) {
       std::fprintf(stderr, "year must be 2013..2015\n");
-      return 2;
+      return kExitUsage;
     }
-    ds = make_dataset(args, *year);
+    year = *y;
   } else {
     return usage();
   }
-  print_report(ds);
-  return 0;
+  print_report(runner, year);
+  return kExitOk;
 }
 
 int cmd_years(const Args& args) {
+  report::Runner runner(runner_options(args));
   for (Year y : kAllYears) {
     std::printf("================ %s ================\n",
                 std::string(to_string(y)).c_str());
-    print_report(make_dataset(args, y));
+    print_report(runner, y);
     std::printf("\n");
   }
-  return 0;
+  // The longitudinal figures reuse the campaigns already materialized
+  // by the per-year reports above.
+  const auto& registry = report::FigureRegistry::instance();
+  for (const char* id : {"fig01", "table03"}) {
+    if (const report::FigureSpec* spec = registry.find(id)) {
+      std::fputs(report::to_text(runner.run(*spec, std::nullopt)).c_str(),
+                 stdout);
+      std::printf("\n");
+    }
+  }
+  return kExitOk;
 }
+
+// ---------------------------------------------------------------------
+// snapshot.
 
 int cmd_snapshot_save(const Args& args) {
   if (!args.year || args.out_dir.empty()) return usage();
   const auto year = to_year(*args.year);
   if (!year) {
     std::fprintf(stderr, "year must be 2013..2015\n");
-    return 2;
+    return kExitUsage;
   }
   ScenarioConfig config = scenario_config(*year, args.scale);
   if (args.seed) config.seed = *args.seed;
@@ -342,11 +579,18 @@ int cmd_snapshot_save(const Args& args) {
       io::save_snapshot(ds, args.out_dir, scenario_hash(config));
   if (!r.ok()) {
     std::fprintf(stderr, "snapshot save failed: %s\n", r.error.c_str());
-    return 1;
+    return kExitLoad;
   }
   std::printf("wrote %zu devices / %zu samples to %s\n", ds.devices.size(),
               ds.samples.size(), args.out_dir.c_str());
-  return 0;
+  return kExitOk;
+}
+
+// A snapshot that isn't there is a load error (3); one that exists but
+// fails header/checksum validation is a verification error (4).
+int snapshot_failure_code(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec) ? kExitVerify : kExitLoad;
 }
 
 int cmd_snapshot_load(const Args& args) {
@@ -356,14 +600,14 @@ int cmd_snapshot_load(const Args& args) {
   const io::SnapshotResult r = io::load_snapshot(args.in_dir, ds, {}, &info);
   if (!r.ok()) {
     std::fprintf(stderr, "snapshot load failed: %s\n", r.error.c_str());
-    return 1;
+    return snapshot_failure_code(args.in_dir);
   }
   std::printf("loaded %s: %s campaign, %d days, %zu devices, %zu samples "
               "(%s)\n",
               args.in_dir.c_str(), std::string(to_string(ds.year)).c_str(),
               ds.num_days(), ds.devices.size(), ds.samples.size(),
               info.mapped ? "mmap" : "owned read");
-  return 0;
+  return kExitOk;
 }
 
 int cmd_snapshot_info(const Args& args) {
@@ -372,7 +616,7 @@ int cmd_snapshot_info(const Args& args) {
   const io::SnapshotResult r = io::read_snapshot_info(args.in_dir, info);
   if (!r.ok()) {
     std::fprintf(stderr, "snapshot info failed: %s\n", r.error.c_str());
-    return 1;
+    return snapshot_failure_code(args.in_dir);
   }
   std::printf("snapshot %s\n", args.in_dir.c_str());
   std::printf("  version        %u\n", info.version);
@@ -391,23 +635,30 @@ int cmd_snapshot_info(const Args& args) {
                 " %016" PRIx64 "\n",
                 s.id, s.offset, s.bytes, s.checksum);
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_snapshot_warm(const Args& args) {
   if (io::cache_dir().empty()) {
     std::fprintf(stderr,
                  "snapshot warm needs TOKYONET_CACHE_DIR to be set\n");
-    return 2;
+    return kExitUsage;
   }
-  int rc = 0;
+  int rc = kExitOk;
   for (Year y : kAllYears) {
     ScenarioConfig config = scenario_config(y, args.scale);
     if (args.seed) config.seed = *args.seed;
     sim::CampaignCacheStatus status;
     const Dataset ds = sim::cached_campaign(config, &status);
-    print_cache_status(status);
-    if (!status.detail.empty()) rc = 1;  // save failed: cache still cold
+    if (status.enabled) {
+      std::printf("tokyonet-cache: %s %s\n", status.hit ? "hit" : "miss",
+                  status.path.string().c_str());
+      if (!status.detail.empty()) {
+        std::fprintf(stderr, "tokyonet-cache: note: %s\n",
+                     status.detail.c_str());
+        rc = kExitLoad;  // save failed: cache still cold
+      }
+    }
     std::printf("%s: %zu devices, %zu samples\n",
                 std::string(to_string(y)).c_str(), ds.devices.size(),
                 ds.samples.size());
@@ -422,6 +673,9 @@ int cmd_snapshot(const Args& args) {
   if (args.subcommand == "warm") return cmd_snapshot_warm(args);
   return usage();
 }
+
+// ---------------------------------------------------------------------
+// ingest.
 
 ingest::IngestConfig ingest_config(const Args& args) {
   ingest::IngestConfig config;
@@ -475,7 +729,7 @@ int cmd_ingest_serve(const Args& args) {
   if (!listener.start(args.host, static_cast<std::uint16_t>(args.port),
                       &error)) {
     std::fprintf(stderr, "ingest serve: %s\n", error.c_str());
-    return 1;
+    return kExitFailure;
   }
   const int want = args.sessions < 1 ? 1 : args.sessions;
   std::printf("listening on %s:%u (%d shards, queue %d, %s); waiting for "
@@ -497,7 +751,7 @@ int cmd_ingest_serve(const Args& args) {
   server.shutdown();
   print_ingest_summary(server);
   const ingest::IngestCounters c = server.counters();
-  return c.sessions_failed > 0 ? 1 : 0;
+  return c.sessions_failed > 0 ? kExitFailure : kExitOk;
 }
 
 int cmd_ingest_replay(const Args& args) {
@@ -505,7 +759,7 @@ int cmd_ingest_replay(const Args& args) {
   const auto year = to_year(*args.year);
   if (!year) {
     std::fprintf(stderr, "year must be 2013..2015\n");
-    return 2;
+    return kExitUsage;
   }
   const Dataset ds = make_dataset(args, *year);
 
@@ -514,7 +768,7 @@ int cmd_ingest_replay(const Args& args) {
   if (!sink.connect(args.host, static_cast<std::uint16_t>(args.port),
                     &error)) {
     std::fprintf(stderr, "ingest replay: %s\n", error.c_str());
-    return 1;
+    return kExitFailure;
   }
   ingest::ReplayStats stats;
   const bool ok = ingest::replay_dataset(ds, replay_options(args), sink,
@@ -527,7 +781,7 @@ int cmd_ingest_replay(const Args& args) {
                   ? static_cast<double>(stats.records) / stats.wall_seconds
                   : 0.0,
               ok ? "" : " [aborted: server rejected the stream]");
-  return ok ? 0 : 1;
+  return ok ? kExitOk : kExitFailure;
 }
 
 int cmd_ingest_stats(const Args& args) {
@@ -535,7 +789,7 @@ int cmd_ingest_stats(const Args& args) {
   const auto year = to_year(*args.year);
   if (!year) {
     std::fprintf(stderr, "year must be 2013..2015\n");
-    return 2;
+    return kExitUsage;
   }
   const Dataset ds = make_dataset(args, *year);
 
@@ -560,7 +814,7 @@ int cmd_ingest_stats(const Args& args) {
                   : 0.0);
   print_ingest_summary(server);
 
-  int rc = clean ? 0 : 1;
+  int rc = clean ? kExitOk : kExitFailure;
   const bool verify = !args.no_verify && args.multiplier <= 1 && !args.shed;
   if (verify && clean) {
     const std::string diff = analysis::compare_stream_results(
@@ -569,7 +823,7 @@ int cmd_ingest_stats(const Args& args) {
       std::printf("verify:   incremental == batch (byte-identical)\n");
     } else {
       std::fprintf(stderr, "verify: MISMATCH: %s\n", diff.c_str());
-      rc = 1;
+      rc = kExitVerify;
     }
   }
   return rc;
@@ -587,10 +841,16 @@ int cmd_ingest(const Args& args) {
 int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, args)) return usage();
-  if (args.command == "simulate") return cmd_simulate(args);
-  if (args.command == "report") return cmd_report(args);
-  if (args.command == "years") return cmd_years(args);
-  if (args.command == "snapshot") return cmd_snapshot(args);
-  if (args.command == "ingest") return cmd_ingest(args);
+  try {
+    if (args.command == "fig") return cmd_fig(args);
+    if (args.command == "simulate") return cmd_simulate(args);
+    if (args.command == "report") return cmd_report(args);
+    if (args.command == "years") return cmd_years(args);
+    if (args.command == "snapshot") return cmd_snapshot(args);
+    if (args.command == "ingest") return cmd_ingest(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tokyonet: %s\n", e.what());
+    return kExitFailure;
+  }
   return usage();
 }
