@@ -18,9 +18,17 @@ BENCHMARK(BM_Overview2015)->Unit(benchmark::kMillisecond);
 void BM_SimulateCampaign(benchmark::State& state) {
   // Times a full campaign simulation at a small, fixed scale so the
   // benchmark itself stays fast.
+  std::size_t n_samples = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::simulate_year(Year::Y2015, 0.05));
+    const Dataset ds = sim::simulate_year(Year::Y2015, 0.05);
+    n_samples = ds.samples.size();
+    benchmark::DoNotOptimize(n_samples);
   }
+  // Generation throughput (samples/s) — run_bench.sh lifts the
+  // items_per_second this produces into the BENCH json.
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(n_samples));
 }
 BENCHMARK(BM_SimulateCampaign)->Unit(benchmark::kMillisecond);
 

@@ -6,6 +6,7 @@
 
 #include "core/parallel.h"
 #include "report/table.h"
+#include "stats/simd.h"
 
 namespace tokyonet::bench {
 
@@ -90,6 +91,10 @@ void print_header(std::string_view experiment, std::string_view paper_ref) {
               bench_scale());
   std::printf("threads: %d (set TOKYONET_THREADS to change)\n",
               core::thread_count());
+  // Machine-greppable: run_bench.sh records which SIMD path the
+  // columnar kernels compiled to (sse2/neon/scalar) in the BENCH json,
+  // so timings from different hosts are comparable.
+  std::printf("tokyonet-simd: isa=%s\n", stats::simd::active_isa());
   std::printf("================================================================\n");
 }
 

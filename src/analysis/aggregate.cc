@@ -8,6 +8,7 @@
 #include "analysis/common.h"
 #include "core/dataset_index.h"
 #include "core/parallel.h"
+#include "stats/simd.h"
 
 namespace tokyonet::analysis {
 namespace {
@@ -18,12 +19,15 @@ constexpr double kBytesPerHourToMbps = 8.0 / 3600.0 / 1e6;
 // partial below is an exact integer sum (u64, or doubles holding
 // integers < 2^53), so the reduction is grouping-independent and the
 // merged result is byte-identical to the serial single-pass reference
-// at any thread count.
+// at any thread count and any chunk/device grouping.
 constexpr std::size_t kScanChunk = std::size_t{1} << 16;
 
 [[nodiscard]] constexpr std::size_t num_chunks(std::size_t n) noexcept {
   return (n + kScanChunk - 1) / kScanChunk;
 }
+
+// Devices per parallel item for dense-campaign scans.
+constexpr std::size_t kDeviceBlock = 16;
 
 [[nodiscard]] double stream_bytes(const Sample& s, Stream stream) noexcept {
   switch (stream) {
@@ -67,16 +71,38 @@ HourlySeries aggregate_series(const Dataset& ds, Stream stream) {
   const std::span<const TimeBin> bin = idx->bin();
   const std::span<const std::uint32_t> bytes = stream_column(*idx, stream);
   const std::size_t n = bin.size();
-  const std::vector<std::vector<std::uint64_t>> partials =
-      core::parallel_map(num_chunks(n), [&](std::size_t c) {
-        std::vector<std::uint64_t> sums(n_hours, 0);
-        const std::size_t begin = c * kScanChunk;
-        const std::size_t end = std::min(begin + kScanChunk, n);
-        for (std::size_t i = begin; i < end; ++i) {
-          sums[static_cast<std::size_t>(bin[i] / kBinsPerHour)] += bytes[i];
+  std::vector<std::vector<std::uint64_t>> partials;
+  if (idx->dense()) {
+    // Dense campaign: each device contributes exactly kBinsPerHour
+    // consecutive samples per hour, so the hour sums are fixed-stride
+    // runs — no per-sample bin division, no scatter, and the inner sum
+    // auto-vectorizes.
+    const std::size_t n_devices = idx->num_devices();
+    const std::size_t n_blocks = (n_devices + kDeviceBlock - 1) / kDeviceBlock;
+    partials = core::parallel_map(n_blocks, [&](std::size_t b) {
+      std::vector<std::uint64_t> sums(n_hours, 0);
+      const std::size_t d0 = b * kDeviceBlock;
+      const std::size_t d1 = std::min(d0 + kDeviceBlock, n_devices);
+      static_assert(kBinsPerHour == 6);
+      for (std::size_t d = d0; d < d1; ++d) {
+        const std::uint32_t* p = bytes.data() + idx->device_begin(d);
+        for (std::size_t h = 0; h < n_hours; ++h, p += kBinsPerHour) {
+          sums[h] += std::uint64_t{p[0]} + p[1] + p[2] + p[3] + p[4] + p[5];
         }
-        return sums;
-      });
+      }
+      return sums;
+    });
+  } else {
+    partials = core::parallel_map(num_chunks(n), [&](std::size_t c) {
+      std::vector<std::uint64_t> sums(n_hours, 0);
+      const std::size_t begin = c * kScanChunk;
+      const std::size_t end = std::min(begin + kScanChunk, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        sums[static_cast<std::size_t>(bin[i] / kBinsPerHour)] += bytes[i];
+      }
+      return sums;
+    });
+  }
   std::vector<std::uint64_t> total(n_hours, 0);
   for (const std::vector<std::uint64_t>& p : partials) {
     for (std::size_t h = 0; h < n_hours; ++h) total[h] += p[h];
@@ -106,10 +132,14 @@ HourlySeries location_series(const Dataset& ds, const ApClassification& cls,
     return out;
   }
 
-  // Fold the per-sample class/office test into one per-AP bitmap so the
-  // scan does a single byte lookup per associated sample.
-  std::vector<std::uint8_t> keep(ds.aps.size(), 0);
-  for (std::size_t a = 0; a < ds.aps.size(); ++a) {
+  // Fold the per-sample class/office test into one per-AP table with a
+  // trailing always-zero sentinel row: clamping the AP id into the table
+  // maps unassociated samples (ap == kNoAp) to the sentinel, so the scan
+  // is a branch-free select — one byte gather, one multiply — instead of
+  // three data-dependent branches per sample.
+  const std::size_t naps = ds.aps.size();
+  std::vector<std::uint8_t> keep(naps + 1, 0);
+  for (std::size_t a = 0; a < naps; ++a) {
     keep[a] = cls.ap_class[a] == filter.ap_class &&
               (!filter.office_only || cls.is_office[a]);
   }
@@ -120,20 +150,54 @@ HourlySeries location_series(const Dataset& ds, const ApClassification& cls,
   const std::span<const std::uint32_t> bytes =
       rx ? idx->wifi_rx() : idx->wifi_tx();
   const std::size_t n = bin.size();
-  const std::vector<std::vector<std::uint64_t>> partials =
-      core::parallel_map(num_chunks(n), [&](std::size_t c) {
-        std::vector<std::uint64_t> sums(n_hours, 0);
-        const std::size_t begin = c * kScanChunk;
-        const std::size_t end = std::min(begin + kScanChunk, n);
-        for (std::size_t i = begin; i < end; ++i) {
-          if (state[i] != WifiState::Associated || ap[i] == value(kNoAp)) {
-            continue;
+  std::vector<std::vector<std::uint64_t>> partials;
+  if (idx->dense()) {
+    // Fixed-stride hour runs as in aggregate_series, with the keep
+    // select folded into the accumulate.
+    const std::size_t n_devices = idx->num_devices();
+    const std::size_t n_blocks = (n_devices + kDeviceBlock - 1) / kDeviceBlock;
+    partials = core::parallel_map(n_blocks, [&](std::size_t b) {
+      std::vector<std::uint64_t> sums(n_hours, 0);
+      const std::size_t d0 = b * kDeviceBlock;
+      const std::size_t d1 = std::min(d0 + kDeviceBlock, n_devices);
+      for (std::size_t d = d0; d < d1; ++d) {
+        const std::size_t begin = idx->device_begin(d);
+        const std::uint32_t* ap_p = ap.data() + begin;
+        const WifiState* st_p = state.data() + begin;
+        const std::uint32_t* by_p = bytes.data() + begin;
+        for (std::size_t h = 0; h < n_hours; ++h) {
+          std::uint64_t acc = 0;
+          for (std::size_t j = 0; j < kBinsPerHour; ++j) {
+            const std::uint32_t a = ap_p[j];
+            const std::size_t ki = a < naps ? a : naps;
+            const std::uint64_t sel =
+                keep[ki] & (st_p[j] == WifiState::Associated);
+            acc += sel * by_p[j];
           }
-          if (!keep[ap[i]]) continue;
-          sums[static_cast<std::size_t>(bin[i] / kBinsPerHour)] += bytes[i];
+          sums[h] += acc;
+          ap_p += kBinsPerHour;
+          st_p += kBinsPerHour;
+          by_p += kBinsPerHour;
         }
-        return sums;
-      });
+      }
+      return sums;
+    });
+  } else {
+    partials = core::parallel_map(num_chunks(n), [&](std::size_t c) {
+      std::vector<std::uint64_t> sums(n_hours, 0);
+      const std::size_t begin = c * kScanChunk;
+      const std::size_t end = std::min(begin + kScanChunk, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::uint32_t a = ap[i];
+        const std::size_t ki = a < naps ? a : naps;
+        const std::uint64_t sel =
+            keep[ki] & (state[i] == WifiState::Associated);
+        sums[static_cast<std::size_t>(bin[i] / kBinsPerHour)] +=
+            sel * bytes[i];
+      }
+      return sums;
+    });
+  }
   std::vector<std::uint64_t> total(n_hours, 0);
   for (const std::vector<std::uint64_t>& p : partials) {
     for (std::size_t h = 0; h < n_hours; ++h) total[h] += p[h];
@@ -184,9 +248,12 @@ WifiLocationShares wifi_location_shares(const Dataset& ds,
       }
     }
   } else {
-    // Per-AP bucket (home/public/office/other) resolved once.
-    std::vector<std::uint8_t> bucket(ds.aps.size(), 3);
-    for (std::size_t a = 0; a < ds.aps.size(); ++a) {
+    // Per-AP bucket (home/public/office/other) resolved once; a fifth
+    // trash bucket absorbs out-of-range AP ids so the gather needs no
+    // bounds branch.
+    const std::size_t naps = ds.aps.size();
+    std::vector<std::uint8_t> bucket(naps + 1, 4);
+    for (std::size_t a = 0; a < naps; ++a) {
       switch (cls.ap_class[a]) {
         case ApClass::Home: bucket[a] = 0; break;
         case ApClass::Public: bucket[a] = 1; break;
@@ -198,17 +265,33 @@ WifiLocationShares wifi_location_shares(const Dataset& ds,
     const std::span<const std::uint32_t> wifi_rx = idx->wifi_rx();
     const std::span<const std::uint32_t> wifi_tx = idx->wifi_tx();
     const std::size_t n = ap.size();
-    using Sums = std::array<std::uint64_t, 4>;
+    using Sums = std::array<std::uint64_t, 5>;
     const std::vector<Sums> partials =
         core::parallel_map(num_chunks(n), [&](std::size_t c) {
           Sums sums{};
           const std::size_t begin = c * kScanChunk;
           const std::size_t end = std::min(begin + kScanChunk, n);
-          for (std::size_t i = begin; i < end; ++i) {
-            if (state[i] != WifiState::Associated || ap[i] == value(kNoAp)) {
-              continue;
+          // Devices dwell on one AP for many consecutive bins, so
+          // run-length-encode the AP stream: one bucket lookup per
+          // association run, and the byte sum inside a run is a
+          // contiguous select-accumulate the compiler vectorizes.
+          // u64 adds are associative, so per-run partial sums merge
+          // byte-identically with the per-sample reference.
+          std::size_t i = begin;
+          while (i < end) {
+            const std::uint32_t a = ap[i];
+            std::size_t j = i + 1;
+            while (j < end && ap[j] == a) ++j;
+            if (a != value(kNoAp)) {
+              std::uint64_t acc = 0;
+              for (std::size_t k = i; k < j; ++k) {
+                const std::uint64_t sel = state[k] == WifiState::Associated;
+                acc += sel * (std::uint64_t{wifi_rx[k]} + wifi_tx[k]);
+              }
+              const std::size_t ki = a < naps ? a : naps;
+              sums[bucket[ki]] += acc;
             }
-            sums[bucket[ap[i]]] += std::uint64_t{wifi_rx[i]} + wifi_tx[i];
+            i = j;
           }
           return sums;
         });

@@ -1,6 +1,7 @@
 #include "analysis/apps.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 
 #include "core/dataset_index.h"
@@ -87,9 +88,15 @@ AppBreakdown app_breakdown(const Dataset& ds, const ApClassification& cls,
   } else {
     // Per-device-block partials over the index: the OS check hoists to
     // one test per device, the light-user day filter to whole per-day
-    // ranges, and only samples that carry app records touch the AoS
-    // array. All sums are u64 over u32 values, so the block reduction
-    // is byte-identical to the serial scan at any thread count.
+    // ranges, and the hot loop strides SoA columns only — app_count
+    // (u8), wifi_state (u8), ap (u32) and geo_cell (u16) — never the
+    // 48-byte AoS array. A sample's app records sit at a running
+    // cursor: records are appended in (device, bin) order, so starting
+    // at device_app_begin(d) and consuming app_count per sample
+    // recovers every sample's app range without reading Sample::
+    // app_begin. All sums are u64 over u32 values, so the block
+    // reduction is byte-identical to the serial scan at any thread
+    // count.
     using Sums =
         std::array<std::array<std::uint64_t, kNumAppCategories>,
                    kNumAppContexts>;
@@ -97,7 +104,10 @@ AppBreakdown app_breakdown(const Dataset& ds, const ApClassification& cls,
       Sums rx{}, tx{};
     };
     constexpr std::size_t kDeviceBlock = 16;
-    const std::span<const Sample> ss = ds.samples.span();
+    const std::span<const std::uint8_t> acnt = idx->app_count();
+    const std::span<const WifiState> state = idx->wifi_state();
+    const std::span<const std::uint32_t> apcol = idx->ap();
+    const std::span<const std::uint16_t> geo = idx->geo_cell();
     const std::span<const AppTraffic> apps = ds.app_traffic.span();
     const std::size_t n_devices = ds.devices.size();
     const std::size_t n_blocks = (n_devices + kDeviceBlock - 1) / kDeviceBlock;
@@ -110,40 +120,80 @@ AppBreakdown app_breakdown(const Dataset& ds, const ApClassification& cls,
           for (std::size_t d = d0; d < d1; ++d) {
             if (ds.devices[d].os != Os::Android) continue;
             const GeoCell home = home_cells[d];
+            std::size_t cursor = idx->device_app_begin(d);
+            // The app context is a pure function of (wifi_state, ap,
+            // geo_cell), and devices dwell — those columns are constant
+            // over long sample runs. Run-length-encode them and resolve
+            // the context (AP-class gather and all) once per run; the
+            // per-sample work inside a run is just the app_count byte
+            // and the record loop.
             const auto scan_range = [&](std::size_t begin, std::size_t end) {
-              for (std::size_t i = begin; i < end; ++i) {
-                const Sample& s = ss[i];
-                if (s.app_count == 0) continue;
+              std::size_t i = begin;
+              while (i < end) {
+                const std::uint32_t a = apcol[i];
+                const std::uint16_t g = geo[i];
+                const WifiState st = state[i];
+                std::size_t j = i + 1;
+                while (j < end && apcol[j] == a && geo[j] == g &&
+                       state[j] == st) {
+                  ++j;
+                }
 
                 AppContext ctx = AppContext::CellOther;
-                if (s.wifi_state == WifiState::Associated && s.ap != kNoAp) {
-                  switch (cls.class_of(s.ap)) {
+                bool tabulated = true;
+                if (st == WifiState::Associated && a != value(kNoAp)) {
+                  switch (cls.ap_class[a]) {
                     case ApClass::Home: ctx = AppContext::WifiHome; break;
                     case ApClass::Public: ctx = AppContext::WifiPublic; break;
-                    case ApClass::Other: continue;  // not tabulated
+                    case ApClass::Other: tabulated = false; break;
                   }
                 } else {
-                  ctx = (home != kNoGeoCell && s.geo_cell == home)
+                  ctx = (home != kNoGeoCell && g == home)
                             ? AppContext::CellHome
                             : AppContext::CellOther;
                 }
 
-                const auto ctx_i = static_cast<std::size_t>(ctx);
-                for (std::size_t a = s.app_begin;
-                     a < s.app_begin + s.app_count; ++a) {
-                  const auto c = static_cast<std::size_t>(apps[a].category);
-                  p.rx[ctx_i][c] += apps[a].rx_bytes;
-                  p.tx[ctx_i][c] += apps[a].tx_bytes;
+                if (!tabulated) {  // office/venue: skip, keep cursor in sync
+                  for (std::size_t k = i; k < j; ++k) cursor += acnt[k];
+                  i = j;
+                  continue;
                 }
+                // One context for the whole run means its records are
+                // one contiguous range: sum the count bytes (vectorized)
+                // and sweep the range in a single tight loop.
+                std::size_t run_count = 0;
+                for (std::size_t k = i; k < j; ++k) run_count += acnt[k];
+#ifndef NDEBUG
+                for (std::size_t k = i, dbg = cursor; k < j; ++k) {
+                  if (acnt[k] != 0) {
+                    assert(dbg == std::size_t{ds.samples[k].app_begin});
+                  }
+                  dbg += acnt[k];
+                }
+#endif
+                const std::size_t a0 = cursor;
+                cursor += run_count;
+                auto& rx_row = p.rx[static_cast<std::size_t>(ctx)];
+                auto& tx_row = p.tx[static_cast<std::size_t>(ctx)];
+                for (std::size_t a2 = a0; a2 < a0 + run_count; ++a2) {
+                  const auto c = static_cast<std::size_t>(apps[a2].category);
+                  rx_row[c] += apps[a2].rx_bytes;
+                  tx_row[c] += apps[a2].tx_bytes;
+                }
+                i = j;
               }
             };
             if (opt.light_users_only) {
               for (int day = 0; day < days_total; ++day) {
+                const std::size_t begin = idx->day_begin(d, day);
+                const std::size_t end = idx->day_begin(d, day + 1);
                 if (!include_day[d * num_days +
                                  static_cast<std::size_t>(day)]) {
+                  // Keep the cursor in sync across excluded days.
+                  for (std::size_t i = begin; i < end; ++i) cursor += acnt[i];
                   continue;
                 }
-                scan_range(idx->day_begin(d, day), idx->day_begin(d, day + 1));
+                scan_range(begin, end);
               }
             } else {
               scan_range(idx->device_begin(d), idx->device_end(d));

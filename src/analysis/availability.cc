@@ -7,6 +7,7 @@
 #include "analysis/common.h"
 #include "core/dataset_index.h"
 #include "core/parallel.h"
+#include "stats/simd.h"
 
 namespace tokyonet::analysis {
 
@@ -26,53 +27,58 @@ ScanAvailability scan_availability(const Dataset& ds) {
     return out;
   }
 
-  // Per-device-block partial vectors, concatenated in block order:
-  // samples are (device, bin)-sorted, so device-ordered concatenation
-  // reproduces the serial emission order exactly.
-  constexpr std::size_t kDeviceBlock = 16;
+  // Two passes. Pass 1 counts each device's WiFi-available samples with
+  // a SIMD byte-compare, giving exact output offsets via a prefix sum;
+  // pass 2 fills the final vectors in place at those offsets. No
+  // partial vectors, no reallocation, no concatenation — and the
+  // emission order is the (device, bin) sample order by construction,
+  // identical at any thread count or device partitioning.
   const std::span<const WifiState> state = idx->wifi_state();
+  const auto* state_u8 = reinterpret_cast<const std::uint8_t*>(state.data());
+  constexpr auto kAvail = static_cast<std::uint8_t>(WifiState::OnUnassociated);
   const std::span<const std::uint8_t> a24 = idx->scan_pub24_all();
   const std::span<const std::uint8_t> s24 = idx->scan_pub24_strong();
   const std::span<const std::uint8_t> a5 = idx->scan_pub5_all();
   const std::span<const std::uint8_t> s5 = idx->scan_pub5_strong();
   const std::size_t n_devices = ds.devices.size();
-  const std::size_t n_blocks = (n_devices + kDeviceBlock - 1) / kDeviceBlock;
-  const std::vector<ScanAvailability> partials =
-      core::parallel_map(n_blocks, [&](std::size_t b) {
-        ScanAvailability p;
-        const std::size_t d0 = b * kDeviceBlock;
-        const std::size_t d1 = std::min(d0 + kDeviceBlock, n_devices);
-        for (std::size_t d = d0; d < d1; ++d) {
-          if (ds.devices[d].os != Os::Android) continue;
-          const std::size_t end = idx->device_end(d);
-          for (std::size_t i = idx->device_begin(d); i < end; ++i) {
-            if (state[i] != WifiState::OnUnassociated) continue;
-            p.all_24.push_back(a24[i]);
-            p.strong_24.push_back(s24[i]);
-            p.all_5.push_back(a5[i]);
-            p.strong_5.push_back(s5[i]);
-          }
-        }
-        return p;
-      });
-  for (const ScanAvailability& p : partials) {
-    out.all_24.insert(out.all_24.end(), p.all_24.begin(), p.all_24.end());
-    out.strong_24.insert(out.strong_24.end(), p.strong_24.begin(),
-                         p.strong_24.end());
-    out.all_5.insert(out.all_5.end(), p.all_5.begin(), p.all_5.end());
-    out.strong_5.insert(out.strong_5.end(), p.strong_5.begin(),
-                        p.strong_5.end());
-  }
+
+  std::vector<std::size_t> offset(n_devices + 1, 0);
+  core::parallel_for(n_devices, [&](std::size_t d) {
+    if (ds.devices[d].os != Os::Android) return;
+    const std::size_t begin = idx->device_begin(d);
+    offset[d + 1] = stats::simd::count_eq_u8(
+        state_u8 + begin, idx->device_end(d) - begin, kAvail);
+  });
+  for (std::size_t d = 0; d < n_devices; ++d) offset[d + 1] += offset[d];
+
+  const std::size_t total = offset[n_devices];
+  out.all_24.resize(total);
+  out.strong_24.resize(total);
+  out.all_5.resize(total);
+  out.strong_5.resize(total);
+  core::parallel_for(n_devices, [&](std::size_t d) {
+    if (ds.devices[d].os != Os::Android) return;
+    std::size_t pos = offset[d];
+    const std::size_t end = idx->device_end(d);
+    for (std::size_t i = idx->device_begin(d); i < end; ++i) {
+      if (state[i] != WifiState::OnUnassociated) continue;
+      out.all_24[pos] = a24[i];
+      out.strong_24[pos] = s24[i];
+      out.all_5[pos] = a5[i];
+      out.strong_5[pos] = s5[i];
+      ++pos;
+    }
+  });
   return out;
 }
 
 OffloadOpportunity offload_opportunity(const Dataset& ds,
                                        const OpportunityOptions& opt) {
   // Per-device metrics, computed in parallel over the index when it is
-  // available; the per-sample accumulation order within a device (the
-  // only non-integer arithmetic) is unchanged, and the cross-device
-  // fold below runs serially in device order, so the result is
-  // byte-identical to the serial reference at any thread count.
+  // available. The indexed path accumulates byte totals as exact u64
+  // sums and converts to MB once per device, so every partial is
+  // grouping-independent and the cross-device fold below (serial, in
+  // device order) gives the same result at any thread count.
   struct DeviceMetrics {
     bool counted = false;  // Android with >= 1 sample
     std::size_t n = 0;
@@ -95,14 +101,19 @@ OffloadOpportunity offload_opportunity(const Dataset& ds,
           const std::span<const WifiState> state = idx->wifi_state();
           const std::span<const std::uint8_t> s24 = idx->scan_pub24_strong();
           const std::span<const std::uint8_t> s5 = idx->scan_pub5_strong();
+          std::uint64_t covered_bytes = 0;
           for (std::size_t i = begin; i < end; ++i) {
-            m.cell_rx_total += cell_rx[i] / kBytesPerMb;
-            if (state[i] != WifiState::OnUnassociated) continue;
-            ++m.unassoc;
-            const bool strong = s24[i] + s5[i] > 0;
+            const bool unassoc = state[i] == WifiState::OnUnassociated;
+            const bool strong = unassoc && s24[i] + s5[i] > 0;
+            m.unassoc += unassoc;
             m.unassoc_strong += strong;
-            if (strong) m.cell_rx_covered += cell_rx[i] / kBytesPerMb;
+            covered_bytes += strong ? std::uint64_t{cell_rx[i]} : 0;
           }
+          m.cell_rx_total =
+              static_cast<double>(stats::simd::sum_u32(
+                  cell_rx.data() + begin, end - begin)) /
+              kBytesPerMb;
+          m.cell_rx_covered = static_cast<double>(covered_bytes) / kBytesPerMb;
         } else {
           const auto samples = ds.device_samples(ds.devices[d].id);
           if (samples.empty()) return m;

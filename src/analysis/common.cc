@@ -190,7 +190,32 @@ std::vector<GeoCell> infer_home_cells(const Dataset& ds) {
   // Per-device inference with a disjoint output slot per device.
   core::parallel_for(ds.devices.size(), [&](std::size_t i) {
     std::map<GeoCell, int> counts;
-    if (idx != nullptr) {
+    if (idx != nullptr && idx->dense()) {
+      // Dense campaign: the night window is two fixed bin ranges per
+      // day ([22:00, 24:00) and [00:00, 06:00)), and devices dwell, so
+      // run-length-encoding the geo-cell stream pays one map update per
+      // dwell (typically one per night) instead of one per sample.
+      const std::span<const std::uint16_t> geo = idx->geo_cell();
+      const std::size_t base = idx->device_begin(i);
+      constexpr std::size_t kMorningBins = 6 * kBinsPerHour;
+      constexpr std::size_t kEveningBin = 22 * kBinsPerHour;
+      for (int day = 0; day < ds.num_days(); ++day) {
+        const std::size_t d0 =
+            base + static_cast<std::size_t>(day) * kBinsPerDay;
+        for (const auto& [lo, hi] :
+             {std::pair{d0, d0 + kMorningBins},
+              std::pair{d0 + kEveningBin, d0 + kBinsPerDay}}) {
+          std::size_t j = lo;
+          while (j < hi) {
+            const std::uint16_t g = geo[j];
+            std::size_t k = j + 1;
+            while (k < hi && geo[k] == g) ++k;
+            if (g != kNoGeoCell) counts[g] += static_cast<int>(k - j);
+            j = k;
+          }
+        }
+      }
+    } else if (idx != nullptr) {
       const std::span<const TimeBin> bin = idx->bin();
       const std::span<const std::uint16_t> geo = idx->geo_cell();
       const std::size_t end = idx->device_end(i);

@@ -34,6 +34,11 @@ constexpr std::size_t kDeviceBlock = 16;
 /// to APs with keep[ap] != 0; kNoGeoCell for APs never observed. The
 /// per-chunk (ap, cell) counts are merged into per-AP ordered maps, so
 /// the arg-max tie-break (lowest cell wins) matches the serial maps.
+///
+/// Devices dwell: consecutive samples usually repeat the same (ap,
+/// geo-cell) pair, so each chunk run-length-encodes the pair stream and
+/// pays one hash-map update per run instead of one per sample. Counts
+/// are exact integers, so any run/chunk grouping merges identically.
 [[nodiscard]] std::vector<GeoCell> top_cell_per_ap(
     const Dataset& ds, const core::DatasetIndex& idx,
     const std::vector<std::uint8_t>& keep) {
@@ -48,31 +53,44 @@ constexpr std::size_t kDeviceBlock = 16;
         PairCounts counts;
         const std::size_t begin = c * kScanChunk;
         const std::size_t end = std::min(begin + kScanChunk, n);
-        for (std::size_t i = begin; i < end; ++i) {
-          if (state[i] != WifiState::Associated || ap[i] == value(kNoAp)) {
-            continue;
+        std::size_t i = begin;
+        while (i < end) {
+          const std::uint32_t a = ap[i];
+          const std::uint16_t g = geo[i];
+          std::size_t j = i + 1;
+          while (j < end && ap[j] == a && geo[j] == g) ++j;
+          if (a != value(kNoAp) && g != kNoGeoCell && keep[a]) {
+            int hits = 0;
+            for (std::size_t k = i; k < j; ++k) {
+              hits += state[k] == WifiState::Associated;
+            }
+            if (hits > 0) counts[(std::uint64_t{a} << 16) | g] += hits;
           }
-          if (geo[i] == kNoGeoCell) continue;
-          if (!keep[ap[i]]) continue;
-          ++counts[(std::uint64_t{ap[i]} << 16) | geo[i]];
+          i = j;
         }
         return counts;
       });
 
-  std::vector<std::map<GeoCell, int>> counts(ds.aps.size());
+  // Merge into one flat (ap, cell) -> count map, then take the per-AP
+  // arg-max in a single pass. Picking the strictly larger count — or,
+  // on ties, the lower cell id — is order-independent, so the result
+  // matches the ordered-map reference (first-in-iteration-order win
+  // over an ordered map == lowest cell id among tied counts).
+  PairCounts total;
+  std::size_t est = 0;
+  for (const PairCounts& p : partials) est += p.size();
+  total.reserve(est);
   for (const PairCounts& p : partials) {
-    for (const auto& [key, k] : p) {
-      counts[key >> 16][static_cast<GeoCell>(key & 0xFFFF)] += k;
-    }
+    for (const auto& [key, k] : p) total[key] += k;
   }
+  std::vector<int> best(ds.aps.size(), 0);
   std::vector<GeoCell> out(ds.aps.size(), kNoGeoCell);
-  for (std::size_t i = 0; i < counts.size(); ++i) {
-    int best = 0;
-    for (const auto& [cell, k] : counts[i]) {
-      if (k > best) {
-        best = k;
-        out[i] = cell;
-      }
+  for (const auto& [key, k] : total) {
+    const std::size_t a = key >> 16;
+    const auto cell = static_cast<GeoCell>(key & 0xFFFF);
+    if (k > best[a] || (k == best[a] && k > 0 && cell < out[a])) {
+      best[a] = k;
+      out[a] = cell;
     }
   }
   return out;
@@ -113,28 +131,43 @@ RssiAnalysis rssi_analysis(const Dataset& ds, const ApClassification& cls) {
     const std::span<const WifiState> state = idx->wifi_state();
     const std::span<const std::int8_t> rssi = idx->rssi_dbm();
     const std::size_t n = ap.size();
-    // RSSI is an int8, so track the per-chunk max in int16 with a
-    // below-range sentinel; max-merge is order-independent.
+    // Devices dwell on one AP for many consecutive bins, so each chunk
+    // run-length-encodes the AP stream and emits one (ap, run max) pair
+    // per association run — the per-AP filter runs once per run, and
+    // the inner max over the run is a branch-free select the compiler
+    // vectorizes. Max-merge of the pairs is order-independent, so the
+    // result is byte-identical at any thread count / chunk grouping.
+    // RSSI is an int8; track maxima in int16 with a below-range
+    // sentinel.
     constexpr std::int16_t kUnseen = -32768;
-    const std::vector<std::vector<std::int16_t>> partials =
+    using RunMax = std::pair<std::uint32_t, std::int16_t>;
+    const std::vector<std::vector<RunMax>> partials =
         core::parallel_map(num_chunks(n), [&](std::size_t c) {
-          std::vector<std::int16_t> mx(ds.aps.size(), kUnseen);
+          std::vector<RunMax> maxima;
           const std::size_t begin = c * kScanChunk;
           const std::size_t end = std::min(begin + kScanChunk, n);
-          for (std::size_t i = begin; i < end; ++i) {
-            if (state[i] != WifiState::Associated || ap[i] == value(kNoAp)) {
-              continue;
+          std::size_t i = begin;
+          while (i < end) {
+            const std::uint32_t a = ap[i];
+            std::size_t j = i + 1;
+            while (j < end && ap[j] == a) ++j;
+            if (a != value(kNoAp) && band24[a]) {
+              std::int16_t m = kUnseen;
+              for (std::size_t k = i; k < j; ++k) {
+                const std::int16_t r = state[k] == WifiState::Associated
+                                           ? std::int16_t{rssi[k]}
+                                           : kUnseen;
+                m = std::max(m, r);
+              }
+              if (m != kUnseen) maxima.emplace_back(a, m);
             }
-            if (!band24[ap[i]]) continue;
-            mx[ap[i]] = std::max(mx[ap[i]], std::int16_t{rssi[i]});
+            i = j;
           }
-          return mx;
+          return maxima;
         });
-    for (const std::vector<std::int16_t>& p : partials) {
-      for (std::size_t a = 0; a < ds.aps.size(); ++a) {
-        if (p[a] != kUnseen) {
-          max_rssi[a] = std::max(max_rssi[a], static_cast<double>(p[a]));
-        }
+    for (const std::vector<RunMax>& p : partials) {
+      for (const auto& [a, m] : p) {
+        max_rssi[a] = std::max(max_rssi[a], static_cast<double>(m));
       }
     }
   }
@@ -188,9 +221,13 @@ ChannelAnalysis channel_analysis(const Dataset& ds,
       }
     }
   } else {
-    // Per-AP code: 0 = skip, 1 + channel = home, 15 + channel = public.
-    std::vector<std::uint8_t> code(ds.aps.size(), 0);
-    for (std::size_t a = 0; a < ds.aps.size(); ++a) {
+    // Per-AP code into a flat 29-slot count table: 0 = trash,
+    // 1 + channel = home, 15 + channel = public. A trailing sentinel
+    // row absorbs out-of-range AP ids, so associated samples need no
+    // bounds or class branches — one gather + increment each.
+    const std::size_t naps = ds.aps.size();
+    std::vector<std::uint8_t> code(naps + 1, 0);
+    for (std::size_t a = 0; a < naps; ++a) {
       const ApInfo& ap = ds.aps[a];
       if (ap.band != Band::B24GHz || ap.channel > 13) continue;
       if (cls.ap_class[a] == ApClass::Home) {
@@ -202,40 +239,35 @@ ChannelAnalysis channel_analysis(const Dataset& ds,
     const std::span<const std::uint32_t> ap = idx->ap();
     const std::span<const WifiState> state = idx->wifi_state();
     const std::size_t n_devices = ds.devices.size();
-    struct Counts {
-      std::array<std::uint64_t, 14> home{}, publik{};
-    };
+    using Counts = std::array<std::uint64_t, 29>;
     const std::size_t n_blocks =
         (n_devices + kDeviceBlock - 1) / kDeviceBlock;
     const std::vector<Counts> partials =
         core::parallel_map(n_blocks, [&](std::size_t b) {
-          Counts counts;
+          Counts counts{};
           const std::size_t d0 = b * kDeviceBlock;
           const std::size_t d1 = std::min(d0 + kDeviceBlock, n_devices);
           for (std::size_t d = d0; d < d1; ++d) {
             if (ds.devices[d].os != Os::Android) continue;
             const std::size_t end = idx->device_end(d);
             for (std::size_t i = idx->device_begin(d); i < end; ++i) {
-              if (state[i] != WifiState::Associated || ap[i] == value(kNoAp)) {
-                continue;
-              }
-              const std::uint8_t c = code[ap[i]];
-              if (c == 0) continue;
-              if (c < 15) {
-                ++counts.home[c - 1u];
-              } else {
-                ++counts.publik[c - 15u];
-              }
+              // Branch on association state: unassociated bins cluster
+              // into long, well-predicted runs, and skipping them keeps
+              // the counts[] increment chain off the common path.
+              if (state[i] != WifiState::Associated) continue;
+              const std::uint32_t a = ap[i];
+              const std::size_t ki = a < naps ? a : naps;
+              ++counts[code[ki]];
             }
           }
           return counts;
         });
     for (const Counts& p : partials) {
       for (std::size_t c = 0; c < 14; ++c) {
-        home[c] += static_cast<double>(p.home[c]);
-        publik[c] += static_cast<double>(p.publik[c]);
-        home_total += static_cast<double>(p.home[c]);
-        public_total += static_cast<double>(p.publik[c]);
+        home[c] += static_cast<double>(p[1 + c]);
+        publik[c] += static_cast<double>(p[15 + c]);
+        home_total += static_cast<double>(p[1 + c]);
+        public_total += static_cast<double>(p[15 + c]);
       }
     }
   }

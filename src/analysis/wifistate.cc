@@ -1,18 +1,20 @@
 #include "analysis/wifistate.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <span>
 
 #include "core/dataset_index.h"
 #include "core/parallel.h"
+#include "stats/simd.h"
 
 namespace tokyonet::analysis {
 namespace {
 
 // Devices per parallel_map item. Fixed, so the per-block partial
 // grouping never depends on the thread count; all accumulations below
-// are 0/1 (integer) sums, exact in doubles, so the block merge is
+// are integer sums, exact in doubles, so the block merge is
 // byte-identical to the serial per-sample reference.
 constexpr std::size_t kDeviceBlock = 16;
 
@@ -48,33 +50,51 @@ WifiStateProfiles compute_wifi_states(const Dataset& ds) {
     return p;
   }
 
+  // Branch-free counting pass: per block, one (hour-of-week, state)
+  // counter bump per sample, then a single profile conversion per block.
+  // The per-sample adds of the reference are 0/1 increments, so the
+  // count-converted sums are the same exact integers in doubles: the
+  // result is byte-identical to the serial reference at any thread
+  // count and any device grouping.
   const std::span<const TimeBin> bin = idx->bin();
   const std::span<const WifiState> state = idx->wifi_state();
   const std::span<const std::uint16_t> how = idx->hour_of_week_table();
   const std::size_t n_devices = ds.devices.size();
   const std::size_t n_blocks = (n_devices + kDeviceBlock - 1) / kDeviceBlock;
+  // Slot layout: 4 counters per hour-of-week, indexed by the WifiState
+  // value (0 = Off, 1 = OnUnassociated, 2 = Associated; slot 3 unused).
+  constexpr std::size_t kSlots =
+      static_cast<std::size_t>(WeeklyProfile::kHours) * 4;
   const std::vector<WifiStateProfiles> partials =
       core::parallel_map(n_blocks, [&](std::size_t b) {
-        WifiStateProfiles p;
+        std::array<std::uint32_t, kSlots> android{};
+        std::array<std::uint32_t, kSlots> ios{};
         const std::size_t d0 = b * kDeviceBlock;
         const std::size_t d1 = std::min(d0 + kDeviceBlock, n_devices);
         for (std::size_t d = d0; d < d1; ++d) {
-          const bool android = ds.devices[d].os == Os::Android;
+          std::uint32_t* const cnt =
+              (ds.devices[d].os == Os::Android ? android : ios).data();
           const std::size_t end = idx->device_end(d);
           for (std::size_t i = idx->device_begin(d); i < end; ++i) {
-            const int h = how[bin[i]];
-            const WifiState ws = state[i];
-            if (android) {
-              p.android_user.add_hour(
-                  h, ws == WifiState::Associated ? 1.0 : 0.0, 1.0);
-              p.android_off.add_hour(h, ws == WifiState::Off ? 1.0 : 0.0, 1.0);
-              p.android_available.add_hour(
-                  h, ws == WifiState::OnUnassociated ? 1.0 : 0.0, 1.0);
-            } else {
-              p.ios_user.add_hour(h, ws == WifiState::Associated ? 1.0 : 0.0,
-                                  1.0);
-            }
+            ++cnt[(std::size_t{how[bin[i]]} << 2) |
+                  static_cast<std::size_t>(state[i])];
           }
+        }
+        WifiStateProfiles p;
+        for (int h = 0; h < WeeklyProfile::kHours; ++h) {
+          const std::size_t s = static_cast<std::size_t>(h) << 2;
+          const std::uint32_t a_off = android[s + 0];
+          const std::uint32_t a_un = android[s + 1];
+          const std::uint32_t a_as = android[s + 2];
+          const std::uint32_t a_tot = a_off + a_un + a_as;
+          if (a_tot > 0) {
+            p.android_user.add_hour(h, a_as, a_tot);
+            p.android_off.add_hour(h, a_off, a_tot);
+            p.android_available.add_hour(h, a_un, a_tot);
+          }
+          const std::uint32_t i_as = ios[s + 2];
+          const std::uint32_t i_tot = ios[s + 0] + ios[s + 1] + i_as;
+          if (i_tot > 0) p.ios_user.add_hour(h, i_as, i_tot);
         }
         return p;
       });
@@ -99,6 +119,8 @@ std::array<double, kNumCarriers> ios_wifi_user_by_carrier(const Dataset& ds) {
     }
   } else {
     const std::span<const WifiState> state = idx->wifi_state();
+    const auto* state_u8 =
+        reinterpret_cast<const std::uint8_t*>(state.data());
     struct Counts {
       std::array<std::uint64_t, kNumCarriers> assoc{}, total{};
     };
@@ -116,11 +138,9 @@ std::array<double, kNumCarriers> ios_wifi_user_by_carrier(const Dataset& ds) {
             const std::size_t begin = idx->device_begin(d);
             const std::size_t end = idx->device_end(d);
             counts.total[c] += end - begin;
-            std::uint64_t a = 0;
-            for (std::size_t i = begin; i < end; ++i) {
-              a += state[i] == WifiState::Associated;
-            }
-            counts.assoc[c] += a;
+            counts.assoc[c] += stats::simd::count_eq_u8(
+                state_u8 + begin, end - begin,
+                static_cast<std::uint8_t>(WifiState::Associated));
           }
           return counts;
         });

@@ -101,6 +101,20 @@ constexpr std::uint64_t mb_to_bytes(double mb) noexcept {
   return mb <= 0 ? 0 : static_cast<std::uint64_t>(mb * 1e6);
 }
 
+// Categories not explicitly modelled; drawn uniformly when the alias
+// table lands on the collapsed minor-tail pseudo-entry.
+constexpr std::array<AppCategory, 10> kMinor{
+    AppCategory::Travel,      AppCategory::Education,
+    AppCategory::Finance,     AppCategory::Photography,
+    AppCategory::Sports,      AppCategory::Weather,
+    AppCategory::Books,       AppCategory::Medical,
+    AppCategory::Transport,   AppCategory::Comics,
+};
+
+constexpr std::uint32_t saturate_u32(std::uint64_t v) noexcept {
+  return static_cast<std::uint32_t>(std::min<std::uint64_t>(v, 0xFFFFFFFFull));
+}
+
 }  // namespace
 
 double category_tx_ratio(AppCategory category) noexcept {
@@ -125,7 +139,24 @@ double category_tx_ratio(AppCategory category) noexcept {
   }
 }
 
-AppMixer::AppMixer(Year year) noexcept : year_(year) {}
+AppMixer::AppMixer(Year year) : year_(year), tx_noise_(0.0, 0.5) {
+  // Per-scenario table build: each context's 15 major shares plus the
+  // collapsed minor tail become one alias table, so per-bin category
+  // draws cost one uniform instead of a weight rescan.
+  for (int c = 0; c < kNumContexts; ++c) {
+    const ShareRow& row = share_row(year, static_cast<Context>(c));
+    std::array<double, kMajor.size() + 1> weights{};
+    double major_total = 0;
+    for (std::size_t i = 0; i < kMajor.size(); ++i) {
+      weights[i] = row[i];
+      major_total += row[i];
+    }
+    weights[kMajor.size()] = std::max(0.0, 1.0 - major_total);
+    category_table_[static_cast<std::size_t>(c)] = stats::AliasTable(weights);
+  }
+  static constexpr double kCountWeights[] = {0.50, 0.35, 0.15};
+  count_table_ = stats::AliasTable(kCountWeights);
+}
 
 double AppMixer::expected_share(Context context,
                                 AppCategory category) const noexcept {
@@ -140,47 +171,61 @@ double AppMixer::expected_share(Context context,
 }
 
 std::uint64_t AppMixer::mix(Context context, double demand_mb,
-                            stats::Rng& rng,
+                            stats::PhiloxRng& rng,
                             std::vector<AppTraffic>& out) const {
   if (demand_mb <= 0) return 0;
-  const ShareRow& row = share_row(year_, context);
 
   // Draw how many categories are active this bin.
-  static constexpr double kCountWeights[] = {0.50, 0.35, 0.15};
-  const std::size_t k = 1 + rng.categorical(kCountWeights);
+  const std::size_t k = 1 + count_table_.draw(rng);
 
   // Pick k distinct categories with probability proportional to share
-  // (minor tail collapsed into one pseudo-entry).
-  std::array<double, kMajor.size() + 1> weights{};
-  double major_total = 0;
-  for (std::size_t i = 0; i < kMajor.size(); ++i) {
-    weights[i] = row[i];
-    major_total += row[i];
+  // (minor tail collapsed into one pseudo-entry). Rejecting repeats
+  // against the full alias table samples exactly the renormalized
+  // remaining-weight distribution, without rebuilding any table.
+  const stats::AliasTable& table =
+      category_table_[static_cast<std::size_t>(context)];
+  if (k == 1) {
+    // Half of all calls land here: a single category takes the whole
+    // demand, so the taken[] bookkeeping, the rejection check (a first
+    // draw can never repeat) and the split normalization all vanish.
+    // The draw sequence — category, optional minor pick, tx noise — is
+    // the same as the general path's, so values match draw for draw.
+    const std::size_t idx = table.draw(rng);
+    const AppCategory cat = idx < kMajor.size()
+                                ? kMajor[idx]
+                                : kMinor[rng.uniform_int(kMinor.size())];
+    const double tx_mb =
+        demand_mb * category_tx_ratio(cat) * tx_noise_.draw(rng);
+    AppTraffic at;
+    at.category = cat;
+    at.rx_bytes = saturate_u32(mb_to_bytes(demand_mb));
+    at.tx_bytes = saturate_u32(mb_to_bytes(tx_mb));
+    out.push_back(at);
+    return at.tx_bytes;
   }
-  weights[kMajor.size()] = std::max(0.0, 1.0 - major_total);
-
+  bool taken[kMajor.size() + 1] = {};
   std::array<AppCategory, 3> cats{};
   std::array<double, 3> split{};
   std::size_t chosen = 0;
   for (std::size_t draw = 0; draw < k && chosen < 3; ++draw) {
-    const std::size_t idx = rng.categorical(weights);
-    weights[idx] = 0;  // without replacement
+    std::size_t idx = table.draw(rng);
+    for (int tries = 0; taken[idx] && tries < 24; ++tries) {
+      idx = table.draw(rng);
+    }
+    if (taken[idx]) break;  // pathological rejection streak: stop early
+    taken[idx] = true;
     AppCategory cat;
     if (idx < kMajor.size()) {
       cat = kMajor[idx];
     } else {
       // A minor category: uniform over the ones not explicitly modelled.
-      static constexpr std::array<AppCategory, 10> kMinor{
-          AppCategory::Travel,      AppCategory::Education,
-          AppCategory::Finance,     AppCategory::Photography,
-          AppCategory::Sports,      AppCategory::Weather,
-          AppCategory::Books,       AppCategory::Medical,
-          AppCategory::Transport,   AppCategory::Comics,
-      };
       cat = kMinor[rng.uniform_int(kMinor.size())];
     }
     cats[chosen] = cat;
-    split[chosen] = rng.uniform(0.3, 1.0);
+    // With one active category the split normalizes to 1.0 no matter
+    // what is drawn, so skip the draw entirely (k == 1 is half of all
+    // mix calls).
+    split[chosen] = k > 1 ? rng.uniform32(0.3, 1.0) : 1.0;
     ++chosen;
   }
 
@@ -191,13 +236,11 @@ std::uint64_t AppMixer::mix(Context context, double demand_mb,
   for (std::size_t i = 0; i < chosen; ++i) {
     const double rx_mb = demand_mb * split[i] / split_total;
     const double tx_mb =
-        rx_mb * category_tx_ratio(cats[i]) * rng.lognormal(0.0, 0.5);
+        rx_mb * category_tx_ratio(cats[i]) * tx_noise_.draw(rng);
     AppTraffic at;
     at.category = cats[i];
-    at.rx_bytes = static_cast<std::uint32_t>(
-        std::min<std::uint64_t>(mb_to_bytes(rx_mb), 0xFFFFFFFFull));
-    at.tx_bytes = static_cast<std::uint32_t>(
-        std::min<std::uint64_t>(mb_to_bytes(tx_mb), 0xFFFFFFFFull));
+    at.rx_bytes = saturate_u32(mb_to_bytes(rx_mb));
+    at.tx_bytes = saturate_u32(mb_to_bytes(tx_mb));
     out.push_back(at);
     tx_total += at.tx_bytes;
   }

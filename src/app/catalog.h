@@ -9,12 +9,14 @@
 // storage (productivity) syncs only over WiFi.
 #pragma once
 
+#include <array>
 #include <span>
 #include <vector>
 
 #include "core/records.h"
 #include "core/types.h"
-#include "stats/rng.h"
+#include "stats/philox.h"
+#include "stats/tables.h"
 
 namespace tokyonet::app {
 
@@ -39,13 +41,15 @@ struct CategoryShape {
 ///
 /// Returns 1-3 AppTraffic entries whose rx sum equals `demand_mb`
 /// (converted to bytes) and whose tx follows per-category ratios with
-/// multiplicative noise.
+/// multiplicative noise. Category selection draws from Walker alias
+/// tables built once per scenario (one per context), so a draw costs
+/// one uniform regardless of how many categories are modelled.
 class AppMixer {
  public:
-  explicit AppMixer(Year year) noexcept;
+  explicit AppMixer(Year year);
 
   /// Draws a category mix. `out` is appended to; returns total tx bytes.
-  std::uint64_t mix(Context context, double demand_mb, stats::Rng& rng,
+  std::uint64_t mix(Context context, double demand_mb, stats::PhiloxRng& rng,
                     std::vector<AppTraffic>& out) const;
 
   /// Expected volume share of `category` in `context` (for tests).
@@ -54,6 +58,15 @@ class AppMixer {
 
  private:
   Year year_;
+  /// Alias table over the 15 major categories + 1 minor-tail pseudo
+  /// entry, per context.
+  std::array<stats::AliasTable, kNumContexts> category_table_;
+  /// Alias table over the 1/2/3-categories-per-bin count weights.
+  stats::AliasTable count_table_;
+  /// Quantile table for the per-category tx jitter (lognormal(0, 0.5)):
+  /// mix() runs for every active Android bin, so its noise draws skip
+  /// the per-draw normal-quantile polynomial and exp.
+  stats::LognormalTable tx_noise_;
 };
 
 /// Upload/download shape of a category (exposed for tests/docs).

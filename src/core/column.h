@@ -13,9 +13,42 @@
 #include <memory>
 #include <span>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace tokyonet::core {
+
+namespace detail {
+
+/// Allocator adaptor that default-initializes (i.e. leaves trivial
+/// types uninitialized) on plain construct(). Lets Column offer
+/// resize_for_overwrite(): growing a multi-megabyte column that is
+/// about to be fully overwritten skips the memset the standard
+/// vector::resize would pay.
+template <typename T, typename A = std::allocator<T>>
+class DefaultInitAllocator : public A {
+ public:
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<
+        U, typename std::allocator_traits<A>::template rebind_alloc<U>>;
+  };
+
+  using A::A;
+
+  template <typename U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    std::allocator_traits<A>::construct(static_cast<A&>(*this), ptr,
+                                        std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace detail
 
 template <typename T>
 class Column {
@@ -89,6 +122,13 @@ class Column {
   }
   void resize(std::size_t n) {
     ensure_owned();
+    vec_.resize(n, T{});  // value-init tail, like a plain vector
+  }
+  /// Grows to `n` records WITHOUT zero-initializing the new tail. Only
+  /// for call sites that overwrite every record before reading any
+  /// (e.g. DatasetIndex's projection pass).
+  void resize_for_overwrite(std::size_t n) {
+    ensure_owned();
     vec_.resize(n);
   }
   void reserve(std::size_t n) {
@@ -124,7 +164,7 @@ class Column {
     keepalive_.reset();
   }
 
-  std::vector<T> vec_;
+  std::vector<T, detail::DefaultInitAllocator<T>> vec_;
   std::span<const T> borrowed_;
   std::shared_ptr<const void> keepalive_;
 };

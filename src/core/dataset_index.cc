@@ -7,6 +7,101 @@
 
 namespace tokyonet::core {
 
+DatasetIndex::DenseBuilder::DenseBuilder(std::size_t n_devices,
+                                         const CampaignCalendar& cal)
+    : idx_(new DatasetIndex()) {
+  const auto n_bins = static_cast<std::size_t>(cal.num_bins());
+  const int num_days = cal.num_days();
+  const std::size_t n = n_devices * n_bins;
+
+  idx_->num_days_ = num_days;
+  idx_->dense_ = n_devices > 0;
+
+  // Every record of every column is written by the producer's set()
+  // calls (one per (device, bin) position), so skip the zero-fill.
+  idx_->bin_.resize_for_overwrite(n);
+  idx_->cell_rx_.resize_for_overwrite(n);
+  idx_->cell_tx_.resize_for_overwrite(n);
+  idx_->wifi_rx_.resize_for_overwrite(n);
+  idx_->wifi_tx_.resize_for_overwrite(n);
+  idx_->ap_.resize_for_overwrite(n);
+  idx_->wifi_state_.resize_for_overwrite(n);
+  idx_->tech_.resize_for_overwrite(n);
+  idx_->battery_.resize_for_overwrite(n);
+  idx_->rssi_.resize_for_overwrite(n);
+  idx_->geo_.resize_for_overwrite(n);
+  idx_->app_count_.resize_for_overwrite(n);
+  idx_->flags_.resize_for_overwrite(n);
+  idx_->scan24_all_.resize_for_overwrite(n);
+  idx_->scan24_strong_.resize_for_overwrite(n);
+  idx_->scan5_all_.resize_for_overwrite(n);
+  idx_->scan5_strong_.resize_for_overwrite(n);
+
+  bin_ = idx_->bin_.data();
+  cell_rx_ = idx_->cell_rx_.data();
+  cell_tx_ = idx_->cell_tx_.data();
+  wifi_rx_ = idx_->wifi_rx_.data();
+  wifi_tx_ = idx_->wifi_tx_.data();
+  ap_ = idx_->ap_.data();
+  wifi_state_ = idx_->wifi_state_.data();
+  tech_ = idx_->tech_.data();
+  battery_ = idx_->battery_.data();
+  rssi_ = idx_->rssi_.data();
+  geo_ = idx_->geo_.data();
+  app_count_ = idx_->app_count_.data();
+  flags_ = idx_->flags_.data();
+  scan24_all_ = idx_->scan24_all_.data();
+  scan24_strong_ = idx_->scan24_strong_.data();
+  scan5_all_ = idx_->scan5_all_.data();
+  scan5_strong_ = idx_->scan5_strong_.data();
+
+  // In a dense campaign every contiguous range is arithmetic: device d
+  // owns [d * n_bins, (d + 1) * n_bins) and its day boundaries fall at
+  // fixed kBinsPerDay strides, exactly where build()'s scan would put
+  // them.
+  idx_->device_offset_.resize(n_devices + 1);
+  for (std::size_t d = 0; d <= n_devices; ++d) {
+    idx_->device_offset_[d] = d * n_bins;
+  }
+  const auto day_stride = static_cast<std::size_t>(num_days) + 1;
+  idx_->day_offset_.resize(n_devices * day_stride);
+  for (std::size_t d = 0; d < n_devices; ++d) {
+    std::size_t* const days = idx_->day_offset_.data() + d * day_stride;
+    for (std::size_t day = 0; day < day_stride; ++day) {
+      days[day] = d * n_bins + day * kBinsPerDay;
+    }
+  }
+  idx_->app_range_.assign(n_devices * 2, 0);
+
+  // Hour-of-week LUT, Saturday-based to match WeeklyProfile's axes.
+  idx_->hour_of_week_.resize(n_bins);
+  for (int day = 0; day < num_days; ++day) {
+    const int sat_based =
+        (static_cast<int>(cal.weekday_of_day(day)) + 2) % 7;
+    for (int h = 0; h < 24; ++h) {
+      const auto how = static_cast<std::uint16_t>(sat_based * 24 + h);
+      const std::size_t base = static_cast<std::size_t>(day) * kBinsPerDay +
+                               static_cast<std::size_t>(h) * kBinsPerHour;
+      for (std::size_t b = 0; b < kBinsPerHour; ++b) {
+        idx_->hour_of_week_[base + b] = how;
+      }
+    }
+  }
+}
+
+void DatasetIndex::DenseBuilder::set_app_range(std::size_t d,
+                                               std::size_t begin,
+                                               std::size_t end) noexcept {
+  idx_->app_range_[2 * d] = begin;
+  idx_->app_range_[2 * d + 1] = end;
+}
+
+std::shared_ptr<const DatasetIndex> DatasetIndex::DenseBuilder::finish()
+    noexcept {
+  bin_ = nullptr;
+  return std::move(idx_);
+}
+
 std::shared_ptr<const DatasetIndex> DatasetIndex::build(const Dataset& ds) {
   const std::span<const Sample> ss = ds.samples.span();
   const std::size_t n = ss.size();
@@ -16,23 +111,25 @@ std::shared_ptr<const DatasetIndex> DatasetIndex::build(const Dataset& ds) {
 
   std::shared_ptr<DatasetIndex> idx(new DatasetIndex());
   idx->num_days_ = num_days;
-  idx->bin_.resize(n);
-  idx->cell_rx_.resize(n);
-  idx->cell_tx_.resize(n);
-  idx->wifi_rx_.resize(n);
-  idx->wifi_tx_.resize(n);
-  idx->ap_.resize(n);
-  idx->wifi_state_.resize(n);
-  idx->tech_.resize(n);
-  idx->battery_.resize(n);
-  idx->rssi_.resize(n);
-  idx->geo_.resize(n);
-  idx->app_count_.resize(n);
-  idx->flags_.resize(n);
-  idx->scan24_all_.resize(n);
-  idx->scan24_strong_.resize(n);
-  idx->scan5_all_.resize(n);
-  idx->scan5_strong_.resize(n);
+  // Every record of every column is written by the projection pass
+  // below (or the whole index is discarded), so skip the zero-fill.
+  idx->bin_.resize_for_overwrite(n);
+  idx->cell_rx_.resize_for_overwrite(n);
+  idx->cell_tx_.resize_for_overwrite(n);
+  idx->wifi_rx_.resize_for_overwrite(n);
+  idx->wifi_tx_.resize_for_overwrite(n);
+  idx->ap_.resize_for_overwrite(n);
+  idx->wifi_state_.resize_for_overwrite(n);
+  idx->tech_.resize_for_overwrite(n);
+  idx->battery_.resize_for_overwrite(n);
+  idx->rssi_.resize_for_overwrite(n);
+  idx->geo_.resize_for_overwrite(n);
+  idx->app_count_.resize_for_overwrite(n);
+  idx->flags_.resize_for_overwrite(n);
+  idx->scan24_all_.resize_for_overwrite(n);
+  idx->scan24_strong_.resize_for_overwrite(n);
+  idx->scan5_all_.resize_for_overwrite(n);
+  idx->scan5_strong_.resize_for_overwrite(n);
 
   TimeBin* const bin = idx->bin_.data();
   std::uint32_t* const cell_rx = idx->cell_rx_.data();
@@ -117,9 +214,16 @@ std::shared_ptr<const DatasetIndex> DatasetIndex::build(const Dataset& ds) {
   const std::size_t day_stride = static_cast<std::size_t>(num_days) + 1;
   idx->day_offset_.assign(n_devices * day_stride, 0);
   idx->app_range_.assign(n_devices * 2, 0);
+  std::vector<char> device_dense(n_devices, 0);
   parallel_for(n_devices, [&](std::size_t d) {
     const std::size_t begin = idx->device_offset_[d];
     const std::size_t end = idx->device_offset_[d + 1];
+    // Density check: one sample per bin, in order.
+    bool dense = end - begin == n_bins;
+    for (std::size_t j = begin; dense && j < end; ++j) {
+      dense = std::size_t{bin[j]} == j - begin;
+    }
+    device_dense[d] = dense ? 1 : 0;
     std::size_t* const days = idx->day_offset_.data() + d * day_stride;
     std::size_t i = begin;
     for (int day = 0; day < num_days; ++day) {
@@ -150,6 +254,9 @@ std::shared_ptr<const DatasetIndex> DatasetIndex::build(const Dataset& ds) {
     idx->app_range_[2 * d] = ab;
     idx->app_range_[2 * d + 1] = ae;
   });
+  idx->dense_ = n_devices > 0 &&
+                std::find(device_dense.begin(), device_dense.end(), char{0}) ==
+                    device_dense.end();
 
   // Hour-of-week LUT, Saturday-based to match WeeklyProfile's axes.
   idx->hour_of_week_.resize(n_bins);

@@ -33,11 +33,8 @@
 
 #include "core/clock.h"
 #include "core/column.h"
+#include "core/records.h"
 #include "core/types.h"
-
-namespace tokyonet {
-class Dataset;
-}  // namespace tokyonet
 
 namespace tokyonet::core {
 
@@ -51,6 +48,75 @@ class DatasetIndex {
   [[nodiscard]] static std::shared_ptr<const DatasetIndex> build(
       const Dataset& ds);
 
+  /// Zero-validation builder for producers whose sample stream is dense
+  /// by construction — exactly one sample per (device, bin), emitted in
+  /// (device, bin) order (the simulator's contract). The producer
+  /// projects each finished Sample into the SoA columns as it emits it
+  /// (set()), replacing build()'s separate validation + projection pass
+  /// — a second memory-bound sweep over the 48-byte AoS array — with
+  /// stores that overlap generation; every contiguous range is pure
+  /// arithmetic in a dense campaign, and the resulting index is
+  /// value-identical to what build() would produce for the same stream.
+  /// Parallel producers may call set() concurrently on disjoint sample
+  /// positions.
+  class DenseBuilder {
+   public:
+    DenseBuilder(std::size_t n_devices, const CampaignCalendar& cal);
+
+    /// Projects `s`, the sample at global position `i`
+    /// (device * num_bins + bin). Sample::app_begin is not projected, so
+    /// producers may rebase it after emission (the simulator's splice
+    /// does).
+    void set(std::size_t i, const Sample& s) noexcept {
+      bin_[i] = s.bin;
+      cell_rx_[i] = s.cell_rx;
+      cell_tx_[i] = s.cell_tx;
+      wifi_rx_[i] = s.wifi_rx;
+      wifi_tx_[i] = s.wifi_tx;
+      ap_[i] = value(s.ap);
+      wifi_state_[i] = s.wifi_state;
+      tech_[i] = s.tech;
+      battery_[i] = s.battery_pct;
+      rssi_[i] = s.rssi_dbm;
+      geo_[i] = s.geo_cell;
+      app_count_[i] = s.app_count;
+      flags_[i] = static_cast<std::uint8_t>(s.tethering ? kFlagTethering : 0);
+      scan24_all_[i] = s.scan_pub24_all;
+      scan24_strong_[i] = s.scan_pub24_strong;
+      scan5_all_[i] = s.scan_pub5_all;
+      scan5_strong_[i] = s.scan_pub5_strong;
+    }
+
+    /// Records device `d`'s contiguous slice of Dataset::app_traffic
+    /// (leave unset for devices with no per-app records).
+    void set_app_range(std::size_t d, std::size_t begin,
+                       std::size_t end) noexcept;
+
+    /// Finalizes and returns the index; the builder is empty afterwards.
+    [[nodiscard]] std::shared_ptr<const DatasetIndex> finish() noexcept;
+
+   private:
+    std::shared_ptr<DatasetIndex> idx_;
+    // Raw column cursors so set() compiles to a handful of stores.
+    TimeBin* bin_ = nullptr;
+    std::uint32_t* cell_rx_ = nullptr;
+    std::uint32_t* cell_tx_ = nullptr;
+    std::uint32_t* wifi_rx_ = nullptr;
+    std::uint32_t* wifi_tx_ = nullptr;
+    std::uint32_t* ap_ = nullptr;
+    WifiState* wifi_state_ = nullptr;
+    CellTech* tech_ = nullptr;
+    std::uint8_t* battery_ = nullptr;
+    std::int8_t* rssi_ = nullptr;
+    std::uint16_t* geo_ = nullptr;
+    std::uint8_t* app_count_ = nullptr;
+    std::uint8_t* flags_ = nullptr;
+    std::uint8_t* scan24_all_ = nullptr;
+    std::uint8_t* scan24_strong_ = nullptr;
+    std::uint8_t* scan5_all_ = nullptr;
+    std::uint8_t* scan5_strong_ = nullptr;
+  };
+
   [[nodiscard]] std::size_t num_samples() const noexcept {
     return bin_.size();
   }
@@ -58,6 +124,12 @@ class DatasetIndex {
     return device_offset_.size() - 1;
   }
   [[nodiscard]] int num_days() const noexcept { return num_days_; }
+
+  /// True when every device has exactly one sample per campaign bin
+  /// (bin j at device_begin(d) + j). The simulator always emits dense
+  /// campaigns; kernels use this to replace per-sample bin arithmetic
+  /// with fixed-stride runs (kBinsPerHour consecutive samples per hour).
+  [[nodiscard]] bool dense() const noexcept { return dense_; }
 
   // --- Contiguous ranges -------------------------------------------------
 
@@ -164,6 +236,7 @@ class DatasetIndex {
   DatasetIndex() = default;
 
   int num_days_ = 0;
+  bool dense_ = false;
   std::vector<std::size_t> device_offset_;  // size devices + 1
   std::vector<std::size_t> day_offset_;     // devices * (num_days + 1)
   std::vector<std::size_t> app_range_;      // devices * 2 (begin, end)

@@ -14,6 +14,11 @@ bool Dataset::build_index() {
   return index_ != nullptr;
 }
 
+void Dataset::adopt_index(std::shared_ptr<const core::DatasetIndex> idx) {
+  assert(idx == nullptr || idx->num_samples() == samples.size());
+  index_ = std::move(idx);
+}
+
 bool Dataset::indexed() const noexcept {
   return index_ != nullptr && index_->num_samples() == samples.size();
 }

@@ -215,6 +215,13 @@ class Dataset {
   /// deserialization.
   bool build_index();
 
+  /// Installs an index built externally — e.g. by the simulator's
+  /// DatasetIndex::DenseBuilder, which projects the SoA columns while
+  /// the campaign is generated instead of re-scanning the AoS array.
+  /// The caller guarantees the index describes exactly the current
+  /// `samples` array.
+  void adopt_index(std::shared_ptr<const core::DatasetIndex> idx);
+
   /// Release-mode structural validation (the promoted form of the debug
   /// asserts in build_index()/device_samples()): checks device/AP/app
   /// references, (device, bin) ordering, bin bounds against the

@@ -186,13 +186,18 @@ struct ConfigHasher {
 
 }  // namespace
 
-std::uint64_t scenario_hash(const ScenarioConfig& c) noexcept {
+std::uint64_t scenario_hash(const ScenarioConfig& c,
+                            int rng_version) noexcept {
   // Every field below feeds the simulation; keep this list in sync with
   // ScenarioConfig. The static_assert trips when the struct grows, as a
   // reminder to extend the hash (and bump io::kSnapshotVersion).
   static_assert(sizeof(ScenarioConfig) == 472,
                 "ScenarioConfig changed: update scenario_hash()");
   ConfigHasher h;
+  // The generator version participates in the hash: the same config run
+  // under a different draw scheme produces a different dataset, so cached
+  // snapshots keyed by this hash must miss when the RNG changes.
+  h.add(rng_version);
   h.add(static_cast<int>(c.year));
   h.add(c.start_date.year);
   h.add(c.start_date.month);

@@ -173,11 +173,23 @@ struct ScenarioConfig {
 /// Calibrated preset for one campaign year at the given scale.
 [[nodiscard]] ScenarioConfig scenario_config(Year year, double scale = 1.0);
 
+/// Version of the simulator's random-draw scheme. Bump whenever the
+/// mapping from (config, seed) to generated samples changes — e.g. a new
+/// generator, re-ordered draws, or a transform rewrite — so cached
+/// campaigns keyed by scenario_hash() are regenerated instead of replayed
+/// from a stale snapshot. v2: counter-based Philox4x32 streams replaced
+/// the sequential per-device xoshiro walk.
+inline constexpr int kRngVersion = 2;
+
 /// Stable 64-bit digest of every simulation-relevant field of a
-/// ScenarioConfig (including seed and scale). Two configs with the same
-/// hash produce the same campaign, so the hash keys the on-disk
-/// campaign cache (io/snapshot.h). Not portable across schema changes:
-/// bump kSnapshotVersion when the config grows a field.
-[[nodiscard]] std::uint64_t scenario_hash(const ScenarioConfig& config) noexcept;
+/// ScenarioConfig (including seed and scale) plus the generator version
+/// (kRngVersion, overridable for tests). Two configs with the same hash
+/// produce the same campaign, so the hash keys the on-disk campaign
+/// cache (io/snapshot.h); a kRngVersion bump changes every hash, so
+/// stale caches miss instead of replaying a dataset the current
+/// generator would no longer produce. Not portable across schema
+/// changes: bump kSnapshotVersion when the config grows a field.
+[[nodiscard]] std::uint64_t scenario_hash(
+    const ScenarioConfig& config, int rng_version = kRngVersion) noexcept;
 
 }  // namespace tokyonet

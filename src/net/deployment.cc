@@ -157,7 +157,7 @@ ApId Deployment::create_office_ap(geo::Point where, stats::Rng& rng) {
 }
 
 std::optional<ApId> Deployment::pick_public_ap(geo::Point where,
-                                               stats::Rng& rng) const {
+                                               stats::PhiloxRng& rng) const {
   const GeoCell cell = region_->grid().cell_at(where);
   const auto& bucket = public_by_cell_[cell];
   if (bucket.empty()) return std::nullopt;
@@ -165,7 +165,7 @@ std::optional<ApId> Deployment::pick_public_ap(geo::Point where,
 }
 
 std::optional<ApId> Deployment::pick_venue_ap(geo::Point where,
-                                              stats::Rng& rng) const {
+                                              stats::PhiloxRng& rng) const {
   const GeoCell cell = region_->grid().cell_at(where);
   const auto& bucket = venue_by_cell_[cell];
   if (bucket.empty()) return std::nullopt;
@@ -173,7 +173,7 @@ std::optional<ApId> Deployment::pick_venue_ap(geo::Point where,
 }
 
 double Deployment::draw_association_distance_m(ApPlacement placement,
-                                               stats::Rng& rng) const {
+                                               stats::PhiloxRng& rng) const {
   // Lognormal distances; medians chosen so the resulting RSSI PDFs match
   // Fig 15 (home mean ~ -54 dBm; public shifted toward -60 dBm with ~12%
   // below -70 dBm).

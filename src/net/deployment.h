@@ -16,6 +16,7 @@
 #include "geo/region.h"
 #include "net/essid.h"
 #include "net/radio.h"
+#include "stats/philox.h"
 #include "stats/rng.h"
 
 namespace tokyonet::net {
@@ -57,19 +58,20 @@ class Deployment {
   }
 
   /// A random public AP in the cell of `where` (the hotspot a visiting
-  /// device would join), or nullopt if the cell has none.
+  /// device would join), or nullopt if the cell has none. Hot path:
+  /// draws from the caller's counter-based stream.
   [[nodiscard]] std::optional<ApId> pick_public_ap(geo::Point where,
-                                                   stats::Rng& rng) const;
+                                                   stats::PhiloxRng& rng) const;
 
   /// A random venue AP near `where`, if any.
   [[nodiscard]] std::optional<ApId> pick_venue_ap(geo::Point where,
-                                                  stats::Rng& rng) const;
+                                                  stats::PhiloxRng& rng) const;
 
   /// Typical device-to-AP distance when associated, by placement type.
   /// Public cells are larger, producing the paper's weaker public RSSI
   /// distribution (Fig 15).
   [[nodiscard]] double draw_association_distance_m(ApPlacement placement,
-                                                   stats::Rng& rng) const;
+                                                   stats::PhiloxRng& rng) const;
 
   /// Expected number of detectable public networks per 10-min scan in
   /// `cell` (all bands). Peaks downtown per the scenario's

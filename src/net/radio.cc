@@ -15,7 +15,7 @@ double mean_rssi_dbm(const PathLossModel& model, double distance_m,
 }
 
 double sample_rssi_dbm(const PathLossModel& model, double distance_m,
-                       Band band, stats::Rng& rng) noexcept {
+                       Band band, stats::PhiloxRng& rng) noexcept {
   const double rssi = mean_rssi_dbm(model, distance_m, band) +
                       rng.normal(0.0, model.shadow_sigma_db);
   return std::clamp(rssi, kMinRssiDbm, kMaxRssiDbm);

@@ -6,7 +6,7 @@
 #include <cstdint>
 
 #include "core/types.h"
-#include "stats/rng.h"
+#include "stats/philox.h"
 
 namespace tokyonet::net {
 
@@ -33,9 +33,10 @@ struct PathLossModel {
                                    double distance_m, Band band) noexcept;
 
 /// RSSI sample including shadowing, clamped to the radio's report range.
+/// Draws one normal from the caller's counter-based stream.
 [[nodiscard]] double sample_rssi_dbm(const PathLossModel& model,
                                      double distance_m, Band band,
-                                     stats::Rng& rng) noexcept;
+                                     stats::PhiloxRng& rng) noexcept;
 
 /// Clamp + round an RSSI to the int8 dBm the record schema stores.
 [[nodiscard]] std::int8_t quantize_rssi(double rssi_dbm) noexcept;

@@ -1,7 +1,10 @@
 #include "sim/schedule.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+
+#include "stats/tables.h"
 
 namespace tokyonet::sim {
 namespace {
@@ -29,7 +32,8 @@ void fill(DaySchedule& s, int from, int to, Where w) noexcept {
   return 1.0;
 }
 
-[[nodiscard]] int jitter_bin(stats::Rng& rng, int base, double sigma_bins) {
+[[nodiscard]] int jitter_bin(stats::PhiloxRng& rng, int base,
+                             double sigma_bins) {
   const double v = rng.normal(static_cast<double>(base), sigma_bins);
   return std::clamp(static_cast<int>(std::lround(v)), 0, kBinsPerDay - 1);
 }
@@ -51,7 +55,7 @@ double ScheduleBuilder::hour_activity(int hour) noexcept {
 }
 
 DaySchedule ScheduleBuilder::build(const UserProfile& user, bool weekend,
-                                   stats::Rng& rng) {
+                                   stats::PhiloxRng& rng) {
   DaySchedule s;
   fill(s, 0, kBinsPerDay, Where::Home);
 
@@ -126,12 +130,25 @@ DaySchedule ScheduleBuilder::build(const UserProfile& user, bool weekend,
     }
   }
 
-  // Activity intensity: diurnal curve x location factor x noise.
+  // Activity intensity: diurnal curve x location factor x noise. The
+  // per-bin noise is the hottest lognormal in the simulator (48 draws
+  // per device-day), so it goes through the quantile table — same
+  // one-uniform slot footprint, no per-bin exp.
+  static const stats::LognormalTable kActivityNoise(0.0, 0.35);
+  // The diurnal base depends only on the bin, so flatten it to a
+  // per-bin table once: the loop is then two loads, two multiplies and
+  // a table draw per bin.
+  static const auto kBaseByBin = [] {
+    std::array<double, kBinsPerDay> t{};
+    for (int b = 0; b < kBinsPerDay; ++b) {
+      t[static_cast<std::size_t>(b)] = hour_activity(b / kBinsPerHour);
+    }
+    return t;
+  }();
   for (int b = 0; b < kBinsPerDay; ++b) {
-    const int hour = b / kBinsPerHour;
-    const double base = hour_activity(hour);
+    const double base = kBaseByBin[static_cast<std::size_t>(b)];
     const double factor = where_factor(s.where[static_cast<std::size_t>(b)]);
-    const double noise = rng.lognormal(0.0, 0.35);
+    const double noise = kActivityNoise.draw(rng);
     s.activity[static_cast<std::size_t>(b)] =
         static_cast<float>(base * factor * noise);
   }

@@ -12,7 +12,7 @@
 
 #include "core/clock.h"
 #include "sim/user.h"
-#include "stats/rng.h"
+#include "stats/philox.h"
 
 namespace tokyonet::sim {
 
@@ -35,9 +35,11 @@ struct DaySchedule {
 /// Builds occupation- and weekday-dependent schedules.
 class ScheduleBuilder {
  public:
-  /// Schedule for `user` on a day that is/isn't a weekend.
+  /// Schedule for `user` on a day that is/isn't a weekend. `rng` is the
+  /// device's counter-based per-day stream, so a day's schedule is
+  /// reproducible from (seed, device, day) alone.
   [[nodiscard]] static DaySchedule build(const UserProfile& user,
-                                         bool weekend, stats::Rng& rng);
+                                         bool weekend, stats::PhiloxRng& rng);
 
   /// Baseline hour-of-day activity curve (0..23); exposed for tests.
   [[nodiscard]] static double hour_activity(int hour) noexcept;

@@ -1,12 +1,15 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <optional>
 #include <span>
 
 #include "app/catalog.h"
+#include "core/dataset_index.h"
 #include "core/parallel.h"
 #include "geo/region.h"
 #include "io/snapshot.h"
@@ -15,13 +18,36 @@
 #include "sim/schedule.h"
 #include "sim/survey.h"
 #include "sim/user.h"
+#include "stats/philox.h"
 #include "stats/rng.h"
+#include "stats/tables.h"
 
 namespace tokyonet::sim {
 namespace {
 
 using geo::Point;
 using net::Deployment;
+
+// Counter-stream lanes: every hot-path draw is keyed by
+// (campaign seed, device id, lane, slot). Setup draws (persistent radio
+// conditions) use one fixed lane per device; each day's schedule-level
+// draws use a day lane; each bin's draws use the global bin index as
+// the lane. Lanes never collide: bins stay below kLaneDayBase
+// (26 days * 144 bins = 3744) and days below the setup lane.
+constexpr std::uint32_t kLaneDayBase = 0x00010000u;
+constexpr std::uint32_t kLaneSetup = 0xFFFF0000u;
+
+/// Device-block granularity for the parallel sweep, from
+/// TOKYONET_SIM_DEVICE_BLOCK (default 1). The counter-based streams
+/// make campaign bytes independent of this partitioning; the knob
+/// exists so tests can assert that, and so streaming generation can
+/// pick coarser blocks.
+[[nodiscard]] std::size_t device_block_size() noexcept {
+  const char* env = std::getenv("TOKYONET_SIM_DEVICE_BLOCK");
+  if (env == nullptr) return 1;
+  const long v = std::strtol(env, nullptr, 10);
+  return v >= 1 ? static_cast<std::size_t>(v) : 1;
+}
 
 [[nodiscard]] std::uint32_t mb_to_bytes_u32(double mb) noexcept {
   if (mb <= 0) return 0;
@@ -46,12 +72,26 @@ struct SegmentState {
   /// not of time; per-bin variation is small fast fading).
   double rssi_base_dbm = -70.0;
   bool wifi_off = false;
+  /// Grid cell of `spot`, resolved once per segment (the spot is fixed
+  /// for the whole dwell, so per-bin lookups would be wasted work).
+  GeoCell cell = kNoGeoCell;
+  /// Scan-summary parameters are fixed for the whole dwell (they depend
+  /// only on `where` and `cell`), so the AP-density lookup, the Poisson
+  /// CDF walks and the binomial starting masses are resolved once per
+  /// segment — lazily, on the first bin that actually scans — instead of
+  /// per bin. Draws through these caches are bit-identical to the
+  /// uncached transforms.
+  bool scan_ready = false;
+  std::size_t scan_env = 2;  // index into the strong-thinning tables
+  double strong24_p = 0;
+  double strong5_p = 0;
+  stats::PoissonCdfCache scan24;
+  stats::PoissonCdfCache scan5;
 };
 
 /// Everything needed while simulating one device.
 struct DeviceContext {
   const UserProfile* user = nullptr;
-  stats::Rng rng;
   bool updated = false;
   double update_remaining_mb = 0;
   std::int32_t update_bin = -1;
@@ -83,7 +123,23 @@ class CampaignRunner {
         root_rng_(config.seed),
         region_(),
         deployment_(config, region_, root_rng_),
-        mixer_(config.year) {}
+        mixer_(config.year) {
+    // pow(1 - p, n) for the six dwell-fixed strong-scan thinning
+    // probabilities (three environments x two bands): emit_scan's
+    // binomial draws start their CDF walk from these masses instead of
+    // re-running std::pow twice per Android bin. Same pow, same bits —
+    // just hoisted from the bin loop to scenario setup.
+    constexpr double kEnvStrong[kNumScanEnvs] = {0.5, 0.2, 1.0};
+    for (std::size_t e = 0; e < kNumScanEnvs; ++e) {
+      const double p24 = config.deployment.scan_strong_frac * kEnvStrong[e];
+      const double p5 = std::min(1.0, p24 * 1.3);
+      strong_p_[e] = {p24, p5};
+      for (std::size_t n = 0; n < kStrongPmf0N; ++n) {
+        strong_pmf0_[e][0][n] = std::pow(1.0 - p24, static_cast<double>(n));
+        strong_pmf0_[e][1][n] = std::pow(1.0 - p5, static_cast<double>(n));
+      }
+    }
+  }
 
   Dataset run() {
     Dataset ds;
@@ -100,32 +156,52 @@ class CampaignRunner {
 
     // Every device emits exactly one sample per bin, so each device owns
     // a fixed, disjoint slice of the sample array and the whole panel can
-    // be simulated in parallel: device streams are independent by
-    // construction (per-device RNG fork, per-device cap state), so the
-    // result is byte-identical at any thread count.
+    // be simulated in parallel. Every hot-path draw is keyed by
+    // (seed, device, day/bin, slot) through counter-based Philox
+    // streams, so the result is byte-identical at any thread count AND
+    // any device partitioning — blocks of 1, 16 or the whole panel
+    // produce the same campaign.
     const auto n_bins = static_cast<std::size_t>(ds.calendar.num_bins());
-    ds.samples.resize(users_.size() * n_bins);
+    const std::size_t n_devices = users_.size();
+    // Every device writes one full Sample per bin into its slice, so the
+    // zero-fill of a plain resize would be pure overhead.
+    ds.samples.resize_for_overwrite(n_devices * n_bins);
 
-    std::vector<DeviceOutput> outputs =
-        core::parallel_map(users_.size(), [&](std::size_t i) {
-          const UserProfile& user = users_[i];
-          DeviceContext ctx{&user, root_rng_.fork(0xD0D0 + value(user.id)),
-                            false, 0, -1};
-          net::DeviceCapTracker cap(config_.cap, config_.num_days);
-          DeviceOutput out;
-          out.app_traffic.reserve(n_bins / 2);
-          simulate_device(ctx,
-                          std::span<Sample>{ds.samples.data() + i * n_bins,
-                                            n_bins},
-                          out.app_traffic, cap, ds.calendar);
-          out.update_bin = ctx.update_bin;
-          out.capped_day.resize(static_cast<std::size_t>(config_.num_days));
-          for (int d = 0; d < config_.num_days; ++d) {
-            out.capped_day[static_cast<std::size_t>(d)] =
-                cap.capped_on(d) ? 1 : 0;
-          }
-          return out;
-        });
+    // The campaign is dense by construction, so the acceleration index
+    // is built alongside the samples: each device projects its finished
+    // samples into the SoA columns as it emits them (disjoint slices,
+    // safe in parallel) instead of DatasetIndex::build() re-scanning
+    // the whole 48-byte AoS array afterwards.
+    core::DatasetIndex::DenseBuilder idx_builder(n_devices, ds.calendar);
+
+    const std::size_t block = device_block_size();
+    const std::size_t n_blocks = (n_devices + block - 1) / block;
+    std::vector<DeviceOutput> outputs(n_devices);
+    core::parallel_for(n_blocks, [&](std::size_t blk) {
+      const std::size_t i0 = blk * block;
+      const std::size_t i1 = std::min(i0 + block, n_devices);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const UserProfile& user = users_[i];
+        DeviceContext ctx{&user, false, 0, -1};
+        net::DeviceCapTracker cap(config_.cap, config_.num_days);
+        DeviceOutput out;
+        // Android devices emit ~0.8 records per bin on average; one
+        // right-sized reservation avoids the mid-campaign regrow.
+        out.app_traffic.reserve(n_bins);
+        simulate_device(ctx,
+                        std::span<Sample>{ds.samples.data() + i * n_bins,
+                                          n_bins},
+                        out.app_traffic, cap, ds.calendar, idx_builder,
+                        i * n_bins);
+        out.update_bin = ctx.update_bin;
+        out.capped_day.resize(static_cast<std::size_t>(config_.num_days));
+        for (int d = 0; d < config_.num_days; ++d) {
+          out.capped_day[static_cast<std::size_t>(d)] =
+              cap.capped_on(d) ? 1 : 0;
+        }
+        outputs[i] = std::move(out);
+      }
+    });
 
     // Splice variable-length outputs in device order. Rebasing each
     // device's local app_traffic offsets by the running total recreates
@@ -137,6 +213,13 @@ class CampaignRunner {
       const UserProfile& user = users_[i];
       DeviceOutput& out = outputs[i];
       const auto offset = static_cast<std::uint32_t>(ds.app_traffic.size());
+      if (!out.app_traffic.empty()) {
+        // The device's records land in one contiguous slice of the
+        // global array — exactly the app range build() would derive
+        // from the rebased per-sample offsets.
+        idx_builder.set_app_range(i, offset,
+                                  offset + out.app_traffic.size());
+      }
       if (user.os == Os::Android && offset != 0) {
         const std::span<Sample> slice{ds.samples.data() + i * n_bins, n_bins};
         for (Sample& s : slice) s.app_begin += offset;
@@ -151,11 +234,11 @@ class CampaignRunner {
     deployment_.export_to(ds);
     stats::Rng survey_rng = root_rng_.fork(0x50BE);
     build_survey(config_, users_, survey_rng, ds);
-    // Samples are (device, bin)-ordered by construction, so indexing
-    // cannot fail here.
-    const bool ok = ds.build_index();
-    assert(ok);
-    (void)ok;
+    // Samples are (device, bin)-ordered and dense by construction, and
+    // the SoA columns were already projected at emission time — install
+    // the prebuilt index instead of re-scanning the AoS array.
+    ds.adopt_index(idx_builder.finish());
+    assert(ds.indexed());
     return ds;
   }
 
@@ -181,7 +264,8 @@ class CampaignRunner {
 
   /// Location of the user during a segment, by type of place.
   [[nodiscard]] Point segment_spot(const UserProfile& user, Where where,
-                                   double commute_t, stats::Rng& rng) const {
+                                   double commute_t,
+                                   stats::PhiloxRng& rng) const {
     switch (where) {
       case Where::Home:
         return user.home;
@@ -206,9 +290,10 @@ class CampaignRunner {
   /// Decides WiFi state and association for a fresh segment.
   void enter_segment(const UserProfile& user, SegmentState& seg,
                      bool off_while_out, bool home_assoc_today,
-                     stats::Rng& rng) const {
+                     stats::PhiloxRng& rng) const {
     seg.ap = kNoAp;
     seg.wifi_off = false;
+    seg.scan_ready = false;
 
     const bool always_off =
         user.wifi_off_propensity >= 0.999;  // never-configured users
@@ -320,48 +405,63 @@ class CampaignRunner {
   void simulate_device(DeviceContext& ctx, std::span<Sample> out_samples,
                        std::vector<AppTraffic>& app_traffic,
                        net::DeviceCapTracker& cap,
-                       const CampaignCalendar& cal) const {
+                       const CampaignCalendar& cal,
+                       core::DatasetIndex::DenseBuilder& idx_builder,
+                       std::size_t idx_base) const {
     const UserProfile& user = *ctx.user;
-    stats::Rng& rng = ctx.rng;
+    const std::uint32_t dev = value(user.id);
     std::size_t out_pos = 0;
     const DemandParams& demand = config_.demand;
 
+    // Persistent per-device radio conditions come from the device's
+    // setup lane; every stream below is derived from coordinates alone,
+    // never from how many draws another device or day consumed.
+    stats::PhiloxRng setup_rng(config_.seed, dev, kLaneSetup);
     if (user.has_home_ap) {
-      ctx.home_distance_m =
-          deployment_.draw_association_distance_m(ApPlacement::Home, rng);
+      ctx.home_distance_m = deployment_.draw_association_distance_m(
+          ApPlacement::Home, setup_rng);
       ctx.home_rssi_base = net::sample_rssi_dbm(
           deployment_.path_loss(), ctx.home_distance_m,
-          deployment_.ap(user.home_ap).info.band, rng);
+          deployment_.ap(user.home_ap).info.band, setup_rng);
     }
     if (user.office_byod) {
-      ctx.office_distance_m =
-          deployment_.draw_association_distance_m(ApPlacement::Office, rng);
+      ctx.office_distance_m = deployment_.draw_association_distance_m(
+          ApPlacement::Office, setup_rng);
       ctx.office_rssi_base = net::sample_rssi_dbm(
           deployment_.path_loss(), ctx.office_distance_m,
-          deployment_.ap(user.office_ap).info.band, rng);
+          deployment_.ap(user.office_ap).info.band, setup_rng);
     }
+
+    // One reseatable engine serves every per-bin lane below — same
+    // sequences as constructing a PhiloxRng per bin, minus the per-bin
+    // key derivation.
+    stats::PhiloxRng rng(config_.seed, dev, 0);
 
     for (int day = 0; day < cal.num_days(); ++day) {
       const bool weekend = cal.is_weekend_day(day);
-      const DaySchedule sched = ScheduleBuilder::build(user, weekend, rng);
+      stats::PhiloxRng day_rng(config_.seed, dev,
+                               kLaneDayBase + static_cast<std::uint32_t>(day));
+      const DaySchedule sched = ScheduleBuilder::build(user, weekend, day_rng);
 
       const double daily_mb =
-          std::exp(user.demand_mu + rng.normal(0.0, demand.day_sigma));
+          std::exp(user.demand_mu + day_rng.normal(0.0, demand.day_sigma));
       double activity_sum = 0;
       for (float a : sched.activity) activity_sum += a;
       if (activity_sum <= 0) activity_sum = 1;
+      // One reciprocal per day instead of one divide per bin.
+      const double inv_activity_sum = 1.0 / activity_sum;
 
-      const bool off_while_out = rng.bernoulli(user.wifi_off_propensity);
+      const bool off_while_out = day_rng.bernoulli(user.wifi_off_propensity);
       double cell_today_mb = 0;  // for self-rationing against the cap
 
       // Occasional tethering day: a laptop rides the cellular link for a
       // contiguous stretch of bins; hotspot mode keeps WiFi-as-client
       // off for its duration.
       int tether_from = -1, tether_to = -1;
-      if (user.is_tetherer && rng.bernoulli(0.10)) {
+      if (user.is_tetherer && day_rng.bernoulli(0.10)) {
         tether_from = 8 * kBinsPerHour +
-                      static_cast<int>(rng.uniform_int(13 * kBinsPerHour));
-        tether_to = tether_from + 3 + static_cast<int>(rng.uniform_int(10));
+                      static_cast<int>(day_rng.uniform_int(13 * kBinsPerHour));
+        tether_to = tether_from + 3 + static_cast<int>(day_rng.uniform_int(10));
       }
       // Self-control varies day to day: some days users binge well past
       // their usual cellular comfort zone, which is exactly how real
@@ -369,8 +469,8 @@ class CampaignRunner {
       const double budget_today =
           (user.has_home_ap ? demand.cell_budget_home_mb
                             : demand.cell_budget_no_home_mb) *
-          rng.lognormal(0.0, 0.45);
-      const bool home_assoc_today = rng.bernoulli(
+          day_rng.lognormal(0.0, 0.45);
+      const bool home_assoc_today = day_rng.bernoulli(
           std::min(0.96, config_.adoption.home_assoc_rate *
                              (user.os == Os::Ios ? 1.22 : 0.96)));
       bool sync_done_today = false;
@@ -379,7 +479,8 @@ class CampaignRunner {
       SegmentState seg;
       seg.where = Where::Home;
       seg.spot = user.home;
-      enter_segment(user, seg, off_while_out, home_assoc_today, rng);
+      seg.cell = region_.grid().cell_at(seg.spot);
+      enter_segment(user, seg, off_while_out, home_assoc_today, day_rng);
       apply_persistent_radio(ctx, seg);
 
       // Track commute progress for geo interpolation.
@@ -389,6 +490,7 @@ class CampaignRunner {
       for (int b = 0; b < kBinsPerDay; ++b) {
         const auto bin =
             static_cast<TimeBin>(day * kBinsPerDay + b);
+        rng.reseat(dev, static_cast<std::uint32_t>(bin));
         const Where where = sched.where[static_cast<std::size_t>(b)];
         if (where != seg.where) {
           seg.where = where;
@@ -397,6 +499,7 @@ class CampaignRunner {
                   ? static_cast<double>(commute_seen) / commute_total
                   : 0.5;
           seg.spot = segment_spot(user, where, t, rng);
+          seg.cell = region_.grid().cell_at(seg.spot);
           enter_segment(user, seg, off_while_out, home_assoc_today, rng);
           apply_persistent_radio(ctx, seg);
         }
@@ -405,7 +508,7 @@ class CampaignRunner {
         Sample s;
         s.device = user.id;
         s.bin = bin;
-        s.geo_cell = region_.grid().cell_at(seg.spot);
+        s.geo_cell = seg.cell;
 
         const bool tethering = b >= tether_from && b < tether_to;
         if (tethering) {
@@ -435,12 +538,12 @@ class CampaignRunner {
         if (on_wifi) {
           s.ap = seg.ap;
           s.rssi_dbm = net::quantize_rssi(seg.rssi_base_dbm +
-                                          rng.normal(0.0, 1.5));
+                                          fading_noise_.draw(rng));
         }
 
         // --- Demand for this bin -----------------------------------
         const double share =
-            sched.activity[static_cast<std::size_t>(b)] / activity_sum;
+            sched.activity[static_cast<std::size_t>(b)] * inv_activity_sum;
         double rx_mb = daily_mb * share;
         std::uint64_t tx_bytes = 0;
 
@@ -475,7 +578,7 @@ class CampaignRunner {
             tx_bytes = mixer_.mix(app_ctx, rx_mb, rng, app_traffic);
           } else {
             tx_bytes = static_cast<std::uint64_t>(
-                rx_mb * 1e6 * 0.18 * rng.lognormal(0.0, 0.5));
+                rx_mb * 1e6 * 0.18 * ios_tx_noise_.draw(rng));
           }
         }
 
@@ -497,7 +600,7 @@ class CampaignRunner {
 
         // --- The iOS 8.2 update event (§3.7) ------------------------
         maybe_start_update(ctx, day, b, on_wifi, seg, weekend,
-                           update_roll_done, bin);
+                           update_roll_done, bin, rng);
         if (ctx.update_remaining_mb > 0 && on_wifi) {
           const double chunk =
               std::min(ctx.update_remaining_mb, 170.0 * rng.uniform(0.9, 1.15));
@@ -528,7 +631,7 @@ class CampaignRunner {
 
         // --- Android scan summaries (Fig 17, §3.5) -------------------
         if (user.os == Os::Android && s.wifi_state != WifiState::Off) {
-          emit_scan(s, where, rng);
+          emit_scan(s, seg, rng);
         }
 
         // Battery: drains with use (and with an idle scanning radio),
@@ -545,9 +648,12 @@ class CampaignRunner {
           double charge = 0;
           if (overnight_charge || low_charge) charge = 1.5;
           ctx.battery = std::clamp(ctx.battery - drain + charge, 2.0, 100.0);
-          s.battery_pct = static_cast<std::uint8_t>(std::lround(ctx.battery));
+          // battery is clamped to [2, 100], so +0.5-and-truncate rounds
+          // identically to lround without the libm call.
+          s.battery_pct = static_cast<std::uint8_t>(ctx.battery + 0.5);
         }
 
+        idx_builder.set(idx_base + out_pos, s);
         out_samples[out_pos++] = s;
       }
     }
@@ -555,7 +661,8 @@ class CampaignRunner {
 
   void maybe_start_update(DeviceContext& ctx, int day, int bin_in_day,
                           bool on_wifi, const SegmentState& seg, bool weekend,
-                          bool& rolled_today, TimeBin bin) const {
+                          bool& rolled_today, TimeBin bin,
+                          stats::PhiloxRng& rng) const {
     const UpdateParams& up = config_.update;
     const UserProfile& user = *ctx.user;
     if (!up.active || user.os != Os::Ios || ctx.updated ||
@@ -590,39 +697,63 @@ class CampaignRunner {
     }
 
     rolled_today = true;
-    if (ctx.rng.bernoulli(hazard)) {
+    if (rng.bernoulli(hazard)) {
       ctx.updated = true;
       ctx.update_remaining_mb = up.size_mb;
       ctx.update_bin = static_cast<std::int32_t>(bin);
     }
   }
 
-  void emit_scan(Sample& s, Where where, stats::Rng& rng) const {
-    // Indoors at home, walls attenuate street-level hotspots; in motion
-    // (train/bus), APs flash by and few register as strong, stable
-    // candidates.
-    const double env_all = where == Where::Home ? 0.35 : 1.0;
-    const double env_strong = where == Where::Home     ? 0.5
-                              : where == Where::Commute ? 0.2
-                                                        : 1.0;
-    const double expected =
-        deployment_.expected_scan_count(s.geo_cell) * env_all;
-    const double frac5 = config_.deployment.scan_5ghz_frac;
-    const double strong = config_.deployment.scan_strong_frac * env_strong;
-    const unsigned all24 = rng.poisson(expected * (1.0 - frac5));
-    const unsigned all5 = rng.poisson(expected * frac5);
+  void emit_scan(Sample& s, SegmentState& seg, stats::PhiloxRng& rng) const {
+    if (!seg.scan_ready) {
+      // Indoors at home, walls attenuate street-level hotspots; in
+      // motion (train/bus), APs flash by and few register as strong,
+      // stable candidates. All of it is a property of the dwell, so the
+      // AP-density lookup and the Poisson/binomial constants resolve
+      // once per segment, on the first bin that scans.
+      const double env_all = seg.where == Where::Home ? 0.35 : 1.0;
+      seg.scan_env = seg.where == Where::Home      ? 0u
+                     : seg.where == Where::Commute ? 1u
+                                                   : 2u;
+      const double expected =
+          deployment_.expected_scan_count(seg.cell) * env_all;
+      const double frac5 = config_.deployment.scan_5ghz_frac;
+      seg.scan24.reset(expected * (1.0 - frac5));
+      seg.scan5.reset(expected * frac5);
+      seg.strong24_p = strong_p_[seg.scan_env][0];
+      seg.strong5_p = strong_p_[seg.scan_env][1];
+      seg.scan_ready = true;
+    }
+    const unsigned all24 = seg.scan24.draw(rng);
+    const unsigned all5 = seg.scan5.draw(rng);
     // Strong subset: binomial thinning of the detected networks
     // (5 GHz cells are smaller, so a detected 5 GHz AP is more often
-    // close enough to be strong).
-    unsigned strong24 = 0, strong5 = 0;
-    for (unsigned i = 0; i < all24; ++i) strong24 += rng.bernoulli(strong);
-    for (unsigned i = 0; i < all5; ++i)
-      strong5 += rng.bernoulli(std::min(1.0, strong * 1.3));
+    // close enough to be strong). One inversion draw per band replaces
+    // the per-detected-network bernoulli loop.
+    const unsigned strong24 =
+        rng.binomial_pmf0(all24, seg.strong24_p,
+                          strong_pmf0(seg.scan_env, 0, all24));
+    const unsigned strong5 =
+        rng.binomial_pmf0(all5, seg.strong5_p,
+                          strong_pmf0(seg.scan_env, 1, all5));
     s.scan_pub24_all = saturate_u8(all24);
     s.scan_pub5_all = saturate_u8(all5);
     s.scan_pub24_strong = saturate_u8(strong24);
     s.scan_pub5_strong = saturate_u8(strong5);
   }
+
+  /// pow(1 - p, n) for a strong-thinning binomial, from the scenario
+  /// table (falling back to the live pow only for freak scan counts past
+  /// the table; either way the bits match the uncached draw).
+  [[nodiscard]] double strong_pmf0(std::size_t env, std::size_t band,
+                                   unsigned n) const {
+    if (n < kStrongPmf0N) return strong_pmf0_[env][band][n];
+    return std::pow(1.0 - strong_p_[env][band], static_cast<double>(n));
+  }
+
+  // home / commute / everywhere else
+  static constexpr std::size_t kNumScanEnvs = 3;
+  static constexpr unsigned kStrongPmf0N = 384;
 
   const ScenarioConfig& config_;
   stats::Rng root_rng_;
@@ -630,6 +761,13 @@ class CampaignRunner {
   Deployment deployment_;
   app::AppMixer mixer_;
   std::vector<UserProfile> users_;
+  /// Noise-grade per-bin jitters via quantile tables (one uniform per
+  /// draw, no per-bin quantile polynomial / exp).
+  stats::NormalTable fading_noise_{0.0, 1.5};
+  stats::LognormalTable ios_tx_noise_{0.0, 0.5};
+  std::array<std::array<double, 2>, kNumScanEnvs> strong_p_{};
+  std::array<std::array<std::array<double, kStrongPmf0N>, 2>, kNumScanEnvs>
+      strong_pmf0_{};
 };
 
 }  // namespace

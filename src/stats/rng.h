@@ -58,6 +58,13 @@ class Rng {
     return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
   }
 
+  /// 32-bit-resolution uniform in [0, 1): API parity with
+  /// PhiloxRng::uniform32 so the draw tables work with either engine.
+  /// (Setup paths are cold; this still consumes one engine step.)
+  [[nodiscard]] double uniform32() noexcept {
+    return static_cast<double>(next_u64() >> 32) * 0x1.0p-32;
+  }
+
   /// Uniform double in [lo, hi).
   [[nodiscard]] double uniform(double lo, double hi) noexcept {
     return lo + (hi - lo) * uniform();

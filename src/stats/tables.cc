@@ -1,0 +1,81 @@
+#include "stats/tables.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "stats/philox.h"
+
+namespace tokyonet::stats {
+
+LognormalTable::LognormalTable(double mu, double sigma) {
+  assert(sigma >= 0);
+  constexpr std::size_t kKnots = 4096;
+  q_.resize(kKnots);
+  for (std::size_t i = 0; i < kKnots; ++i) {
+    const double p =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(kKnots);
+    q_[i] = std::exp(mu + sigma * PhiloxRng::inverse_normal_cdf(p));
+  }
+}
+
+NormalTable::NormalTable(double mu, double sigma) {
+  assert(sigma >= 0);
+  constexpr std::size_t kKnots = 4096;
+  q_.resize(kKnots);
+  for (std::size_t i = 0; i < kKnots; ++i) {
+    const double p =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(kKnots);
+    q_[i] = mu + sigma * PhiloxRng::inverse_normal_cdf(p);
+  }
+}
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  assert(n > 0);
+  double total = 0;
+  for (double w : weights) {
+    assert(w >= 0);
+    total += w;
+  }
+  assert(total > 0);
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Walker/Vose: split rows into under- and over-full relative to the
+  // uniform share 1/n, then repeatedly top up an under-full row from an
+  // over-full one.
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    const std::uint32_t l = large.back();
+    small.pop_back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are exactly full up to rounding.
+  for (const std::uint32_t i : large) prob_[i] = 1.0;
+  for (const std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+ZipfTable::ZipfTable(std::size_t n, double s) {
+  assert(n >= 1);
+  std::vector<double> w(n);
+  for (std::size_t k = 1; k <= n; ++k) {
+    w[k - 1] = 1.0 / std::pow(static_cast<double>(k), s);
+  }
+  table_ = AliasTable(w);
+}
+
+}  // namespace tokyonet::stats

@@ -127,7 +127,19 @@ TEST(Cap, SharesAndGapBands) {
   // §3.8: potentially capped users are a small, growing share.
   EXPECT_LT(c14.capped_user_share, 0.10);
   EXPECT_GT(c15.capped_user_share, 0.0);
+}
+
+TEST(Cap, GapShrinksAfterRelaxation) {
   // Fig 19: the capped-vs-others gap shrinks after the 2015 relaxation.
+  // The shared kTestScale fixture yields only ~6-10 capped user-days, so
+  // gap_at_half (a CDF difference at the 0.5 quantile) is noise there;
+  // the directional claim needs a larger campaign (~30/~100 capped
+  // user-days at scale 0.6, where the gap is 0.32 vs 0.15).
+  constexpr double kCapScale = 0.6;
+  const Dataset big14 = sim::simulate_year(Year::Y2014, kCapScale);
+  const Dataset big15 = sim::simulate_year(Year::Y2015, kCapScale);
+  const CapAnalysis c14 = analyze_cap(big14, user_days(big14));
+  const CapAnalysis c15 = analyze_cap(big15, user_days(big15));
   EXPECT_GT(c14.gap_at_half, c15.gap_at_half);
   EXPECT_GT(c14.gap_at_half, 0.05);
 }

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "stats/rng.h"
+#include "stats/philox.h"
 
 namespace tokyonet::app {
 namespace {
@@ -23,7 +23,7 @@ class MixerConservation
 TEST_P(MixerConservation, RxConservedAcrossCategories) {
   const auto [year, ctx] = GetParam();
   const AppMixer mixer(static_cast<Year>(year));
-  stats::Rng rng(31);
+  stats::PhiloxRng rng(31, 0, 0);
   for (int trial = 0; trial < 200; ++trial) {
     std::vector<AppTraffic> out;
     const double demand_mb = rng.lognormal(1.0, 1.0);
@@ -49,7 +49,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Mixer, ZeroDemandProducesNothing) {
   const AppMixer mixer(Year::Y2015);
-  stats::Rng rng(1);
+  stats::PhiloxRng rng(1, 0, 0);
   std::vector<AppTraffic> out;
   EXPECT_EQ(mixer.mix(Context::WifiHome, 0.0, rng, out), 0u);
   EXPECT_TRUE(out.empty());
@@ -85,7 +85,7 @@ TEST(Mixer, MinorCategoriesGetResidualShare) {
 TEST(Mixer, EmpiricalSharesTrackExpected) {
   // Long-run realized volume shares should approximate the share table.
   const AppMixer m(Year::Y2014);
-  stats::Rng rng(77);
+  stats::PhiloxRng rng(77, 0, 0);
   std::vector<AppTraffic> out;
   for (int i = 0; i < 30000; ++i) m.mix(Context::WifiHome, 1.0, rng, out);
   double video = 0, total = 0;
@@ -99,7 +99,7 @@ TEST(Mixer, EmpiricalSharesTrackExpected) {
 
 TEST(Mixer, DeterministicGivenRngState) {
   const AppMixer m(Year::Y2015);
-  stats::Rng a(5), b(5);
+  stats::PhiloxRng a(5, 9, 4), b(5, 9, 4);
   std::vector<AppTraffic> oa, ob;
   const auto ta = m.mix(Context::CellHome, 3.0, a, oa);
   const auto tb = m.mix(Context::CellHome, 3.0, b, ob);

@@ -7,6 +7,7 @@
 #include "net/channel.h"
 #include "net/essid.h"
 #include "net/radio.h"
+#include "stats/philox.h"
 #include "stats/rng.h"
 
 namespace tokyonet::net {
@@ -91,7 +92,7 @@ class RadioSampling : public ::testing::TestWithParam<double> {};
 
 TEST_P(RadioSampling, SamplesClampedAndCentered) {
   const PathLossModel m;
-  stats::Rng rng(11);
+  stats::PhiloxRng rng(11, 0, 0);
   const double d = GetParam();
   const double expect = mean_rssi_dbm(m, d, Band::B24GHz);
   double sum = 0;

@@ -1,0 +1,322 @@
+#include "stats/philox.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/scenario.h"
+#include "stats/tables.h"
+
+namespace tokyonet::stats {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Philox4x32-10 block function: known-answer vectors from the Random123
+// distribution (kat_vectors.txt, philox4x32-10). Any change to the round
+// count, multipliers, or Weyl constants breaks these.
+
+TEST(Philox, KnownAnswerZeros) {
+  const std::array<std::uint32_t, 4> out =
+      philox4x32({0u, 0u, 0u, 0u}, {0u, 0u});
+  EXPECT_EQ(out[0], 0x6627e8d5u);
+  EXPECT_EQ(out[1], 0xe169c58du);
+  EXPECT_EQ(out[2], 0xbc57ac4cu);
+  EXPECT_EQ(out[3], 0x9b00dbd8u);
+}
+
+TEST(Philox, KnownAnswerOnes) {
+  const std::array<std::uint32_t, 4> out = philox4x32(
+      {0xffffffffu, 0xffffffffu, 0xffffffffu, 0xffffffffu},
+      {0xffffffffu, 0xffffffffu});
+  EXPECT_EQ(out[0], 0x408f276du);
+  EXPECT_EQ(out[1], 0x41c83b0eu);
+  EXPECT_EQ(out[2], 0xa20bc7c6u);
+  EXPECT_EQ(out[3], 0x6d5451fdu);
+}
+
+TEST(Philox, KnownAnswerPiDigits) {
+  const std::array<std::uint32_t, 4> out = philox4x32(
+      {0x243f6a88u, 0x85a308d3u, 0x13198a2eu, 0x03707344u},
+      {0xa4093822u, 0x299f31d0u});
+  EXPECT_EQ(out[0], 0xd16cfe09u);
+  EXPECT_EQ(out[1], 0x94fdccebu);
+  EXPECT_EQ(out[2], 0x5001e420u);
+  EXPECT_EQ(out[3], 0x24126ea1u);
+}
+
+TEST(Philox, BlockIsConstexpr) {
+  // The block function is constexpr so lane keys can be folded at
+  // compile time where the coordinates are constants.
+  constexpr std::array<std::uint32_t, 4> out =
+      philox4x32({0u, 0u, 0u, 0u}, {0u, 0u});
+  static_assert(out[0] == 0x6627e8d5u);
+  EXPECT_EQ(out[3], 0x9b00dbd8u);
+}
+
+TEST(Philox, PairMatchesTwoScalarBlocks) {
+  // philox4x32_pair is a throughput shortcut, not a different function:
+  // on every ISA it must emit exactly the u64s of the blocks at slots
+  // ctr[2] and ctr[2]+1, including across the ctr[2] wraparound.
+  const std::array<std::uint32_t, 2> key{0xa4093822u, 0x299f31d0u};
+  for (const std::uint32_t slot :
+       {0u, 1u, 2u, 1000003u, 0x7fffffffu, 0xfffffffeu, 0xffffffffu}) {
+    const std::array<std::uint32_t, 4> ctr{0x243f6a88u, 0x85a308d3u, slot,
+                                           0x03707344u};
+    const std::array<std::uint64_t, 4> pair = philox4x32_pair(ctr, key);
+    const std::array<std::uint32_t, 4> lo = philox4x32(ctr, key);
+    const std::array<std::uint32_t, 4> hi =
+        philox4x32({ctr[0], ctr[1], slot + 1u, ctr[3]}, key);
+    EXPECT_EQ(pair[0], (std::uint64_t{lo[1]} << 32) | lo[0]) << slot;
+    EXPECT_EQ(pair[1], (std::uint64_t{lo[3]} << 32) | lo[2]) << slot;
+    EXPECT_EQ(pair[2], (std::uint64_t{hi[1]} << 32) | hi[0]) << slot;
+    EXPECT_EQ(pair[3], (std::uint64_t{hi[3]} << 32) | hi[2]) << slot;
+  }
+}
+
+TEST(PhiloxRng, BatchingPreservesSlotOrder) {
+  // The pair-batched refill must serve the same sequence as a slot-wise
+  // reconstruction from the raw block function: two u64s per slot, low
+  // half (words 1:0) before high half (words 3:2).
+  PhiloxRng rng(20150228, 41, 7);
+  const std::array<std::uint32_t, 2> key = PhiloxRng::derive_key(20150228);
+  for (std::uint32_t slot = 0; slot < 64; ++slot) {
+    const std::array<std::uint32_t, 4> x =
+        philox4x32({41u, 7u, slot, 0x746F6B79u}, key);
+    ASSERT_EQ(rng.next_u64(), (std::uint64_t{x[1]} << 32) | x[0]) << slot;
+    ASSERT_EQ(rng.next_u64(), (std::uint64_t{x[3]} << 32) | x[2]) << slot;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stream addressing: the whole point of the counter-based scheme is that
+// a draw is a pure function of (seed, stream, lane, slot).
+
+TEST(PhiloxRng, SameCoordinatesReproduce) {
+  PhiloxRng a(20150228, 41, 7);
+  PhiloxRng b(20150228, 41, 7);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64()) << "slot " << i;
+  }
+}
+
+TEST(PhiloxRng, DistinctCoordinatesDecorrelate) {
+  // Different seed, stream, or lane must each give a different sequence.
+  PhiloxRng base(1, 2, 3);
+  PhiloxRng seed(2, 2, 3);
+  PhiloxRng stream(1, 3, 3);
+  PhiloxRng lane(1, 2, 4);
+  int same_seed = 0, same_stream = 0, same_lane = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t v = base.next_u64();
+    same_seed += v == seed.next_u64();
+    same_stream += v == stream.next_u64();
+    same_lane += v == lane.next_u64();
+  }
+  EXPECT_EQ(same_seed, 0);
+  EXPECT_EQ(same_stream, 0);
+  EXPECT_EQ(same_lane, 0);
+}
+
+TEST(PhiloxRng, LateStreamNeedsNoPriorDraws) {
+  // Stream 999's draws are identical whether or not other streams were
+  // ever touched — no shared state, so device blocks can be generated
+  // in any grouping.
+  PhiloxRng direct(77, 999, 5);
+  std::vector<std::uint64_t> expect;
+  for (int i = 0; i < 8; ++i) expect.push_back(direct.next_u64());
+
+  for (std::uint32_t s = 0; s < 999; ++s) {
+    PhiloxRng other(77, s, 5);
+    (void)other.next_u64();
+  }
+  PhiloxRng again(77, 999, 5);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(again.next_u64(), expect[static_cast<std::size_t>(i)]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transform sanity. These are moment checks with generous tolerances —
+// they catch transposed constants and broken scaling, not subtle bias.
+
+TEST(PhiloxRng, UniformInUnitInterval) {
+  PhiloxRng rng(3, 0, 0);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(PhiloxRng, UniformOpenIsInterior) {
+  PhiloxRng rng(4, 0, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform_open();
+    ASSERT_GT(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(PhiloxRng, NormalMoments) {
+  PhiloxRng rng(5, 0, 0);
+  constexpr int kN = 50000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(PhiloxRng, InverseNormalCdfRoundTrip) {
+  // Phi(Phi^-1(p)) == p within Acklam's stated error, across the
+  // central region and both rational-approximation tails.
+  for (const double p : {1e-6, 0.001, 0.02, 0.02425, 0.1, 0.25, 0.5, 0.75,
+                         0.9, 0.97575, 0.999, 1.0 - 1e-6}) {
+    const double x = PhiloxRng::inverse_normal_cdf(p);
+    const double back = 0.5 * std::erfc(-x / std::sqrt(2.0));
+    EXPECT_NEAR(back, p, 1e-6) << "p = " << p;
+  }
+  EXPECT_NEAR(PhiloxRng::inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_LT(PhiloxRng::inverse_normal_cdf(0.01), 0.0);
+  EXPECT_GT(PhiloxRng::inverse_normal_cdf(0.99), 0.0);
+}
+
+TEST(PhiloxRng, PoissonExactBelowCutoff) {
+  // Below kPoissonInversionCutoffMean the CDF walk is exact: check the
+  // mean and that mean 0 degenerates to 0.
+  PhiloxRng rng(6, 0, 0);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  constexpr int kN = 40000;
+  for (const double mean : {0.3, 4.0, 25.0}) {
+    std::uint64_t sum = 0;
+    for (int i = 0; i < kN; ++i) sum += rng.poisson(mean);
+    const double got = static_cast<double>(sum) / kN;
+    // SE of the sample mean is sqrt(mean / kN); 6 sigma keeps this
+    // deterministic-seed test far from flaking.
+    EXPECT_NEAR(got, mean, 6.0 * std::sqrt(mean / kN)) << "mean " << mean;
+  }
+}
+
+TEST(PhiloxRng, PoissonContinuousAcrossCutoff) {
+  // The exact walk just below the cutoff and the rounded normal just
+  // above must agree on the sample mean — a discontinuity here would
+  // show up as a kink in scan-count densities.
+  constexpr int kN = 60000;
+  PhiloxRng below(7, 0, 0);
+  PhiloxRng above(7, 1, 0);
+  const double lo = kPoissonInversionCutoffMean - 0.5;
+  const double hi = kPoissonInversionCutoffMean + 0.5;
+  std::uint64_t sum_lo = 0, sum_hi = 0;
+  for (int i = 0; i < kN; ++i) {
+    sum_lo += below.poisson(lo);
+    sum_hi += above.poisson(hi);
+  }
+  const double mean_lo = static_cast<double>(sum_lo) / kN;
+  const double mean_hi = static_cast<double>(sum_hi) / kN;
+  EXPECT_NEAR(mean_lo, lo, 0.2);
+  EXPECT_NEAR(mean_hi, hi, 0.2);
+  EXPECT_NEAR(mean_hi - mean_lo, 1.0, 0.4);
+}
+
+TEST(PhiloxRng, BinomialBoundsAndMoments) {
+  PhiloxRng rng(8, 0, 0);
+  EXPECT_EQ(rng.binomial(0, 0.7), 0u);
+  EXPECT_EQ(rng.binomial(12, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(12, 1.0), 12u);
+  constexpr int kN = 40000;
+  constexpr unsigned n = 24;
+  constexpr double p = 0.2;
+  std::uint64_t sum = 0;
+  for (int i = 0; i < kN; ++i) {
+    const unsigned k = rng.binomial(n, p);
+    ASSERT_LE(k, n);
+    sum += k;
+  }
+  const double got = static_cast<double>(sum) / kN;
+  EXPECT_NEAR(got, n * p, 6.0 * std::sqrt(n * p * (1 - p) / kN));
+}
+
+// ---------------------------------------------------------------------------
+// Precomputed draw tables (satellite of the same change: O(1) hot-path
+// categorical/zipf draws).
+
+TEST(AliasTable, MatchesWeights) {
+  const std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+  const AliasTable table(weights);
+  ASSERT_EQ(table.size(), weights.size());
+  PhiloxRng rng(9, 0, 0);
+  std::array<int, 4> counts{};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const std::size_t k = table.draw(rng);
+    ASSERT_LT(k, weights.size());
+    ++counts[k];
+  }
+  EXPECT_EQ(counts[2], 0);  // zero weight never drawn
+  EXPECT_NEAR(counts[0] / double(kN), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(kN), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / double(kN), 0.6, 0.01);
+}
+
+TEST(ZipfTable, MatchesHarmonicWeights) {
+  constexpr std::size_t n = 50;
+  constexpr double s = 1.1;
+  const ZipfTable table(n, s);
+  ASSERT_EQ(table.size(), n);
+  PhiloxRng rng(10, 0, 0);
+  std::vector<int> counts(n + 1, 0);
+  constexpr int kN = 120000;
+  for (int i = 0; i < kN; ++i) {
+    const std::size_t r = table.draw(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, n);
+    ++counts[r];
+  }
+  double norm = 0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    norm += 1.0 / std::pow(double(k), s);
+  }
+  for (const std::size_t rank : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{10}, n}) {
+    const double expect = 1.0 / std::pow(double(rank), s) / norm;
+    EXPECT_NEAR(counts[rank] / double(kN), expect, 0.01) << "rank " << rank;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cache keying: a generator-version bump must change every scenario hash
+// so cached campaigns regenerate instead of replaying stale draws.
+
+TEST(RngVersion, BumpInvalidatesScenarioHash) {
+  for (const Year year : {Year::Y2013, Year::Y2014, Year::Y2015}) {
+    const ScenarioConfig c = scenario_config(year, 0.25);
+    EXPECT_NE(scenario_hash(c, 1), scenario_hash(c, 2));
+    EXPECT_NE(scenario_hash(c, kRngVersion),
+              scenario_hash(c, kRngVersion + 1));
+    // The default argument is the current version.
+    EXPECT_EQ(scenario_hash(c), scenario_hash(c, kRngVersion));
+  }
+}
+
+TEST(RngVersion, HashStillSeesConfigChanges) {
+  // The version folds in on top of, not instead of, the config fields.
+  ScenarioConfig c = scenario_config(Year::Y2014, 0.25);
+  const std::uint64_t base = scenario_hash(c);
+  c.seed += 1;
+  EXPECT_NE(scenario_hash(c), base);
+}
+
+}  // namespace
+}  // namespace tokyonet::stats

@@ -27,7 +27,7 @@ TEST(Schedule, HourActivityCurveShape) {
 class ScheduleSeeds : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ScheduleSeeds, EveryBinAssignedWithNonNegativeActivity) {
-  stats::Rng rng(GetParam());
+  stats::PhiloxRng rng(GetParam(), 0, 0);
   const UserProfile u = worker_profile();
   for (bool weekend : {false, true}) {
     const DaySchedule s = ScheduleBuilder::build(u, weekend, rng);
@@ -41,7 +41,7 @@ TEST_P(ScheduleSeeds, EveryBinAssignedWithNonNegativeActivity) {
 }
 
 TEST_P(ScheduleSeeds, WorkerWeekdayIncludesOfficeAndCommute) {
-  stats::Rng rng(GetParam());
+  stats::PhiloxRng rng(GetParam(), 0, 0);
   const UserProfile u = worker_profile();
   const DaySchedule s = ScheduleBuilder::build(u, /*weekend=*/false, rng);
   int office = 0, commute = 0;
@@ -54,7 +54,7 @@ TEST_P(ScheduleSeeds, WorkerWeekdayIncludesOfficeAndCommute) {
 }
 
 TEST_P(ScheduleSeeds, NobodyWorksOnWeekends) {
-  stats::Rng rng(GetParam());
+  stats::PhiloxRng rng(GetParam(), 0, 0);
   const UserProfile u = worker_profile();
   const DaySchedule s = ScheduleBuilder::build(u, /*weekend=*/true, rng);
   for (Where w : s.where) {
@@ -64,7 +64,7 @@ TEST_P(ScheduleSeeds, NobodyWorksOnWeekends) {
 }
 
 TEST_P(ScheduleSeeds, NightMostlyAtHome) {
-  stats::Rng rng(GetParam());
+  stats::PhiloxRng rng(GetParam(), 0, 0);
   const UserProfile u = worker_profile();
   const DaySchedule s = ScheduleBuilder::build(u, false, rng);
   for (int b = 0; b < 5 * kBinsPerHour; ++b) {
@@ -76,7 +76,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleSeeds,
                          ::testing::Values(1ull, 7ull, 42ull, 1234ull));
 
 TEST(Schedule, HousewifeStaysOffOfficeOnWeekdays) {
-  stats::Rng rng(9);
+  stats::PhiloxRng rng(9, 0, 0);
   UserProfile u;
   u.occupation = Occupation::Housewife;
   u.works = false;
@@ -89,7 +89,7 @@ TEST(Schedule, HousewifeStaysOffOfficeOnWeekdays) {
 }
 
 TEST(Schedule, StudentsLeaveLaterAndReturnEarlier) {
-  stats::Rng rng(10);
+  stats::PhiloxRng rng(10, 0, 0);
   UserProfile student;
   student.occupation = Occupation::Student;
   student.works = true;
@@ -110,7 +110,7 @@ TEST(Schedule, StudentsLeaveLaterAndReturnEarlier) {
 }
 
 TEST(Schedule, WeekendsHavePublicOutings) {
-  stats::Rng rng(11);
+  stats::PhiloxRng rng(11, 0, 0);
   const UserProfile u = worker_profile();
   int public_bins = 0;
   for (int t = 0; t < 50; ++t) {
@@ -122,7 +122,7 @@ TEST(Schedule, WeekendsHavePublicOutings) {
 
 TEST(Schedule, ActivityHigherOnCommuteThanAtOffice) {
   // Phone use on the train vs at the desk (where_factor).
-  stats::Rng rng(12);
+  stats::PhiloxRng rng(12, 0, 0);
   const UserProfile u = worker_profile();
   double commute_sum = 0, office_sum = 0;
   int commute_n = 0, office_n = 0;

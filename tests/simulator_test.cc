@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "core/dataset_index.h"
 #include "core/parallel.h"
 #include "testutil.h"
 
@@ -70,6 +73,45 @@ TEST(Simulator, DeterministicAcrossThreadCounts) {
       }
     }
   }
+}
+
+TEST(Simulator, DeterministicAcrossDevicePartitionings) {
+  // Counter-based draws key on (device, day, bin), not on how many draws
+  // some earlier device consumed — so sweeping the panel one device at a
+  // time, sixteen at a time, or as one block must produce byte-identical
+  // campaigns. TOKYONET_SIM_DEVICE_BLOCK picks the sweep granularity
+  // (default 1).
+  const Dataset base = simulate_year(Year::Y2015, 0.05);
+  for (const char* block : {"16", "1000000"}) {
+    ASSERT_EQ(setenv("TOKYONET_SIM_DEVICE_BLOCK", block, 1), 0);
+    const Dataset other = simulate_year(Year::Y2015, 0.05);
+    ASSERT_EQ(unsetenv("TOKYONET_SIM_DEVICE_BLOCK"), 0);
+
+    ASSERT_EQ(base.samples.size(), other.samples.size());
+    for (std::size_t i = 0; i < base.samples.size(); ++i) {
+      ASSERT_TRUE(samples_equal(base.samples[i], other.samples[i]))
+          << "sample " << i << " differs at block size " << block;
+    }
+    ASSERT_EQ(base.app_traffic.size(), other.app_traffic.size());
+    for (std::size_t i = 0; i < base.app_traffic.size(); ++i) {
+      ASSERT_EQ(base.app_traffic[i].rx_bytes, other.app_traffic[i].rx_bytes);
+      ASSERT_EQ(base.app_traffic[i].tx_bytes, other.app_traffic[i].tx_bytes);
+    }
+    ASSERT_EQ(base.truth.devices.size(), other.truth.devices.size());
+    for (std::size_t i = 0; i < base.truth.devices.size(); ++i) {
+      ASSERT_EQ(base.truth.devices[i].update_bin,
+                other.truth.devices[i].update_bin);
+    }
+  }
+}
+
+TEST(Simulator, EmitsDenseIndexedCampaign) {
+  // One sample per (device, bin) with in-order bins: the index's dense
+  // flag must hold, since the columnar kernels take their fixed-stride
+  // fast paths from it.
+  const Dataset& ds = campaign(Year::Y2015);
+  ASSERT_NE(ds.index(), nullptr);
+  EXPECT_TRUE(ds.index()->dense());
 }
 
 TEST(Simulator, DeterministicAcrossRuns) {

@@ -153,14 +153,20 @@ figure_count="$(cat "${tmp_dir}"/*.log \
     | sed -n 's/^tokyonet-figures: count=//p' | head -n 1)"
 figure_count="${figure_count:-0}"
 
+# SIMD path the kernels compiled to, from the bench header
+# ("tokyonet-simd: isa=sse2|neon|scalar").
+simd_isa="$(cat "${tmp_dir}"/*.log \
+    | sed -n 's/^tokyonet-simd: isa=//p' | head -n 1)"
+simd_isa="${simd_isa:-unknown}"
+
 python3 - "${tmp_dir}" "${out_json}" "${cache_dir}" "${cache_hits}" \
          "${cache_misses}" "${ingest_lines}" "${build_type}" \
-         "${figure_count}" <<'PY'
+         "${figure_count}" "${simd_isa}" <<'PY'
 import json, os, sys
 from datetime import datetime, timezone
 
 tmp_dir, out_json, cache_dir, hits, misses, ingest_lines, build_type, \
-    figure_count = sys.argv[1:9]
+    figure_count, simd_isa = sys.argv[1:10]
 
 def parse_ingest_line(line):
     # "tokyonet-ingest: year=2015 mode=block shards=4 ... records_per_sec=..."
@@ -193,6 +199,8 @@ result = {
     },
     "ingest": ingest_runs,
     "figures": int(figure_count),
+    "simd_isa": simd_isa,
+    "simulator_samples_per_sec": None,
     "benches": {},
 }
 for fname in sorted(os.listdir(tmp_dir)):
@@ -200,16 +208,23 @@ for fname in sorted(os.listdir(tmp_dir)):
         continue
     with open(os.path.join(tmp_dir, fname)) as f:
         data = json.load(f)
-    kernels = {
-        b["name"]: {
+    kernels = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        entry = {
             "real_time": b.get("real_time"),
             "cpu_time": b.get("cpu_time"),
             "time_unit": b.get("time_unit", "ns"),
             "iterations": b.get("iterations"),
         }
-        for b in data.get("benchmarks", [])
-        if b.get("run_type", "iteration") == "iteration"
-    }
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+        kernels[b["name"]] = entry
+        # Campaign generation throughput, surfaced at the top level so
+        # the simulator's trajectory is one jq expression away.
+        if b["name"] == "BM_SimulateCampaign" and "items_per_second" in b:
+            result["simulator_samples_per_sec"] = b["items_per_second"]
     result["benches"][fname[: -len(".json")]] = {
         "context": {
             k: data.get("context", {}).get(k)
