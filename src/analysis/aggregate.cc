@@ -52,20 +52,19 @@ constexpr std::size_t kDeviceBlock = 16;
 
 }  // namespace
 
-HourlySeries aggregate_series(const Dataset& ds, Stream stream) {
-  HourlySeries out;
+std::vector<std::uint64_t> aggregate_hour_sums(const Dataset& ds,
+                                               Stream stream) {
   const auto n_hours = static_cast<std::size_t>(ds.num_days()) * 24;
-  out.mbps.assign(n_hours, 0.0);
 
   const core::DatasetIndex* idx = ds.index();
   if (idx == nullptr) {
     // Unindexed dataset (e.g. hand-built in tests): serial reference.
+    std::vector<std::uint64_t> total(n_hours, 0);
     for (const Sample& s : ds.samples) {
       const auto hour = static_cast<std::size_t>(s.bin / kBinsPerHour);
-      out.mbps[hour] += stream_bytes(s, stream);
+      total[hour] += static_cast<std::uint64_t>(stream_bytes(s, stream));
     }
-    for (double& v : out.mbps) v *= kBytesPerHourToMbps;
-    return out;
+    return total;
   }
 
   const std::span<const TimeBin> bin = idx->bin();
@@ -107,10 +106,20 @@ HourlySeries aggregate_series(const Dataset& ds, Stream stream) {
   for (const std::vector<std::uint64_t>& p : partials) {
     for (std::size_t h = 0; h < n_hours; ++h) total[h] += p[h];
   }
-  for (std::size_t h = 0; h < n_hours; ++h) {
-    out.mbps[h] = static_cast<double>(total[h]) * kBytesPerHourToMbps;
+  return total;
+}
+
+HourlySeries hourly_series_from_sums(std::span<const std::uint64_t> sums) {
+  HourlySeries out;
+  out.mbps.resize(sums.size());
+  for (std::size_t h = 0; h < sums.size(); ++h) {
+    out.mbps[h] = static_cast<double>(sums[h]) * kBytesPerHourToMbps;
   }
   return out;
+}
+
+HourlySeries aggregate_series(const Dataset& ds, Stream stream) {
+  return hourly_series_from_sums(aggregate_hour_sums(ds, stream));
 }
 
 HourlySeries location_series(const Dataset& ds, const ApClassification& cls,
@@ -209,13 +218,18 @@ HourlySeries location_series(const Dataset& ds, const ApClassification& cls,
 }
 
 WeekSplit weekday_weekend_split(const Dataset& ds, Stream stream) {
-  const HourlySeries series = aggregate_series(ds, stream);
+  return weekday_weekend_split(aggregate_series(ds, stream), ds.calendar,
+                               ds.num_days());
+}
+
+WeekSplit weekday_weekend_split(const HourlySeries& series,
+                                const CampaignCalendar& cal, int num_days) {
   double wd = 0, we = 0;
   int wd_n = 0, we_n = 0;
-  for (int day = 0; day < ds.num_days(); ++day) {
+  for (int day = 0; day < num_days; ++day) {
     for (int hour = 0; hour < 24; ++hour) {
       const double v = series.mbps[static_cast<std::size_t>(day * 24 + hour)];
-      if (ds.calendar.is_weekend_day(day)) {
+      if (cal.is_weekend_day(day)) {
         we += v;
         ++we_n;
       } else {

@@ -2,6 +2,8 @@
 // series (Fig 11), in Mbps per campaign hour.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,6 +34,18 @@ enum class Stream : std::uint8_t {
 /// Fig 2: one aggregated series per stream.
 [[nodiscard]] HourlySeries aggregate_series(const Dataset& ds, Stream stream);
 
+/// The exact per-hour byte sums behind aggregate_series(). Exposed so
+/// out-of-core scans (analysis/sharded.h) can accumulate shard partials
+/// as integers — u64 addition is associative, so summing per-shard hour
+/// sums and converting once reproduces the in-memory series
+/// byte-identically at any shard count.
+[[nodiscard]] std::vector<std::uint64_t> aggregate_hour_sums(const Dataset& ds,
+                                                             Stream stream);
+
+/// The Mbps conversion aggregate_series() applies to its hour sums.
+[[nodiscard]] HourlySeries hourly_series_from_sums(
+    std::span<const std::uint64_t> sums);
+
 /// Fig 11: WiFi traffic restricted to APs of one inferred class
 /// (office = ApClass::Other with the office flag).
 struct LocationFilter {
@@ -52,6 +66,12 @@ struct WeekSplit {
 
 [[nodiscard]] WeekSplit weekday_weekend_split(const Dataset& ds,
                                               Stream stream);
+
+/// As above, over an already-computed series (the out-of-core path has
+/// the series but no in-memory Dataset).
+[[nodiscard]] WeekSplit weekday_weekend_split(const HourlySeries& series,
+                                              const CampaignCalendar& cal,
+                                              int num_days);
 
 /// Share summary used in §3.4.1: home / public / office share of total
 /// WiFi volume (95% / ~4% in the paper).

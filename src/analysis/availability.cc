@@ -72,24 +72,17 @@ ScanAvailability scan_availability(const Dataset& ds) {
   return out;
 }
 
-OffloadOpportunity offload_opportunity(const Dataset& ds,
-                                       const OpportunityOptions& opt) {
+std::vector<OffloadDeviceMetrics> offload_device_metrics(const Dataset& ds) {
   // Per-device metrics, computed in parallel over the index when it is
   // available. The indexed path accumulates byte totals as exact u64
   // sums and converts to MB once per device, so every partial is
-  // grouping-independent and the cross-device fold below (serial, in
-  // device order) gives the same result at any thread count.
-  struct DeviceMetrics {
-    bool counted = false;  // Android with >= 1 sample
-    std::size_t n = 0;
-    std::size_t unassoc = 0, unassoc_strong = 0;
-    double cell_rx_total = 0, cell_rx_covered = 0;
-  };
-
+  // grouping-independent and the cross-device fold in
+  // offload_opportunity_from_metrics() (serial, in device order) gives
+  // the same result at any thread count.
   const core::DatasetIndex* idx = ds.index();
-  const std::vector<DeviceMetrics> metrics = core::parallel_map(
+  return core::parallel_map(
       ds.devices.size(), [&](std::size_t d) {
-        DeviceMetrics m;
+        OffloadDeviceMetrics m;
         if (ds.devices[d].os != Os::Android) return m;
         if (idx != nullptr) {
           const std::size_t begin = idx->device_begin(d);
@@ -130,11 +123,15 @@ OffloadOpportunity offload_opportunity(const Dataset& ds,
         }
         return m;
       });
+}
 
+OffloadOpportunity offload_opportunity_from_metrics(
+    const std::vector<OffloadDeviceMetrics>& metrics,
+    const OpportunityOptions& opt) {
   OffloadOpportunity out;
   double offloadable_sum = 0;  // of per-user shares
   int offloadable_n = 0;
-  for (const DeviceMetrics& m : metrics) {
+  for (const OffloadDeviceMetrics& m : metrics) {
     if (!m.counted) continue;
     const double avail_share =
         static_cast<double>(m.unassoc) / static_cast<double>(m.n);
@@ -160,6 +157,11 @@ OffloadOpportunity offload_opportunity(const Dataset& ds,
     out.offloadable_cell_share = offloadable_sum / offloadable_n;
   }
   return out;
+}
+
+OffloadOpportunity offload_opportunity(const Dataset& ds,
+                                       const OpportunityOptions& opt) {
+  return offload_opportunity_from_metrics(offload_device_metrics(ds), opt);
 }
 
 }  // namespace tokyonet::analysis

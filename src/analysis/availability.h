@@ -53,4 +53,22 @@ struct OpportunityOptions {
 [[nodiscard]] OffloadOpportunity offload_opportunity(
     const Dataset& ds, const OpportunityOptions& opt = {});
 
+/// One device's §3.5 tallies — a pure function of that device's stream,
+/// so the out-of-core scan concatenates per-shard vectors in device
+/// order and folds them with offload_opportunity_from_metrics(),
+/// byte-identical to offload_opportunity() on the whole campaign.
+struct OffloadDeviceMetrics {
+  bool counted = false;  // Android with >= 1 sample
+  std::size_t n = 0;
+  std::size_t unassoc = 0, unassoc_strong = 0;
+  double cell_rx_total = 0, cell_rx_covered = 0;
+};
+
+[[nodiscard]] std::vector<OffloadDeviceMetrics> offload_device_metrics(
+    const Dataset& ds);
+
+[[nodiscard]] OffloadOpportunity offload_opportunity_from_metrics(
+    const std::vector<OffloadDeviceMetrics>& metrics,
+    const OpportunityOptions& opt = {});
+
 }  // namespace tokyonet::analysis

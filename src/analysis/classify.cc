@@ -142,67 +142,97 @@ double ApClassification::home_ap_device_share() const {
          static_cast<double>(home_ap_of_device.size());
 }
 
-ApClassification classify_aps(const Dataset& ds, const ClassifyOptions& opt) {
+struct ApClassificationBuilder::Impl {
+  ClassifyOptions opt;
+  int min_bins = 0;
   ApClassification out;
-  const std::size_t n_aps = ds.aps.size();
-  out.ap_class.assign(n_aps, ApClass::Other);
-  out.associated.assign(n_aps, false);
-  out.is_office.assign(n_aps, false);
-  out.is_mobile.assign(n_aps, false);
-  out.home_ap_of_device.assign(ds.devices.size(), kNoAp);
+  std::vector<int> assoc_bins;
+  std::vector<int> office_window_bins_count;
+  std::vector<std::set<GeoCell>> cells_seen;
+};
 
-  const int window_bins = night_window_bins(opt);
-  const int min_bins = static_cast<int>(opt.home_presence_threshold *
-                                        window_bins);
+ApClassificationBuilder::ApClassificationBuilder(std::size_t n_devices,
+                                                 std::size_t n_aps,
+                                                 const ClassifyOptions& opt)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->opt = opt;
+  impl_->min_bins =
+      static_cast<int>(opt.home_presence_threshold * night_window_bins(opt));
+  impl_->out.ap_class.assign(n_aps, ApClass::Other);
+  impl_->out.associated.assign(n_aps, false);
+  impl_->out.is_office.assign(n_aps, false);
+  impl_->out.is_mobile.assign(n_aps, false);
+  impl_->out.home_ap_of_device.assign(n_devices, kNoAp);
+  impl_->assoc_bins.assign(n_aps, 0);
+  impl_->office_window_bins_count.assign(n_aps, 0);
+  impl_->cells_seen.resize(n_aps);
+}
 
+ApClassificationBuilder::~ApClassificationBuilder() = default;
+
+void ApClassificationBuilder::add_device_block(const Dataset& block,
+                                               std::size_t device_base) {
   // Per-device scans run in parallel; each returns the compact per-AP
   // statistics its stream contributes plus its home-AP verdict.
   const std::vector<DeviceApStats> per_device =
-      core::parallel_map(ds.devices.size(), [&](std::size_t i) {
-        return scan_device(ds, opt, ds.devices[i], min_bins);
+      core::parallel_map(block.devices.size(), [&](std::size_t i) {
+        return scan_device(block, impl_->opt, block.devices[i],
+                           impl_->min_bins);
       });
 
   // Ordered merge into the per-AP aggregates. Counts merge by addition
   // and cell sets by union, so the merged totals equal the serial
   // one-pass totals exactly.
-  std::vector<int> assoc_bins(n_aps, 0);
-  std::vector<int> office_window_bins_count(n_aps, 0);
-  std::vector<std::set<GeoCell>> cells_seen(n_aps);
+  ApClassification& out = impl_->out;
   for (std::size_t i = 0; i < per_device.size(); ++i) {
     const DeviceApStats& stats = per_device[i];
     for (const DeviceApStats::PerAp& per_ap : stats.aps) {
       out.associated[per_ap.ap] = true;
-      assoc_bins[per_ap.ap] += per_ap.assoc_bins;
-      office_window_bins_count[per_ap.ap] += per_ap.office_window_bins;
-      cells_seen[per_ap.ap].insert(per_ap.cells_seen.begin(),
-                                   per_ap.cells_seen.end());
+      impl_->assoc_bins[per_ap.ap] += per_ap.assoc_bins;
+      impl_->office_window_bins_count[per_ap.ap] += per_ap.office_window_bins;
+      impl_->cells_seen[per_ap.ap].insert(per_ap.cells_seen.begin(),
+                                          per_ap.cells_seen.end());
     }
     if (stats.home_ap != value(kNoAp)) {
-      out.home_ap_of_device[value(ds.devices[i].id)] = ApId{stats.home_ap};
+      out.home_ap_of_device[device_base + value(block.devices[i].id)] =
+          ApId{stats.home_ap};
       out.ap_class[stats.home_ap] = ApClass::Home;
     }
   }
+}
 
+ApClassification ApClassificationBuilder::finish(
+    const std::vector<ApInfo>& aps) {
   // Non-home APs: public by ESSID, rest Other (with office/mobile
   // estimation).
+  ApClassification& out = impl_->out;
+  const ClassifyOptions& opt = impl_->opt;
+  const std::size_t n_aps = out.ap_class.size();
   for (std::size_t i = 0; i < n_aps; ++i) {
     if (!out.associated[i] || out.ap_class[i] == ApClass::Home) continue;
-    if (net::is_public_essid(ds.aps[i].essid)) {
+    if (net::is_public_essid(aps[i].essid)) {
       out.ap_class[i] = ApClass::Public;
       continue;
     }
     out.ap_class[i] = ApClass::Other;
-    if (static_cast<int>(cells_seen[i].size()) >= opt.mobile_min_cells) {
+    if (static_cast<int>(impl_->cells_seen[i].size()) >=
+        opt.mobile_min_cells) {
       out.is_mobile[i] = true;
       continue;
     }
-    if (assoc_bins[i] >= opt.office_min_bins &&
-        office_window_bins_count[i] >=
-            opt.office_window_share * assoc_bins[i]) {
+    if (impl_->assoc_bins[i] >= opt.office_min_bins &&
+        impl_->office_window_bins_count[i] >=
+            opt.office_window_share * impl_->assoc_bins[i]) {
       out.is_office[i] = true;
     }
   }
-  return out;
+  return std::move(out);
+}
+
+ApClassification classify_aps(const Dataset& ds, const ClassifyOptions& opt) {
+  ApClassificationBuilder builder(ds.devices.size(), ds.aps.size(), opt);
+  builder.add_device_block(ds, 0);
+  return builder.finish(ds.aps);
 }
 
 }  // namespace tokyonet::analysis

@@ -11,6 +11,7 @@
 //    excludes *mobile* APs (seen across several geolocation cells).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/records.h"
@@ -66,5 +67,33 @@ struct ApClassification {
 /// Runs the full classification over a campaign.
 [[nodiscard]] ApClassification classify_aps(const Dataset& ds,
                                             const ClassifyOptions& opt = {});
+
+/// Incremental form of classify_aps() for device-partitioned scans
+/// (analysis/sharded.h): feed each contiguous device block (a shard
+/// loaded with local device ids, samples referencing global AP ids),
+/// then finish() against the AP universe. Per-AP tallies merge by
+/// addition and set union and each device's home-AP verdict depends
+/// only on its own stream, so feeding blocks in device order
+/// reproduces classify_aps() byte-identically.
+class ApClassificationBuilder {
+ public:
+  ApClassificationBuilder(std::size_t n_devices, std::size_t n_aps,
+                          const ClassifyOptions& opt = {});
+  ~ApClassificationBuilder();
+
+  ApClassificationBuilder(const ApClassificationBuilder&) = delete;
+  ApClassificationBuilder& operator=(const ApClassificationBuilder&) = delete;
+
+  /// Scans `block`'s devices (ids local to the block) whose global
+  /// device indices start at `device_base`.
+  void add_device_block(const Dataset& block, std::size_t device_base);
+
+  /// Final per-AP classification pass; `aps` is the global universe.
+  [[nodiscard]] ApClassification finish(const std::vector<ApInfo>& aps);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace tokyonet::analysis

@@ -1,0 +1,115 @@
+#include "analysis/sharded.h"
+
+#include <cstddef>
+
+#include "analysis/common.h"
+
+namespace tokyonet::analysis {
+
+ShardedContext::ShardedContext(io::ShardedDataset& store) : store_(&store) {}
+
+io::SnapshotResult ShardedContext::scan() {
+  const io::ShardManifest& m = store_->manifest();
+  year_ = store_->year();
+  calendar_ = store_->calendar();
+  num_days_ = m.num_days;
+  n_samples_ = m.n_samples;
+
+  const auto n_devices = static_cast<std::size_t>(m.n_devices);
+  const auto n_aps = static_cast<std::size_t>(m.n_aps);
+  const auto n_hours = static_cast<std::size_t>(num_days_) * 24;
+
+  devices_.clear();
+  devices_.reserve(n_devices);
+  for (auto& sums : hour_sums_) sums.assign(n_hours, 0);
+  lte_ = {};
+  type_counts_ = {};
+  heatmap_ = stats::LogHist2d(-2.0, 3.0, 3);
+  updates_ = {};
+  updates_.update_bin.assign(n_devices, -1);
+  offload_metrics_.clear();
+  offload_metrics_.reserve(n_devices);
+
+  ApClassificationBuilder cls_builder(n_devices, n_aps);
+
+  for (std::size_t i = 0; i < store_->num_shards(); ++i) {
+    Dataset shard;
+    const io::SnapshotResult r = store_->load_shard(i, shard);
+    if (!r.ok()) return r;
+    const std::size_t base = store_->device_begin(i);
+
+    // Device table, rebased to global indices.
+    for (const DeviceInfo& d : shard.devices) {
+      DeviceInfo g = d;
+      g.id = DeviceId{static_cast<std::uint32_t>(base + value(d.id))};
+      devices_.push_back(g);
+    }
+
+    // §3.7 update detection: per-device, shard-local indices. The
+    // detected bins feed this shard's user-day rollup below and the
+    // global table for Fig 18.
+    UpdateDetectOptions uopt;
+    // March 10th is day 9 (0-based) of the 2015 calendar; earlier
+    // campaigns have no in-campaign release (AnalysisContext::updates).
+    uopt.min_day = year_ == Year::Y2015 ? 9 : num_days_;
+    const UpdateDetection det = detect_updates(shard, uopt);
+    updates_.num_ios += det.num_ios;
+    updates_.num_updated += det.num_updated;
+    for (std::size_t d = 0; d < det.update_bin.size(); ++d) {
+      updates_.update_bin[base + d] = det.update_bin[d];
+    }
+
+    // Fig 5: the shard's user-day rollup (§2 cleaning applied) feeds
+    // the additive user-type tallies and the heat map, then dies with
+    // the shard — no campaign-wide day vector is ever resident.
+    UserDayOptions dopt;
+    dopt.update_bin_by_device = &det.update_bin;
+    const std::vector<UserDay> days = user_days(shard, dopt);
+    accumulate_user_type_counts(type_counts_, shard.devices.size(), days);
+    accumulate_user_day_heatmap(heatmap_, days);
+
+    // Fig 2 / Table 1: exact integer partial sums.
+    for (int s = 0; s < 4; ++s) {
+      const std::vector<std::uint64_t> part =
+          aggregate_hour_sums(shard, static_cast<Stream>(s));
+      for (std::size_t h = 0; h < n_hours; ++h) hour_sums_[s][h] += part[h];
+    }
+    const LteTrafficSums lte = lte_traffic_sums(shard);
+    lte_.lte += lte.lte;
+    lte_.total += lte.total;
+
+    // Table 4 / §3.5: per-device products in device order.
+    cls_builder.add_device_block(shard, base);
+    const std::vector<OffloadDeviceMetrics> metrics =
+        offload_device_metrics(shard);
+    offload_metrics_.insert(offload_metrics_.end(), metrics.begin(),
+                            metrics.end());
+  }
+
+  classification_ = cls_builder.finish(store_->universe_aps());
+  return {};
+}
+
+HourlySeries ShardedContext::series(Stream stream) const {
+  return hourly_series_from_sums(hour_sums_[static_cast<std::size_t>(stream)]);
+}
+
+DatasetOverview ShardedContext::overview() const {
+  DatasetOverview o;
+  for (const DeviceInfo& d : devices_) {
+    ++o.n_total;
+    (d.os == Os::Android ? o.n_android : o.n_ios) += 1;
+  }
+  o.lte_traffic_share =
+      lte_.total > 0
+          ? static_cast<double>(lte_.lte) / static_cast<double>(lte_.total)
+          : 0;
+  return o;
+}
+
+UpdateTiming ShardedContext::update_timing() const {
+  return analyze_update_timing(std::span<const DeviceInfo>(devices_),
+                               updates_, classification_);
+}
+
+}  // namespace tokyonet::analysis

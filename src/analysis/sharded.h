@@ -1,0 +1,119 @@
+// Out-of-core analysis over a sharded campaign store (DESIGN.md §5i).
+//
+// ShardedContext is the bounded-memory counterpart of AnalysisContext:
+// one sequential pass over the shards of an io::ShardedDataset, holding
+// a single fully-indexed shard in memory at a time, accumulating only
+// O(devices + aps) state between shards. Every product it exposes is
+// byte-identical to running the corresponding in-memory kernel on the
+// materialized campaign, because each accumulator is one of:
+//
+//   - an exact integer sum (hour sums, LTE sums, user-type tallies,
+//     heat-map counts) — u64/counter addition is associative, so
+//     summing per-shard partials in any grouping matches the global
+//     scan;
+//   - a per-device product (update bins, user-days, offload metrics,
+//     home-AP verdicts) — a pure function of one device's stream,
+//     rebased by the shard's device_begin and concatenated in shard
+//     (= device) order;
+//   - an ordered fold over those per-device products, executed after
+//     the scan exactly as the in-memory kernel executes it.
+//
+// The products cover the §3 battery (report/sharded.h): Fig 2's hourly
+// series, Table 1's overview, Table 4's AP classification, Fig 5's
+// user types and heat map, §3.5's offload opportunity, and Fig 18's
+// update timing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/aggregate.h"
+#include "analysis/availability.h"
+#include "analysis/classify.h"
+#include "analysis/update.h"
+#include "analysis/usertype.h"
+#include "analysis/volumes.h"
+#include "core/records.h"
+#include "io/shard_store.h"
+#include "stats/distribution.h"
+
+namespace tokyonet::analysis {
+
+class ShardedContext {
+ public:
+  /// Borrows `store` (must be open and outlive the context). Call
+  /// scan() before any accessor.
+  explicit ShardedContext(io::ShardedDataset& store);
+
+  ShardedContext(const ShardedContext&) = delete;
+  ShardedContext& operator=(const ShardedContext&) = delete;
+
+  /// The one sequential pass. Loads shard i, folds its contribution
+  /// into every accumulator, drops it, moves to shard i+1. Peak memory
+  /// is one shard plus the O(devices + aps) running state.
+  [[nodiscard]] io::SnapshotResult scan();
+
+  // Campaign frame.
+  [[nodiscard]] Year year() const noexcept { return year_; }
+  [[nodiscard]] int num_days() const noexcept { return num_days_; }
+  [[nodiscard]] const CampaignCalendar& calendar() const noexcept {
+    return calendar_;
+  }
+  [[nodiscard]] std::uint64_t n_samples() const noexcept { return n_samples_; }
+
+  /// Global device table (ids rebased to global indices).
+  [[nodiscard]] const std::vector<DeviceInfo>& devices() const noexcept {
+    return devices_;
+  }
+
+  /// Fig 2: the aggregated hourly series per stream, from summed u64
+  /// shard partials.
+  [[nodiscard]] HourlySeries series(Stream stream) const;
+
+  /// Table 1.
+  [[nodiscard]] DatasetOverview overview() const;
+
+  /// Fig 5.
+  [[nodiscard]] UserTypeStats user_types() const {
+    return user_type_stats_from_counts(type_counts_);
+  }
+  [[nodiscard]] const stats::LogHist2d& heatmap() const noexcept {
+    return heatmap_;
+  }
+
+  /// §3.7 (update day exclusion + Fig 18), global device indices.
+  [[nodiscard]] const UpdateDetection& updates() const noexcept {
+    return updates_;
+  }
+  [[nodiscard]] UpdateTiming update_timing() const;
+
+  /// §3.4.1 (Table 4).
+  [[nodiscard]] const ApClassification& classification() const noexcept {
+    return classification_;
+  }
+
+  /// §3.5.
+  [[nodiscard]] OffloadOpportunity offload() const {
+    return offload_opportunity_from_metrics(offload_metrics_);
+  }
+
+ private:
+  io::ShardedDataset* store_;
+
+  Year year_ = Year::Y2015;
+  int num_days_ = 0;
+  CampaignCalendar calendar_;
+  std::uint64_t n_samples_ = 0;
+
+  std::vector<DeviceInfo> devices_;
+  std::vector<std::uint64_t> hour_sums_[4];
+  LteTrafficSums lte_;
+  UserTypeCounts type_counts_;
+  // Fig 5 uses 3 bins per decade over 10^-2..10^3.
+  stats::LogHist2d heatmap_{-2.0, 3.0, 3};
+  UpdateDetection updates_;
+  ApClassification classification_;
+  std::vector<OffloadDeviceMetrics> offload_metrics_;
+};
+
+}  // namespace tokyonet::analysis

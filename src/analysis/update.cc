@@ -48,6 +48,13 @@ UpdateDetection detect_updates(const Dataset& ds,
 UpdateTiming analyze_update_timing(const Dataset& ds,
                                    const UpdateDetection& detection,
                                    const ApClassification& classification) {
+  return analyze_update_timing(std::span<const DeviceInfo>(ds.devices),
+                               detection, classification);
+}
+
+UpdateTiming analyze_update_timing(std::span<const DeviceInfo> devices,
+                                   const UpdateDetection& detection,
+                                   const ApClassification& classification) {
   UpdateTiming t;
 
   // Reference point: the first detected update in the campaign.
@@ -58,7 +65,7 @@ UpdateTiming analyze_update_timing(const Dataset& ds,
   if (first < 0) return t;
 
   int ios_home = 0, ios_no_home = 0;
-  for (const DeviceInfo& dev : ds.devices) {
+  for (const DeviceInfo& dev : devices) {
     if (dev.os != Os::Ios) continue;
     const bool has_home =
         classification.home_ap_of_device[value(dev.id)] != kNoAp;

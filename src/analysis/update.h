@@ -6,6 +6,7 @@
 // Fig 18's flash-crowd CDF/PDF and the home-AP-vs-none delay gap.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "analysis/classify.h"
@@ -57,6 +58,13 @@ struct UpdateTiming {
 
 [[nodiscard]] UpdateTiming analyze_update_timing(
     const Dataset& ds, const UpdateDetection& detection,
+    const ApClassification& classification);
+
+/// As above, from the device table alone (the timing analysis never
+/// touches samples — the out-of-core path calls this without holding a
+/// materialized campaign).
+[[nodiscard]] UpdateTiming analyze_update_timing(
+    std::span<const DeviceInfo> devices, const UpdateDetection& detection,
     const ApClassification& classification);
 
 }  // namespace tokyonet::analysis

@@ -9,12 +9,7 @@
 
 namespace tokyonet::analysis {
 
-DatasetOverview overview(const Dataset& ds) {
-  DatasetOverview o;
-  for (const DeviceInfo& d : ds.devices) {
-    ++o.n_total;
-    (d.os == Os::Android ? o.n_android : o.n_ios) += 1;
-  }
+LteTrafficSums lte_traffic_sums(const Dataset& ds) {
   std::uint64_t lte = 0, total = 0;
   if (const core::DatasetIndex* idx = ds.index()) {
     // Chunked u64 sums over the SoA columns: exact and associative, so
@@ -50,7 +45,20 @@ DatasetOverview overview(const Dataset& ds) {
       if (s.tech == CellTech::Lte) lte += s.cell_rx;
     }
   }
-  o.lte_traffic_share = total > 0 ? static_cast<double>(lte) / static_cast<double>(total) : 0;
+  return {lte, total};
+}
+
+DatasetOverview overview(const Dataset& ds) {
+  DatasetOverview o;
+  for (const DeviceInfo& d : ds.devices) {
+    ++o.n_total;
+    (d.os == Os::Android ? o.n_android : o.n_ios) += 1;
+  }
+  const LteTrafficSums sums = lte_traffic_sums(ds);
+  o.lte_traffic_share =
+      sums.total > 0
+          ? static_cast<double>(sums.lte) / static_cast<double>(sums.total)
+          : 0;
   return o;
 }
 

@@ -21,6 +21,17 @@ struct DatasetOverview {
 
 [[nodiscard]] DatasetOverview overview(const Dataset& ds);
 
+/// Exact byte sums behind Table 1's %LTE: total cellular download and
+/// the LTE-carried part. Exposed (u64, associative) so the out-of-core
+/// scan can sum per-shard partials and reproduce overview()
+/// byte-identically.
+struct LteTrafficSums {
+  std::uint64_t lte = 0;
+  std::uint64_t total = 0;
+};
+
+[[nodiscard]] LteTrafficSums lte_traffic_sums(const Dataset& ds);
+
 /// Table 3 row set (download volumes, MB/day).
 struct DailyVolumeStats {
   double median_all = 0, mean_all = 0;

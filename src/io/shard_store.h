@@ -1,0 +1,167 @@
+// Sharded campaign store: a snapshot split into fixed device ranges so
+// million-user campaigns stream to disk and back with bounded memory.
+//
+// A shard directory looks like:
+//
+//   <dir>/
+//     MANIFEST.tks       text manifest, written last (tmp + rename)
+//     universe.tksnap    snapshot holding only the AP universe
+//     shard-0000.tksnap  snapshot of devices [0, n0)       (local ids)
+//     shard-0001.tksnap  snapshot of devices [n0, n0+n1)   (local ids)
+//     ...
+//
+// Each shard is an ordinary PR 2-format snapshot (io/snapshot.h) of a
+// contiguous device range: its device ids, survey rows, ground truth
+// and Sample::app_begin offsets are all *local* to the shard, so every
+// shard is independently checksummed, mmappable and SoA-indexable. The
+// one thing a shard omits is the AP universe — samples reference APs by
+// global id, and the universe lives once in universe.tksnap instead of
+// being duplicated per shard.
+//
+// The manifest records the store version, the scenario hash, campaign
+// frame, global totals, and one line per shard with its device range,
+// sizes and snapshot header checksum; a trailing whole-manifest
+// checksum closes the file. Because the manifest is written only after
+// every shard file is durably in place (and itself via tmp + rename), a
+// writer killed mid-stream leaves a directory without MANIFEST.tks —
+// detected and rejected, never half-read.
+//
+// ShardedDataset is the reader: it verifies the manifest and every
+// shard's identity up front, keeps the universe resident (it is tiny
+// next to the samples), and then serves shards one at a time —
+// load_shard() materializes a single fully-validated, indexed Dataset
+// per call, which is the out-of-core analysis contract: per-device
+// kernels run shard by shard and their partials reduce in shard (=
+// device) order, byte-identical to the in-memory run (DESIGN.md §5i).
+// materialize() concatenates every shard back into one in-memory
+// Dataset equal to what the one-shot simulator produces: every field
+// value, and the packed sample column byte for byte (struct padding in
+// the small record arrays is the one thing not pinned — see
+// tests/shard_store_test.cc).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/records.h"
+#include "io/snapshot.h"
+
+namespace tokyonet::io {
+
+/// Bump on any change to the manifest grammar or directory layout.
+inline constexpr std::uint32_t kShardStoreVersion = 1;
+
+/// Manifest file name inside a shard directory.
+inline constexpr const char* kShardManifestName = "MANIFEST.tks";
+
+/// One shard's manifest entry.
+struct ShardEntry {
+  std::uint32_t index = 0;
+  std::string file;  // file name relative to the directory
+  std::uint64_t device_begin = 0;
+  std::uint64_t device_count = 0;
+  std::uint64_t n_samples = 0;
+  std::uint64_t n_app_traffic = 0;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t header_checksum = 0;  // SnapshotInfo::header_checksum
+};
+
+/// Parsed manifest of a shard directory.
+struct ShardManifest {
+  std::uint32_t version = kShardStoreVersion;
+  std::uint32_t snapshot_version = 0;
+  int year = 0;  // calendar year, 2013..2015
+  Date start{};
+  int num_days = 0;
+  std::uint64_t scenario_hash = 0;
+  std::uint64_t n_devices = 0;
+  std::uint64_t n_aps = 0;
+  std::uint64_t n_samples = 0;
+  std::uint64_t n_app_traffic = 0;
+  std::string universe_file;
+  std::uint64_t universe_bytes = 0;
+  std::uint64_t universe_checksum = 0;  // universe header checksum
+  std::vector<ShardEntry> shards;
+};
+
+/// True when `dir` looks like a shard directory (has MANIFEST.tks).
+[[nodiscard]] bool is_shard_dir(const std::filesystem::path& dir);
+
+/// Writes `m` as <dir>/MANIFEST.tks atomically (tmp + rename). Call
+/// only after every referenced file is in place: the manifest's
+/// existence is the directory's commit record.
+[[nodiscard]] SnapshotResult write_shard_manifest(
+    const ShardManifest& m, const std::filesystem::path& dir);
+
+/// Reads, checksum-verifies and structurally validates
+/// <dir>/MANIFEST.tks: version, totals consistent with the entries, and
+/// shard device ranges sorted, non-overlapping and covering exactly
+/// [0, n_devices). Does not touch the shard files themselves.
+[[nodiscard]] SnapshotResult read_shard_manifest(
+    const std::filesystem::path& dir, ShardManifest& out);
+
+/// Verifies every file the manifest references against it: existence,
+/// byte size, snapshot header checksum, device count, campaign frame
+/// and scenario hash. Header-only reads — section payloads are
+/// checksum-verified later, when a shard is actually loaded.
+[[nodiscard]] SnapshotResult verify_shard_store(
+    const std::filesystem::path& dir, const ShardManifest& m);
+
+class ShardedDataset {
+ public:
+  /// Opens `dir`: manifest read + full verify_shard_store(), then loads
+  /// the AP universe into memory. On success `out` serves shards.
+  [[nodiscard]] static SnapshotResult open(const std::filesystem::path& dir,
+                                           ShardedDataset& out,
+                                           const SnapshotLoadOptions& opts = {});
+
+  [[nodiscard]] const ShardManifest& manifest() const noexcept {
+    return manifest_;
+  }
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return manifest_.shards.size();
+  }
+  /// Global device index of shard `i`'s first device.
+  [[nodiscard]] std::size_t device_begin(std::size_t i) const noexcept {
+    return static_cast<std::size_t>(manifest_.shards[i].device_begin);
+  }
+
+  /// The resident AP universe and campaign frame (valid after open()).
+  [[nodiscard]] const std::vector<ApInfo>& universe_aps() const noexcept {
+    return aps_;
+  }
+  [[nodiscard]] Year year() const noexcept { return year_; }
+  [[nodiscard]] const CampaignCalendar& calendar() const noexcept {
+    return calendar_;
+  }
+
+  /// Loads shard `i` as a self-contained Dataset: the shard file is
+  /// checksum-verified (mmapped when possible), the shared AP universe
+  /// is copied in, and the result is validated and indexed. Device ids
+  /// are shard-local; add device_begin(i) to rebase. Only the returned
+  /// dataset's samples are resident — dropping it before loading the
+  /// next shard keeps memory bounded by one shard.
+  [[nodiscard]] SnapshotResult load_shard(std::size_t i, Dataset& out,
+                                          const SnapshotLoadOptions& opts = {});
+
+  /// Concatenates every shard into one in-memory Dataset with global
+  /// device ids and rebased app-traffic offsets — value-identical to
+  /// the in-memory simulation the store was streamed from (and
+  /// byte-identical in the packed sample column).
+  [[nodiscard]] SnapshotResult materialize(Dataset& out,
+                                           const SnapshotLoadOptions& opts = {});
+
+ private:
+  std::filesystem::path dir_;
+  ShardManifest manifest_;
+  // The resident universe (small next to any shard's samples).
+  std::vector<ApInfo> aps_;
+  std::vector<ApTruth> truth_aps_;
+  Year year_ = Year::Y2015;
+  CampaignCalendar calendar_;
+};
+
+}  // namespace tokyonet::io

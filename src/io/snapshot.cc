@@ -451,6 +451,7 @@ namespace {
   info.n_app_traffic = header.counts[kSecAppTraffic];
   info.scenario_hash = header.scenario_hash;
   info.file_bytes = file_bytes;
+  info.header_checksum = header.header_checksum;
   info.sections.assign(table, table + kNumSections);
   return result;
 }
@@ -653,6 +654,13 @@ SnapshotResult load_snapshot(const fs::path& path, Dataset& out,
   copy_into(out.truth.aps.data(), section_data[kSecTruthAps],
             out.truth.aps.size() * sizeof(ApTruth));
 
+  if (opts.defer_validate) {
+    // The caller completes the dataset (e.g. installs the shard-store's
+    // shared AP universe) and then runs validate()/build_index() itself.
+    if (info_out != nullptr) *info_out = info;
+    return result;
+  }
+
   const std::string invalid = out.validate();
   if (!invalid.empty()) {
     const std::string err = path_err(path, "invalid dataset: " + invalid);
@@ -718,6 +726,17 @@ fs::path campaign_cache_path(const fs::path& dir,
   std::snprintf(name, sizeof(name), "campaign-v%u-%d-%016" PRIx64 ".tksnap",
                 kSnapshotVersion, year_number(config.year),
                 scenario_hash(config));
+  return dir / name;
+}
+
+fs::path campaign_cache_shard_dir(const fs::path& dir,
+                                  const ScenarioConfig& config,
+                                  std::size_t shards) {
+  char name[96];
+  std::snprintf(name, sizeof(name),
+                "campaign-v%u-%d-%016" PRIx64 "-s%zu.tkshards",
+                kSnapshotVersion, year_number(config.year),
+                scenario_hash(config), shards);
   return dir / name;
 }
 

@@ -68,6 +68,11 @@ struct SnapshotInfo {
   std::uint64_t n_app_traffic = 0;
   std::uint64_t scenario_hash = 0;  // 0 when unknown (manual save)
   std::uint64_t file_bytes = 0;
+  /// Checksum over header + section table as stored in the file. The
+  /// shard-store manifest (io/shard_store.h) records this per shard so
+  /// directory verification can spot a swapped or regenerated file
+  /// without rehashing its sections.
+  std::uint64_t header_checksum = 0;
   /// Load only: true when samples/app_traffic are served zero-copy from
   /// the mapped file.
   bool mapped = false;
@@ -84,6 +89,12 @@ struct SnapshotInfo {
 struct SnapshotLoadOptions {
   /// When false, skip mmap and always read into owned memory.
   bool allow_mmap = true;
+  /// When true, skip Dataset::validate() and the index build after the
+  /// checksum-verified read. For snapshots that are not self-contained —
+  /// a shard file stores no AP universe, so its samples reference APs
+  /// the file does not carry — the caller installs the missing tables
+  /// and then validates/indexes itself (io/shard_store.cc does).
+  bool defer_validate = false;
 };
 
 /// Loads and fully verifies a snapshot into `out`. The sample index is
@@ -111,5 +122,14 @@ struct SnapshotLoadOptions {
 /// campaign-v<version>-<year>-<scenario hash, hex>.tksnap
 [[nodiscard]] std::filesystem::path campaign_cache_path(
     const std::filesystem::path& dir, const ScenarioConfig& config);
+
+/// Directory name a *sharded* campaign cache entry gets inside `dir`:
+/// campaign-v<version>-<year>-<scenario hash, hex>-s<shards>.tkshards
+/// The shard count is part of the key (and the .tkshards suffix keeps
+/// the namespace disjoint from single-file entries), so a sharded
+/// request can never be served an in-memory blob — and vice versa.
+[[nodiscard]] std::filesystem::path campaign_cache_shard_dir(
+    const std::filesystem::path& dir, const ScenarioConfig& config,
+    std::size_t shards);
 
 }  // namespace tokyonet::io

@@ -1,0 +1,51 @@
+// Render functions for the §3 battery figures, split from their
+// product computation so the in-memory registry entries and the
+// out-of-core path (report/sharded.h) share one Table construction.
+//
+// Each render_* takes exactly the analysis products its figure prints;
+// the registered figure functions compute those products from a
+// FigureContext, the sharded battery from a ShardedContext. Same
+// products in, byte-identical canonical JSON out.
+#pragma once
+
+#include "analysis/aggregate.h"
+#include "analysis/availability.h"
+#include "analysis/classify.h"
+#include "analysis/update.h"
+#include "analysis/usertype.h"
+#include "analysis/volumes.h"
+#include "report/table.h"
+#include "stats/distribution.h"
+
+namespace tokyonet::report {
+
+/// Fig 2: aggregated traffic volume over the first campaign week.
+[[nodiscard]] Table render_fig02(const CampaignCalendar& cal, int num_days,
+                                 const analysis::HourlySeries& cell_rx,
+                                 const analysis::HourlySeries& cell_tx,
+                                 const analysis::HourlySeries& wifi_rx,
+                                 const analysis::HourlySeries& wifi_tx,
+                                 const analysis::WeekSplit& cell_split,
+                                 const analysis::WeekSplit& wifi_split);
+
+/// Table 1: dataset overview.
+[[nodiscard]] Table render_table01(Year year, int num_days,
+                                   const analysis::DatasetOverview& o);
+
+/// Fig 5: user types + heat-map mass.
+[[nodiscard]] Table render_fig05(Year year, const analysis::UserTypeStats& s,
+                                 const stats::LogHist2d& heat);
+
+/// Table 4: AP classification census.
+[[nodiscard]] Table render_table04(Year year,
+                                   const analysis::ApClassification& cls);
+
+/// §3.5: offload opportunity.
+[[nodiscard]] Table render_sec35(Year year,
+                                 const analysis::OffloadOpportunity& opp);
+
+/// Fig 18: iOS update timing.
+[[nodiscard]] Table render_fig18(const analysis::UpdateDetection& det,
+                                 const analysis::UpdateTiming& u);
+
+}  // namespace tokyonet::report

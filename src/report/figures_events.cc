@@ -3,20 +3,16 @@
 #include "analysis/battery.h"
 #include "analysis/cap.h"
 #include "analysis/update.h"
+#include "report/battery.h"
 #include "report/figures.h"
 #include "report/registry.h"
 #include "report/runner.h"
 #include "stats/distribution.h"
 
 namespace tokyonet::report {
-namespace {
 
-Table fig18(const FigureContext& ctx) {
-  const Dataset& ds = ctx.dataset();
-  const auto& det = ctx.analysis().updates();
-  const analysis::UpdateTiming u = analysis::analyze_update_timing(
-      ds, det, ctx.analysis().classification());
-
+Table render_fig18(const analysis::UpdateDetection& det,
+                   const analysis::UpdateTiming& u) {
   const stats::Ecdf all(u.delay_days_all);
   const stats::Ecdf no_home(u.delay_days_no_home);
   const auto n_ios = static_cast<double>(det.num_ios);
@@ -46,6 +42,15 @@ Table fig18(const FigureContext& ctx) {
       "days)",
       u.median_delay_home, u.median_delay_no_home));
   return t;
+}
+
+namespace {
+
+Table fig18(const FigureContext& ctx) {
+  const auto& det = ctx.analysis().updates();
+  const analysis::UpdateTiming u = analysis::analyze_update_timing(
+      ctx.dataset(), det, ctx.analysis().classification());
+  return render_fig18(det, u);
 }
 
 Table fig19(const FigureContext& ctx) {

@@ -2,29 +2,34 @@
 // per-year; stacking the three years reproduces the paper's layouts.
 #include "analysis/surveytab.h"
 #include "analysis/volumes.h"
+#include "report/battery.h"
 #include "report/figures.h"
 #include "report/registry.h"
 #include "report/runner.h"
 
 namespace tokyonet::report {
+
+Table render_table01(Year year, int num_days,
+                     const analysis::DatasetOverview& o) {
+  static const char* kPaperLte[] = {"25%", "70%", "80%"};
+
+  Table t({"year", "days", "android", "ios", "total", "LTE share",
+           "paper LTE"});
+  t.add_row({Value::integer(year_number(year)), Value::integer(num_days),
+             Value::integer(o.n_android), Value::integer(o.n_ios),
+             Value::integer(o.n_total), Value::pct(o.lte_traffic_share, 0),
+             Value::text(kPaperLte[static_cast<int>(year)])});
+  t.notes.push_back("paper panel: 1755 / 1676 / 1616 devices");
+  return t;
+}
+
 namespace {
 
 constexpr Year kEveryYear[] = {Year::Y2013, Year::Y2014, Year::Y2015};
 
 Table table01(const FigureContext& ctx) {
   const Dataset& ds = ctx.dataset();
-  const analysis::DatasetOverview o = analysis::overview(ds);
-  static const char* kPaperLte[] = {"25%", "70%", "80%"};
-
-  Table t({"year", "days", "android", "ios", "total", "LTE share",
-           "paper LTE"});
-  t.add_row({Value::integer(year_number(ctx.year())),
-             Value::integer(ds.num_days()), Value::integer(o.n_android),
-             Value::integer(o.n_ios), Value::integer(o.n_total),
-             Value::pct(o.lte_traffic_share, 0),
-             Value::text(kPaperLte[static_cast<int>(ctx.year())])});
-  t.notes.push_back("paper panel: 1755 / 1676 / 1616 devices");
-  return t;
+  return render_table01(ctx.year(), ds.num_days(), analysis::overview(ds));
 }
 
 Table table02(const FigureContext& ctx) {

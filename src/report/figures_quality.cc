@@ -3,11 +3,26 @@
 // it can run for all three years.
 #include "analysis/availability.h"
 #include "analysis/quality.h"
+#include "report/battery.h"
 #include "report/figures.h"
 #include "report/registry.h"
 #include "report/runner.h"
 
 namespace tokyonet::report {
+
+Table render_sec35(Year year, const analysis::OffloadOpportunity& opp) {
+  Table t({"year", "WiFi-available users", "stable opportunity",
+           "offloadable cellular share"});
+  t.add_row({Value::integer(year_number(year)),
+             Value::integer(opp.num_wifi_available_users),
+             Value::pct(opp.users_with_stable_opportunity, 0),
+             Value::pct(opp.offloadable_cell_share, 0)});
+  t.notes.push_back(
+      "paper (§3.5, 2015): 60% of WiFi-available users have stable "
+      "public options; 15-20% of their cellular volume is offloadable");
+  return t;
+}
+
 namespace {
 
 Table fig15(const FigureContext& ctx) {
@@ -68,19 +83,7 @@ Table fig17(const FigureContext& ctx) {
 }
 
 Table sec35(const FigureContext& ctx) {
-  const analysis::OffloadOpportunity opp =
-      analysis::offload_opportunity(ctx.dataset());
-
-  Table t({"year", "WiFi-available users", "stable opportunity",
-           "offloadable cellular share"});
-  t.add_row({Value::integer(year_number(ctx.year())),
-             Value::integer(opp.num_wifi_available_users),
-             Value::pct(opp.users_with_stable_opportunity, 0),
-             Value::pct(opp.offloadable_cell_share, 0)});
-  t.notes.push_back(
-      "paper (§3.5, 2015): 60% of WiFi-available users have stable "
-      "public options; 15-20% of their cellular volume is offloadable");
-  return t;
+  return render_sec35(ctx.year(), analysis::offload_opportunity(ctx.dataset()));
 }
 
 }  // namespace

@@ -3,26 +3,26 @@
 #include "analysis/aggregate.h"
 #include "analysis/usertype.h"
 #include "analysis/volumes.h"
+#include "report/battery.h"
 #include "report/figures.h"
 #include "report/registry.h"
 #include "report/runner.h"
 
 namespace tokyonet::report {
-namespace {
 
-Table fig02(const FigureContext& ctx) {
-  const Dataset& ds = ctx.dataset();
-  const auto cell_rx = analysis::aggregate_series(ds, analysis::Stream::CellRx);
-  const auto cell_tx = analysis::aggregate_series(ds, analysis::Stream::CellTx);
-  const auto wifi_rx = analysis::aggregate_series(ds, analysis::Stream::WifiRx);
-  const auto wifi_tx = analysis::aggregate_series(ds, analysis::Stream::WifiTx);
-
+Table render_fig02(const CampaignCalendar& cal, int num_days,
+                   const analysis::HourlySeries& cell_rx,
+                   const analysis::HourlySeries& cell_tx,
+                   const analysis::HourlySeries& wifi_rx,
+                   const analysis::HourlySeries& wifi_tx,
+                   const analysis::WeekSplit& cell_split,
+                   const analysis::WeekSplit& wifi_split) {
   Table t({"date", "hour", "Cell TX [Mbps]", "Cell RX [Mbps]",
            "WiFi TX [Mbps]", "WiFi RX [Mbps]"});
-  for (int day = 0; day < 8 && day < ds.num_days(); ++day) {
+  for (int day = 0; day < 8 && day < num_days; ++day) {
     for (int hour = 0; hour < 24; hour += 3) {
       const auto i = static_cast<std::size_t>(day * 24 + hour);
-      t.add_row({Value::text(ds.calendar.day_label(day)),
+      t.add_row({Value::text(cal.day_label(day)),
                  Value::text(std::to_string(hour) + ":00"),
                  Value::real(cell_tx.mbps[i], 2), Value::real(cell_rx.mbps[i], 2),
                  Value::real(wifi_tx.mbps[i], 2),
@@ -35,17 +35,56 @@ Table fig02(const FigureContext& ctx) {
   t.notes.push_back(strf(
       "WiFi share of total volume: %.0f%% (paper: 67%% in 2015)",
       100 * wifi / (wifi + cell)));
-
-  const analysis::WeekSplit cell_split =
-      analysis::weekday_weekend_split(ds, analysis::Stream::CellRx);
-  const analysis::WeekSplit wifi_split =
-      analysis::weekday_weekend_split(ds, analysis::Stream::WifiRx);
   t.notes.push_back(strf(
       "weekday vs weekend mean rate [Mbps]: cellular %.1f vs %.1f, "
       "WiFi %.1f vs %.1f   [paper: cellular drops on weekends, WiFi rises]",
       cell_split.weekday_mbps, cell_split.weekend_mbps,
       wifi_split.weekday_mbps, wifi_split.weekend_mbps));
   return t;
+}
+
+Table render_fig05(Year year, const analysis::UserTypeStats& s,
+                   const stats::LogHist2d& heat) {
+  Table t({"year", "cellular-intensive", "wifi-intensive", "mixed",
+           "mixed above diagonal"});
+  t.add_row({Value::integer(year_number(year)),
+             Value::pct(s.cellular_intensive_frac, 0),
+             Value::pct(s.wifi_intensive_frac, 0), Value::pct(s.mixed_frac, 0),
+             Value::pct(s.mixed_above_diagonal_frac, 0)});
+
+  // The log-log density map itself is a plot; pin its mass distribution.
+  int occupied = 0;
+  double peak = 0;
+  for (int y = 0; y < heat.bins(); ++y) {
+    for (int x = 0; x < heat.bins(); ++x) {
+      const double c = heat.count(x, y);
+      if (c > 0) ++occupied;
+      if (c > peak) peak = c;
+    }
+  }
+  t.notes.push_back(strf(
+      "heat map: %d of %d bins occupied, peak bin %.0f of %.0f user-days",
+      occupied, heat.bins() * heat.bins(), peak, heat.total()));
+  t.notes.push_back(
+      "paper: cellular-intensive 35% (2013) -> 22% (2015); wifi-intensive "
+      "~8%; 55% of mixed users above the diagonal");
+  return t;
+}
+
+namespace {
+
+Table fig02(const FigureContext& ctx) {
+  const Dataset& ds = ctx.dataset();
+  const auto cell_rx = analysis::aggregate_series(ds, analysis::Stream::CellRx);
+  const auto cell_tx = analysis::aggregate_series(ds, analysis::Stream::CellTx);
+  const auto wifi_rx = analysis::aggregate_series(ds, analysis::Stream::WifiRx);
+  const auto wifi_tx = analysis::aggregate_series(ds, analysis::Stream::WifiTx);
+  const analysis::WeekSplit cell_split =
+      analysis::weekday_weekend_split(ds, analysis::Stream::CellRx);
+  const analysis::WeekSplit wifi_split =
+      analysis::weekday_weekend_split(ds, analysis::Stream::WifiRx);
+  return render_fig02(ds.calendar, ds.num_days(), cell_rx, cell_tx, wifi_rx,
+                      wifi_tx, cell_split, wifi_split);
 }
 
 Table fig03(const FigureContext& ctx) {
@@ -94,32 +133,8 @@ Table fig05(const FigureContext& ctx) {
   const auto& days = ctx.analysis().days();
   const analysis::UserTypeStats s =
       analysis::user_type_stats(ctx.dataset(), days);
-
-  Table t({"year", "cellular-intensive", "wifi-intensive", "mixed",
-           "mixed above diagonal"});
-  t.add_row({Value::integer(year_number(ctx.year())),
-             Value::pct(s.cellular_intensive_frac, 0),
-             Value::pct(s.wifi_intensive_frac, 0), Value::pct(s.mixed_frac, 0),
-             Value::pct(s.mixed_above_diagonal_frac, 0)});
-
-  // The log-log density map itself is a plot; pin its mass distribution.
   const auto heat = analysis::user_day_heatmap(days, 3);
-  int occupied = 0;
-  double peak = 0;
-  for (int y = 0; y < heat.bins(); ++y) {
-    for (int x = 0; x < heat.bins(); ++x) {
-      const double c = heat.count(x, y);
-      if (c > 0) ++occupied;
-      if (c > peak) peak = c;
-    }
-  }
-  t.notes.push_back(strf(
-      "heat map: %d of %d bins occupied, peak bin %.0f of %.0f user-days",
-      occupied, heat.bins() * heat.bins(), peak, heat.total()));
-  t.notes.push_back(
-      "paper: cellular-intensive 35% (2013) -> 22% (2015); wifi-intensive "
-      "~8%; 55% of mixed users above the diagonal");
-  return t;
+  return render_fig05(ctx.year(), s, heat);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "analysis/quality.h"
 #include "analysis/wifiusage.h"
 #include "geo/region.h"
+#include "report/battery.h"
 #include "report/figures.h"
 #include "report/registry.h"
 #include "report/runner.h"
@@ -15,6 +16,28 @@
 #include "stats/distribution.h"
 
 namespace tokyonet::report {
+
+Table render_table04(Year year_, const analysis::ApClassification& cls) {
+  const analysis::ApClassification::Counts c = cls.counts();
+
+  Table t({"year", "type", "APs", "paper '13/'14/'15"});
+  const Value year = Value::integer(year_number(year_));
+  t.add_row({year, Value::text("home"), Value::integer(c.home),
+             Value::text("1139/1223/1289")});
+  t.add_row({year, Value::text("public"), Value::integer(c.publik),
+             Value::text("5041/9302/10481")});
+  t.add_row({year, Value::text("other"), Value::integer(c.other),
+             Value::text("545/673/664")});
+  t.add_row({year, Value::text("(office)"), Value::integer(c.office),
+             Value::text("166/168/166")});
+  t.add_row({year, Value::text("total"), Value::integer(c.total),
+             Value::text("6725/11198/12434")});
+  t.notes.push_back(strf(
+      "users with inferred home AP: %.0f%%   [paper 66%% / 73%% / 79%%]",
+      100 * cls.home_ap_device_share()));
+  return t;
+}
+
 namespace {
 
 Table fig10(const FigureContext& ctx) {
@@ -139,25 +162,7 @@ Table fig14(const FigureContext& ctx) {
 }
 
 Table table04(const FigureContext& ctx) {
-  const auto& cls = ctx.analysis().classification();
-  const analysis::ApClassification::Counts c = cls.counts();
-
-  Table t({"year", "type", "APs", "paper '13/'14/'15"});
-  const Value year = Value::integer(year_number(ctx.year()));
-  t.add_row({year, Value::text("home"), Value::integer(c.home),
-             Value::text("1139/1223/1289")});
-  t.add_row({year, Value::text("public"), Value::integer(c.publik),
-             Value::text("5041/9302/10481")});
-  t.add_row({year, Value::text("other"), Value::integer(c.other),
-             Value::text("545/673/664")});
-  t.add_row({year, Value::text("(office)"), Value::integer(c.office),
-             Value::text("166/168/166")});
-  t.add_row({year, Value::text("total"), Value::integer(c.total),
-             Value::text("6725/11198/12434")});
-  t.notes.push_back(strf(
-      "users with inferred home AP: %.0f%%   [paper 66%% / 73%% / 79%%]",
-      100 * cls.home_ap_device_share()));
-  return t;
+  return render_table04(ctx.year(), ctx.analysis().classification());
 }
 
 Table table05(const FigureContext& ctx) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/scenario.h"
+#include "io/shard_store.h"
 #include "sim/simulator.h"
 
 namespace tokyonet::report {
@@ -13,6 +14,27 @@ void Runner::adopt(Year year, Dataset ds) {
   const int i = static_cast<int>(year);
   assert(ds_[i] == nullptr && "adopt() must precede dataset() resolution");
   adopted_[i] = std::make_unique<Dataset>(std::move(ds));
+}
+
+io::SnapshotResult Runner::adopt_shards(Year year,
+                                        const std::filesystem::path& dir) {
+  io::ShardedDataset store;
+  if (io::SnapshotResult r = io::ShardedDataset::open(dir, store); !r.ok()) {
+    return r;
+  }
+  if (store.year() != year) {
+    std::string err = "shard store ";
+    err += dir.string();
+    err += " holds the ";
+    err += std::to_string(year_number(store.year()));
+    err += " campaign, not ";
+    err += std::to_string(year_number(year));
+    return {std::move(err)};
+  }
+  Dataset ds;
+  if (io::SnapshotResult r = store.materialize(ds); !r.ok()) return r;
+  adopt(year, std::move(ds));
+  return {};
 }
 
 const Dataset& Runner::dataset(Year year) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -17,6 +18,7 @@
 
 #include "analysis/context.h"
 #include "core/records.h"
+#include "io/snapshot.h"
 #include "report/registry.h"
 
 namespace tokyonet::report {
@@ -52,6 +54,13 @@ class Runner {
   /// `year`'s campaign. Must be called before the first dataset(year)
   /// resolution for that year.
   void adopt(Year year, Dataset ds);
+
+  /// Opens a sharded campaign store (io/shard_store.h), materializes it
+  /// back into one in-memory Dataset and adopt()s the result as
+  /// `year`'s campaign. Fails if the store's campaign year disagrees
+  /// with `year`.
+  [[nodiscard]] io::SnapshotResult adopt_shards(
+      Year year, const std::filesystem::path& dir);
 
   /// Renders one figure. For per-year figures `year` must be set (any
   /// campaign year is accepted — `spec.years` lists the paper's

@@ -1,0 +1,66 @@
+#include "report/sharded.h"
+
+#include <string_view>
+#include <utility>
+
+#include "analysis/sharded.h"
+#include "report/battery.h"
+#include "report/registry.h"
+
+namespace tokyonet::report {
+namespace {
+
+// Mirror of Runner::run's metadata stamping, so canonical JSON from the
+// out-of-core path compares byte-for-byte against the in-memory run.
+Table stamp(Table t, std::string_view id, Year year) {
+  const FigureSpec* spec = FigureRegistry::instance().find(id);
+  t.id = spec != nullptr ? spec->id : std::string(id);
+  if (spec != nullptr) {
+    if (t.title.empty()) t.title = spec->title;
+    if (t.paper_ref.empty()) t.paper_ref = spec->paper_ref;
+  }
+  t.year = year_number(year);
+  return t;
+}
+
+}  // namespace
+
+io::SnapshotResult run_sharded_battery(io::ShardedDataset& store,
+                                       std::vector<Table>& out) {
+  out.clear();
+  analysis::ShardedContext ctx(store);
+  if (io::SnapshotResult r = ctx.scan(); !r.ok()) return r;
+
+  const Year year = ctx.year();
+  out.push_back(
+      stamp(render_table01(year, ctx.num_days(), ctx.overview()), "table01",
+            year));
+
+  const analysis::HourlySeries cell_rx = ctx.series(analysis::Stream::CellRx);
+  const analysis::HourlySeries cell_tx = ctx.series(analysis::Stream::CellTx);
+  const analysis::HourlySeries wifi_rx = ctx.series(analysis::Stream::WifiRx);
+  const analysis::HourlySeries wifi_tx = ctx.series(analysis::Stream::WifiTx);
+  const analysis::WeekSplit cell_split = analysis::weekday_weekend_split(
+      cell_rx, ctx.calendar(), ctx.num_days());
+  const analysis::WeekSplit wifi_split = analysis::weekday_weekend_split(
+      wifi_rx, ctx.calendar(), ctx.num_days());
+  out.push_back(stamp(render_fig02(ctx.calendar(), ctx.num_days(), cell_rx,
+                                   cell_tx, wifi_rx, wifi_tx, cell_split,
+                                   wifi_split),
+                      "fig02", year));
+
+  out.push_back(
+      stamp(render_fig05(year, ctx.user_types(), ctx.heatmap()), "fig05",
+            year));
+  out.push_back(
+      stamp(render_table04(year, ctx.classification()), "table04", year));
+  out.push_back(
+      stamp(render_sec35(year, ctx.offload()), "sec35_opportunity", year));
+  if (year == Year::Y2015) {
+    out.push_back(stamp(render_fig18(ctx.updates(), ctx.update_timing()),
+                        "fig18", year));
+  }
+  return {};
+}
+
+}  // namespace tokyonet::report

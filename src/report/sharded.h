@@ -1,0 +1,26 @@
+// Out-of-core §3 battery over a sharded campaign store.
+//
+// run_sharded_battery() is the bounded-memory counterpart of rendering
+// the report's headline figures through Runner: one ShardedContext
+// scan (analysis/sharded.h), then the shared render_* functions
+// (report/battery.h) with registry metadata stamped exactly as
+// Runner::run stamps it — so each emitted Table's canonical JSON is
+// byte-identical to the in-memory run over the materialized campaign.
+#pragma once
+
+#include <vector>
+
+#include "io/shard_store.h"
+#include "io/snapshot.h"
+#include "report/table.h"
+
+namespace tokyonet::report {
+
+/// Renders the headline battery (table01, fig02, fig05, table04,
+/// sec35_opportunity, + fig18 for the 2015 campaign) out-of-core.
+/// `store` must be open; peak memory is one shard plus O(devices+aps)
+/// accumulators. On failure `out` is left empty.
+[[nodiscard]] io::SnapshotResult run_sharded_battery(io::ShardedDataset& store,
+                                                     std::vector<Table>& out);
+
+}  // namespace tokyonet::report

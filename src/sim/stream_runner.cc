@@ -1,0 +1,134 @@
+#include "sim/stream_runner.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <system_error>
+
+#include "io/snapshot.h"
+#include "sim/engine.h"
+
+namespace tokyonet::sim {
+
+namespace fs = std::filesystem;
+
+StreamCampaignResult stream_campaign(const ScenarioConfig& config,
+                                     const fs::path& dir,
+                                     const StreamCampaignOptions& opts) {
+  StreamCampaignResult result;
+
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    result.error = dir.string() + ": cannot create: " + ec.message();
+    return result;
+  }
+
+  CampaignEngine engine(config);
+  const std::size_t n_devices = engine.num_devices();
+  if (n_devices == 0) {
+    result.error = "campaign has no devices (scale too small?)";
+    return result;
+  }
+  const std::size_t per_shard =
+      std::max<std::size_t>(1, opts.devices_per_shard);
+  std::size_t n_shards = opts.shards != 0
+                             ? opts.shards
+                             : (n_devices + per_shard - 1) / per_shard;
+  n_shards = std::clamp<std::size_t>(n_shards, 1, n_devices);
+
+  const std::uint64_t hash = scenario_hash(config);
+  io::ShardManifest m;
+  m.version = io::kShardStoreVersion;
+  m.snapshot_version = io::kSnapshotVersion;
+  m.year = year_number(config.year);
+  m.start = config.start_date;
+  m.num_days = config.num_days;
+  m.scenario_hash = hash;
+  m.n_devices = n_devices;
+
+  // The shared AP universe first: one file instead of one copy per
+  // shard (ESSID strings dominate the AP payload).
+  {
+    const Dataset u = engine.universe();
+    m.n_aps = u.aps.size();
+    m.universe_file = "universe.tksnap";
+    const io::SnapshotResult w =
+        io::save_snapshot(u, dir / m.universe_file, hash);
+    if (!w.ok()) {
+      result.error = w.error;
+      return result;
+    }
+    io::SnapshotInfo info;
+    const io::SnapshotResult r =
+        io::read_snapshot_info(dir / m.universe_file, info);
+    if (!r.ok()) {
+      result.error = r.error;
+      return result;
+    }
+    m.universe_bytes = info.file_bytes;
+    m.universe_checksum = info.header_checksum;
+  }
+
+  // Balanced contiguous ranges: the first (n_devices % n_shards) shards
+  // take one extra device.
+  const std::size_t base = n_devices / n_shards;
+  const std::size_t extra = n_devices % n_shards;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < n_shards; ++i) {
+    const std::size_t count = base + (i < extra ? 1 : 0);
+    const std::size_t end = begin + count;
+
+    // One shard's samples in memory at a time; the previous shard's
+    // dataset is destroyed before the next block is simulated.
+    char name[48];
+    std::snprintf(name, sizeof(name), "shard-%04zu.tksnap", i);
+    {
+      const Dataset block =
+          engine.run_block(begin, end, /*with_universe=*/false);
+      const io::SnapshotResult w = io::save_snapshot(block, dir / name, hash);
+      if (!w.ok()) {
+        result.error = w.error;
+        return result;
+      }
+      if (opts.announce) {
+        std::fprintf(stderr,
+                     "tokyonet-stream: shard %zu/%zu devices [%zu, %zu) "
+                     "%zu samples\n",
+                     i + 1, n_shards, begin, end, block.samples.size());
+      }
+    }
+
+    io::SnapshotInfo info;
+    const io::SnapshotResult r = io::read_snapshot_info(dir / name, info);
+    if (!r.ok()) {
+      result.error = r.error;
+      return result;
+    }
+    io::ShardEntry e;
+    e.index = static_cast<std::uint32_t>(i);
+    e.file = name;
+    e.device_begin = begin;
+    e.device_count = count;
+    e.n_samples = info.n_samples;
+    e.n_app_traffic = info.n_app_traffic;
+    e.file_bytes = info.file_bytes;
+    e.header_checksum = info.header_checksum;
+    m.n_samples += info.n_samples;
+    m.n_app_traffic += info.n_app_traffic;
+    m.shards.push_back(std::move(e));
+    begin = end;
+  }
+
+  // The manifest commits the directory — written only now, when every
+  // shard is durably in place.
+  const io::SnapshotResult w = io::write_shard_manifest(m, dir);
+  if (!w.ok()) {
+    result.error = w.error;
+    return result;
+  }
+  result.manifest = std::move(m);
+  return result;
+}
+
+}  // namespace tokyonet::sim

@@ -174,13 +174,23 @@ std::vector<UserProfile> PopulationBuilder::build(net::Deployment& deployment,
 void PopulationBuilder::export_to(const std::vector<UserProfile>& users,
                                   const geo::TokyoRegion& region,
                                   Dataset& dataset) {
+  export_range(users, 0, users.size(), region, dataset);
+}
+
+void PopulationBuilder::export_range(const std::vector<UserProfile>& users,
+                                     std::size_t begin, std::size_t end,
+                                     const geo::TokyoRegion& region,
+                                     Dataset& dataset) {
   dataset.devices.clear();
-  dataset.devices.reserve(users.size());
+  dataset.devices.reserve(end - begin);
   dataset.truth.devices.clear();
-  dataset.truth.devices.reserve(users.size());
-  for (const UserProfile& u : users) {
+  dataset.truth.devices.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    const UserProfile& u = users[i];
     DeviceInfo d;
-    d.id = u.id;
+    // Local id: shard datasets satisfy the ids-equal-index contract on
+    // their own; the full-range export reproduces the global ids.
+    d.id = DeviceId{static_cast<std::uint32_t>(i - begin)};
     d.os = u.os;
     d.carrier = u.carrier;
     d.recruited = u.recruited;

@@ -79,6 +79,13 @@ class PopulationBuilder {
   static void export_to(const std::vector<UserProfile>& users,
                         const geo::TokyoRegion& region, Dataset& dataset);
 
+  /// Range form for sharded generation: exports users [begin, end) with
+  /// *local* device ids (0 .. end - begin), so a shard's dataset is
+  /// self-contained. export_to() is export_range() over the full span.
+  static void export_range(const std::vector<UserProfile>& users,
+                           std::size_t begin, std::size_t end,
+                           const geo::TokyoRegion& region, Dataset& dataset);
+
  private:
   const ScenarioConfig* config_;
   const geo::TokyoRegion* region_;

@@ -49,4 +49,19 @@ expect 4 "${tokyonet}" snapshot load --in "${tmp}/corrupt.snap"
 mkdir "${tmp}/empty-goldens"
 expect 4 "${tokyonet}" fig all --check-goldens --goldens "${tmp}/empty-goldens"
 
+# Shard stores follow the same contract (DESIGN.md §5i): stream a tiny
+# store, verify it, then corrupt it and watch info/report/fig fail
+# with 4 (present but broken) vs 3 (missing entirely).
+expect 0 "${tokyonet}" snapshot shard --year 2015 --scale 0.02 \
+    --out "${tmp}/shards" --shards 2
+expect 0 "${tokyonet}" snapshot info --in "${tmp}/shards"
+expect 0 "${tokyonet}" report --shard-dir "${tmp}/shards" --out-of-core
+expect 2 "${tokyonet}" report --out-of-core  # needs --shard-dir
+expect 3 "${tokyonet}" snapshot info --in "${tmp}/no-such-store"
+expect 3 "${tokyonet}" report --shard-dir "${tmp}/no-such-store"
+rm "${tmp}/shards/shard-0001.tksnap"
+expect 4 "${tokyonet}" snapshot info --in "${tmp}/shards"
+expect 4 "${tokyonet}" report --shard-dir "${tmp}/shards" --out-of-core
+expect 4 "${tokyonet}" fig run table01 --shard-dir "${tmp}/shards"
+
 echo "PASS: exit-code contract holds"

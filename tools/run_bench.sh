@@ -3,10 +3,12 @@
 # aggregates the per-kernel timings into BENCH_<date>.json, so the perf
 # trajectory of the analysis kernels is recorded run over run. The
 # streaming-ingest replay throughput lines that bench_ingest prints
-# ("tokyonet-ingest: key=value ...") are parsed into the JSON too.
+# ("tokyonet-ingest: key=value ...") are parsed into the JSON too, and
+# each binary's peak RSS lands in the output's "memory" section so the
+# bounded-memory promise of the shard store is tracked alongside speed.
 #
 # Usage: tools/run_bench.sh [--cache-dir DIR] [--smoke] [--allow-debug]
-#                           [build_dir] [out.json]
+#                           [--shard-demo SCALE] [build_dir] [out.json]
 #   --cache-dir DIR  enable the on-disk campaign cache: pre-warm DIR via
 #                    `tokyonet snapshot warm`, then run every bench with
 #                    TOKYONET_CACHE_DIR=DIR so campaigns are mmap-loaded
@@ -18,6 +20,11 @@
 #   --allow-debug    record timings from a non-Release build anyway. By
 #                    default the script refuses: a Debug/unset build type
 #                    would quietly poison the BENCH JSON trajectory.
+#   --shard-demo S   out-of-core demonstration at panel scale S: stream
+#                    the 2015 campaign to a throwaway shard store
+#                    (DESIGN.md §5i) and render the sharded battery from
+#                    it, recording both steps' peak RSS plus the store's
+#                    size under "memory"."shard_demo" in the JSON.
 #   build_dir        defaults to ./build; configured + built at
 #                    CMAKE_BUILD_TYPE=Release automatically if missing
 #   out.json         defaults to BENCH_$(date +%Y%m%d).json in the repo root
@@ -30,6 +37,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cache_dir=""
 smoke=0
 allow_debug=0
+shard_demo_scale=""
 positional=()
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -40,6 +48,9 @@ while [ $# -gt 0 ]; do
       smoke=1; shift ;;
     --allow-debug)
       allow_debug=1; shift ;;
+    --shard-demo)
+      [ $# -ge 2 ] || { echo "error: --shard-demo needs a scale" >&2; exit 2; }
+      shard_demo_scale="$2"; shift 2 ;;
     -*)
       echo "error: unknown flag $1" >&2; exit 2 ;;
     *)
@@ -111,18 +122,36 @@ if [ "${smoke}" -eq 1 ]; then
   bench_args+=("--benchmark_filter=^$")
 fi
 
+# Runs a command and appends its peak RSS in kilobytes to the file
+# named by the first argument (no /usr/bin/time in minimal containers,
+# so lean on wait4()'s rusage via python's resource module).
+measure_rss() {
+  local rss_file="$1"; shift
+  python3 - "${rss_file}" "$@" <<'PYRSS'
+import resource, subprocess, sys
+rc = subprocess.call(sys.argv[2:])
+kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+with open(sys.argv[1], "w") as f:
+    f.write(f"{kb}\n")
+sys.exit(rc)
+PYRSS
+}
+
 echo "running ${#benches[@]} bench binaries (threads=${TOKYONET_THREADS:-auto}," \
      "scale=${TOKYONET_BENCH_SCALE:-1.0}, cache=${cache_dir:-off})..."
 for bin in "${benches[@]}"; do
   name="$(basename "${bin}")"
   echo "  ${name}"
   # The reproduction text goes to the log; the benchmark JSON goes to a
-  # per-binary file for aggregation. A failing bench aborts the run: a
-  # broken kernel must not silently vanish from the trajectory.
-  "${bin}" --benchmark_out="${tmp_dir}/${name}.json" \
-           --benchmark_out_format=json \
-           "${bench_args[@]}" \
-           > "${tmp_dir}/${name}.log" 2>&1 \
+  # per-binary file for aggregation, and the binary's peak RSS to a
+  # .rss file for the output's "memory" section. A failing bench aborts
+  # the run: a broken kernel must not silently vanish from the
+  # trajectory.
+  measure_rss "${tmp_dir}/${name}.rss" \
+      "${bin}" --benchmark_out="${tmp_dir}/${name}.json" \
+               --benchmark_out_format=json \
+               "${bench_args[@]}" \
+      > "${tmp_dir}/${name}.log" 2>&1 \
     || { echo "error: ${name} failed; log follows" >&2; \
          cat "${tmp_dir}/${name}.log" >&2; exit 1; }
 done
@@ -140,6 +169,54 @@ fi
 if [ "${smoke}" -eq 1 ]; then
   echo "smoke mode: reproductions only, skipping ${out_json}"
   exit 0
+fi
+
+# Out-of-core demonstration (DESIGN.md §5i): stream a campaign to a
+# shard store and render the sharded battery from it, recording peak
+# RSS of both steps so the bounded-memory claim has numbers next to it.
+if [ -n "${shard_demo_scale}" ]; then
+  cli="${build_dir}/tools/tokyonet"
+  [ -x "${cli}" ] || { echo "error: ${cli} not built" >&2; exit 1; }
+  demo_dir="${tmp_dir}/shard_demo_store"
+  echo "shard demo: streaming 2015 at scale ${shard_demo_scale}..."
+  measure_rss "${tmp_dir}/shard_stream.rss" \
+      "${cli}" snapshot shard --year 2015 --scale "${shard_demo_scale}" \
+               --out "${demo_dir}" --shards 0 \
+      > "${tmp_dir}/shard_demo.log" 2>&1 \
+    || { echo "error: snapshot shard failed; log follows" >&2; \
+         cat "${tmp_dir}/shard_demo.log" >&2; exit 1; }
+  echo "shard demo: out-of-core battery..."
+  measure_rss "${tmp_dir}/shard_report.rss" \
+      "${cli}" report --shard-dir "${demo_dir}" --out-of-core \
+      >> "${tmp_dir}/shard_demo.log" 2>&1 \
+    || { echo "error: out-of-core report failed; log follows" >&2; \
+         cat "${tmp_dir}/shard_demo.log" >&2; exit 1; }
+  # "streamed <D> devices / <S> samples to <dir> (<N> shards)"
+  demo_line="$(sed -n 's/^streamed //p' "${tmp_dir}/shard_demo.log" | head -n 1)"
+  demo_devices="$(echo "${demo_line}" | awk '{print $1}')"
+  demo_samples="$(echo "${demo_line}" | awk '{print $4}')"
+  demo_shards="$(echo "${demo_line}" | sed -n 's/.*(\([0-9]*\) shards)$/\1/p')"
+  demo_disk_kb="$(du -sk "${demo_dir}" | cut -f1)"
+  python3 - "${tmp_dir}" "${shard_demo_scale}" "${demo_devices:-0}" \
+           "${demo_samples:-0}" "${demo_shards:-0}" "${demo_disk_kb}" <<'PY'
+import json, sys
+tmp, scale, devices, samples, shards, disk_kb = sys.argv[1:7]
+def rss(name):
+    with open(f"{tmp}/{name}.rss") as f:
+        return int(f.read().strip())
+with open(f"{tmp}/shard_demo.json", "w") as f:
+    json.dump({
+        "scale": float(scale),
+        "devices": int(devices),
+        "samples": int(samples),
+        "shards": int(shards),
+        "store_disk_kb": int(disk_kb),
+        "stream_peak_rss_kb": rss("shard_stream"),
+        "report_peak_rss_kb": rss("shard_report"),
+    }, f)
+PY
+  rm -rf "${demo_dir}" "${tmp_dir}/shard_stream.rss" "${tmp_dir}/shard_report.rss"
+  echo "shard demo: $(cat "${tmp_dir}/shard_demo.json")"
 fi
 
 # Streaming ingest throughput: bench_ingest prints one
@@ -201,13 +278,37 @@ result = {
     "figures": int(figure_count),
     "simd_isa": simd_isa,
     "simulator_samples_per_sec": None,
+    # Peak resident set size of each bench binary (wait4 rusage,
+    # kilobytes) — the out-of-core shard store (DESIGN.md §5i) makes
+    # this the number that must stay flat as campaign scale grows.
+    "memory": {},
     "benches": {},
 }
 for fname in sorted(os.listdir(tmp_dir)):
-    if not fname.endswith(".json"):
+    if not fname.endswith(".rss"):
         continue
     with open(os.path.join(tmp_dir, fname)) as f:
-        data = json.load(f)
+        result["memory"][fname[: -len(".rss")]] = {
+            "peak_rss_kb": int(f.read().strip())
+        }
+# Out-of-core demonstration (--shard-demo): stream + sharded battery
+# peak RSS and store size at the requested scale.
+demo_json = os.path.join(tmp_dir, "shard_demo.json")
+if os.path.exists(demo_json):
+    with open(demo_json) as f:
+        result["memory"]["shard_demo"] = json.load(f)
+for fname in sorted(os.listdir(tmp_dir)):
+    if not fname.endswith(".json"):
+        continue
+    if fname == "shard_demo.json":
+        continue  # --shard-demo record, not a benchmark output
+    with open(os.path.join(tmp_dir, fname)) as f:
+        try:
+            data = json.load(f)
+        except ValueError:
+            # A binary with no registered kernels (bench_all only
+            # renders the catalog) leaves its --benchmark_out empty.
+            data = {}
     kernels = {}
     for b in data.get("benchmarks", []):
         if b.get("run_type", "iteration") != "iteration":

@@ -5,10 +5,11 @@
 //       reproduction with its id, years and paper reference.
 //
 //   tokyonet fig run <id> [--year Y] [--scale S] [--seed N]
-//                    [--format text|csv|json]
+//                    [--format text|csv|json] [--shard-dir DIR]
 //       Render one registered reproduction. Without --year a per-year
 //       figure is stacked over all its paper years; longitudinal
-//       figures take no --year.
+//       figures take no --year. With --shard-dir the campaign comes
+//       from a sharded store instead of simulation.
 //
 //   tokyonet fig all [--format text|csv|json]
 //   tokyonet fig all --update-goldens [--goldens DIR]
@@ -19,10 +20,14 @@
 //   tokyonet simulate --year 2015 [--scale S] [--seed N] --out DIR
 //       Simulate a campaign and export it as CSV (observable data only).
 //
-//   tokyonet report (--in DIR | --year Y [--scale S])
+//   tokyonet report (--in DIR | --shard-dir DIR [--out-of-core]
+//                    | --year Y [--scale S])
 //       Print the headline reproductions for a dataset through the
 //       figure registry (Table 1/4, user types, offload opportunity,
-//       and for 2015 the update event).
+//       and for 2015 the update event). --shard-dir reads a sharded
+//       campaign store; with --out-of-core the battery is computed by
+//       scanning one shard at a time (bounded memory) instead of
+//       materializing the campaign.
 //
 //   tokyonet years [--scale S]
 //       Headline report for all three campaigns plus the longitudinal
@@ -30,12 +35,20 @@
 //
 //   tokyonet snapshot save --year Y [--scale S] [--seed N] --out FILE
 //   tokyonet snapshot load --in FILE
-//   tokyonet snapshot info --in FILE
+//   tokyonet snapshot info --in PATH
 //   tokyonet snapshot warm [--scale S]
 //       Binary campaign snapshots (io/snapshot.h): persist a simulated
 //       campaign, reload it (mmap, verified), inspect a file, or
 //       pre-populate the TOKYONET_CACHE_DIR campaign cache for all
-//       three years.
+//       three years. `info` on a shard directory prints and verifies
+//       its manifest instead.
+//
+//   tokyonet snapshot shard --year Y [--scale S] [--seed N] --out DIR
+//                           [--shards N]
+//       Stream a campaign simulation into a sharded store
+//       (io/shard_store.h) without ever materializing it: peak memory
+//       is one shard, so million-device campaigns fit in a few GB.
+//       --shards 0 sizes shards automatically (~2048 devices each).
 //
 //   tokyonet ingest serve --port P [--host H] [--shards N] [--queue N]
 //                         [--shed] [--sessions N]
@@ -77,13 +90,16 @@
 #include "ingest/server.h"
 #include "ingest/tcp.h"
 #include "io/csv.h"
+#include "io/shard_store.h"
 #include "io/snapshot.h"
 #include "io/table.h"
 #include "report/golden.h"
 #include "report/registry.h"
 #include "report/runner.h"
+#include "report/sharded.h"
 #include "report/table.h"
 #include "sim/simulator.h"
+#include "sim/stream_runner.h"
 
 using namespace tokyonet;
 
@@ -103,6 +119,8 @@ struct Args {
   std::optional<std::uint64_t> seed;
   std::string in_dir;
   std::string out_dir;
+  std::string shard_dir;
+  bool out_of_core = false;
 
   // fig flags
   std::string figure_id;
@@ -130,18 +148,22 @@ int usage() {
                "usage:\n"
                "  tokyonet fig list [--ids]\n"
                "  tokyonet fig run <id> [--year Y] [--scale S] [--seed N] "
-               "[--format text|csv|json]\n"
-               "  tokyonet fig all [--format text|csv|json]\n"
+               "[--format text|csv|json] [--shard-dir DIR]\n"
+               "  tokyonet fig all [--format text|csv|json] "
+               "[--shard-dir DIR]\n"
                "  tokyonet fig all --update-goldens|--check-goldens "
                "[--goldens DIR]\n"
                "  tokyonet simulate --year 2013|2014|2015 [--scale S] "
                "[--seed N] --out DIR\n"
-               "  tokyonet report (--in DIR | --year Y [--scale S])\n"
+               "  tokyonet report (--in DIR | --shard-dir DIR "
+               "[--out-of-core] | --year Y [--scale S])\n"
                "  tokyonet years [--scale S]\n"
                "  tokyonet snapshot save --year Y [--scale S] [--seed N] "
                "--out FILE\n"
+               "  tokyonet snapshot shard --year Y [--scale S] [--seed N] "
+               "--out DIR [--shards N]\n"
                "  tokyonet snapshot load --in FILE\n"
-               "  tokyonet snapshot info --in FILE\n"
+               "  tokyonet snapshot info --in PATH\n"
                "  tokyonet snapshot warm [--scale S]   "
                "(needs TOKYONET_CACHE_DIR)\n"
                "  tokyonet ingest serve --port P [--host H] [--shards N] "
@@ -247,6 +269,12 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.out_dir = v;
+    } else if (flag == "--shard-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.shard_dir = v;
+    } else if (flag == "--out-of-core") {
+      args.out_of_core = true;
     } else if (flag == "--format") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -316,6 +344,40 @@ report::Runner::Options runner_options(const Args& args) {
   opt.seed = args.seed;
   opt.announce_cache = true;
   return opt;
+}
+
+// A snapshot (or shard store) that isn't there is a load error (3); one
+// that exists but fails header/checksum validation is a verification
+// error (4).
+int snapshot_failure_code(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec) ? kExitVerify : kExitLoad;
+}
+
+// Installs the campaign held by shard directory `dir` into `runner`
+// (materialized) and reports its year. Returns kExitOk or the exit
+// code to fail with.
+int adopt_shard_dir(report::Runner& runner, const std::string& dir,
+                    Year& out_year) {
+  io::ShardManifest m;
+  const io::SnapshotResult r = io::read_shard_manifest(dir, m);
+  if (!r.ok()) {
+    std::fprintf(stderr, "shard store: %s\n", r.error.c_str());
+    return snapshot_failure_code(dir);
+  }
+  const auto year = to_year(m.year);
+  if (!year) {
+    std::fprintf(stderr, "shard store %s: campaign year %d out of range\n",
+                 dir.c_str(), m.year);
+    return kExitVerify;
+  }
+  const io::SnapshotResult a = runner.adopt_shards(*year, dir);
+  if (!a.ok()) {
+    std::fprintf(stderr, "shard store: %s\n", a.error.c_str());
+    return snapshot_failure_code(dir);
+  }
+  out_year = *year;
+  return kExitOk;
 }
 
 // ---------------------------------------------------------------------
@@ -390,6 +452,14 @@ int cmd_fig_run(const Args& args) {
     }
   }
   report::Runner runner(runner_options(args));
+  if (!args.shard_dir.empty()) {
+    Year store_year;
+    const int rc = adopt_shard_dir(runner, args.shard_dir, store_year);
+    if (rc != kExitOk) return rc;
+    // A per-year figure defaults to the store's campaign year instead
+    // of stacking (the other years would have to be simulated).
+    if (spec->per_year() && !year) year = store_year;
+  }
   const report::Table table = (spec->per_year() && !year)
                                   ? runner.run_stacked(*spec)
                                   : runner.run(*spec, year);
@@ -430,6 +500,11 @@ int cmd_fig_all(const Args& args) {
   }
 
   report::Runner runner(runner_options(args));
+  if (!args.shard_dir.empty()) {
+    Year store_year;
+    const int rc = adopt_shard_dir(runner, args.shard_dir, store_year);
+    if (rc != kExitOk) return rc;
+  }
   const auto& registry = report::FigureRegistry::instance();
   bool first = true;
   for (const report::FigureSpec& spec : registry.figures()) {
@@ -515,10 +590,50 @@ int cmd_simulate(const Args& args) {
   return kExitOk;
 }
 
+// The headline battery computed out-of-core: one ShardedContext scan,
+// one shard resident at a time. Same tables (byte-identical canonical
+// JSON) as the in-memory report, bounded memory.
+int cmd_report_out_of_core(const Args& args) {
+  io::ShardedDataset store;
+  const io::SnapshotResult r = io::ShardedDataset::open(args.shard_dir, store);
+  if (!r.ok()) {
+    std::fprintf(stderr, "shard store: %s\n", r.error.c_str());
+    return snapshot_failure_code(args.shard_dir);
+  }
+  const io::ShardManifest& m = store.manifest();
+  std::printf("dataset: %s campaign, %d days, %" PRIu64 " devices, %" PRIu64
+              " samples (%zu shards, out-of-core)\n",
+              std::string(to_string(store.year())).c_str(), m.num_days,
+              m.n_devices, m.n_samples, store.num_shards());
+
+  std::vector<report::Table> tables;
+  const io::SnapshotResult b = report::run_sharded_battery(store, tables);
+  if (!b.ok()) {
+    std::fprintf(stderr, "out-of-core battery failed: %s\n", b.error.c_str());
+    return snapshot_failure_code(args.shard_dir);
+  }
+  for (const report::Table& t : tables) {
+    std::printf("\n");
+    std::fputs(report::to_text(t).c_str(), stdout);
+  }
+  std::printf("\n(full catalog: tokyonet fig list)\n");
+  return kExitOk;
+}
+
 int cmd_report(const Args& args) {
+  if (args.out_of_core && args.shard_dir.empty()) {
+    std::fprintf(stderr, "--out-of-core needs --shard-dir\n");
+    return kExitUsage;
+  }
+  if (!args.shard_dir.empty() && args.out_of_core) {
+    return cmd_report_out_of_core(args);
+  }
   report::Runner runner(runner_options(args));
   Year year;
-  if (!args.in_dir.empty()) {
+  if (!args.shard_dir.empty()) {
+    const int rc = adopt_shard_dir(runner, args.shard_dir, year);
+    if (rc != kExitOk) return rc;
+  } else if (!args.in_dir.empty()) {
     Dataset ds;
     const io::CsvResult r = io::load_dataset_csv(args.in_dir, ds);
     if (!r.ok()) {
@@ -586,11 +701,29 @@ int cmd_snapshot_save(const Args& args) {
   return kExitOk;
 }
 
-// A snapshot that isn't there is a load error (3); one that exists but
-// fails header/checksum validation is a verification error (4).
-int snapshot_failure_code(const std::string& path) {
-  std::error_code ec;
-  return std::filesystem::exists(path, ec) ? kExitVerify : kExitLoad;
+int cmd_snapshot_shard(const Args& args) {
+  if (!args.year || args.out_dir.empty()) return usage();
+  const auto year = to_year(*args.year);
+  if (!year) {
+    std::fprintf(stderr, "year must be 2013..2015\n");
+    return kExitUsage;
+  }
+  ScenarioConfig config = scenario_config(*year, args.scale);
+  if (args.seed) config.seed = *args.seed;
+  sim::StreamCampaignOptions opts;
+  opts.shards = args.shards < 0 ? 0 : static_cast<std::size_t>(args.shards);
+  opts.announce = true;
+  const sim::StreamCampaignResult r =
+      sim::stream_campaign(config, args.out_dir, opts);
+  if (!r.ok()) {
+    std::fprintf(stderr, "snapshot shard failed: %s\n", r.error.c_str());
+    return kExitLoad;
+  }
+  std::printf("streamed %" PRIu64 " devices / %" PRIu64 " samples to %s "
+              "(%zu shards)\n",
+              r.manifest.n_devices, r.manifest.n_samples,
+              args.out_dir.c_str(), r.manifest.shards.size());
+  return kExitOk;
 }
 
 int cmd_snapshot_load(const Args& args) {
@@ -610,8 +743,55 @@ int cmd_snapshot_load(const Args& args) {
   return kExitOk;
 }
 
+// `snapshot info` on a shard directory: print the manifest, then check
+// every shard file against it. A directory that exists but fails
+// manifest or shard verification (truncated shard, missing manifest
+// after a killed writer, checksum flip) exits 4; a missing path 3.
+int cmd_shard_info(const Args& args) {
+  io::ShardManifest m;
+  const io::SnapshotResult r = io::read_shard_manifest(args.in_dir, m);
+  if (!r.ok()) {
+    std::fprintf(stderr, "snapshot info failed: %s\n", r.error.c_str());
+    return snapshot_failure_code(args.in_dir);
+  }
+  std::printf("shard store %s\n", args.in_dir.c_str());
+  std::printf("  store version  %u (snapshot v%u)\n", m.version,
+              m.snapshot_version);
+  std::printf("  campaign       %d (%04d-%02d-%02d, %d days)\n", m.year,
+              m.start.year, m.start.month, m.start.day, m.num_days);
+  std::printf("  devices        %" PRIu64 "\n", m.n_devices);
+  std::printf("  aps            %" PRIu64 "\n", m.n_aps);
+  std::printf("  samples        %" PRIu64 "\n", m.n_samples);
+  std::printf("  app traffic    %" PRIu64 "\n", m.n_app_traffic);
+  std::printf("  scenario hash  %016" PRIx64 "\n", m.scenario_hash);
+  std::printf("  universe       %s (%" PRIu64 " bytes, %016" PRIx64 ")\n",
+              m.universe_file.c_str(), m.universe_bytes,
+              m.universe_checksum);
+  std::printf("  shards         %zu\n", m.shards.size());
+  std::printf("                 idx devices      count      samples"
+              "        bytes       checksum\n");
+  for (const io::ShardEntry& s : m.shards) {
+    std::printf("                 %3u %10" PRIu64 " %10" PRIu64 " %12" PRIu64
+                " %12" PRIu64 " %016" PRIx64 "  %s\n",
+                s.index, s.device_begin, s.device_count, s.n_samples,
+                s.file_bytes, s.header_checksum, s.file.c_str());
+  }
+  const io::SnapshotResult v = verify_shard_store(args.in_dir, m);
+  if (!v.ok()) {
+    std::fprintf(stderr, "shard store verify FAILED: %s\n", v.error.c_str());
+    return kExitVerify;
+  }
+  std::printf("verify OK: universe + %zu shard files match the manifest\n",
+              m.shards.size());
+  return kExitOk;
+}
+
 int cmd_snapshot_info(const Args& args) {
   if (args.in_dir.empty()) return usage();
+  std::error_code ec;
+  if (std::filesystem::is_directory(args.in_dir, ec)) {
+    return cmd_shard_info(args);
+  }
   io::SnapshotInfo info;
   const io::SnapshotResult r = io::read_snapshot_info(args.in_dir, info);
   if (!r.ok()) {
@@ -668,6 +848,7 @@ int cmd_snapshot_warm(const Args& args) {
 
 int cmd_snapshot(const Args& args) {
   if (args.subcommand == "save") return cmd_snapshot_save(args);
+  if (args.subcommand == "shard") return cmd_snapshot_shard(args);
   if (args.subcommand == "load") return cmd_snapshot_load(args);
   if (args.subcommand == "info") return cmd_snapshot_info(args);
   if (args.subcommand == "warm") return cmd_snapshot_warm(args);
