@@ -109,6 +109,104 @@ std::vector<std::uint64_t> aggregate_hour_sums(const Dataset& ds,
   return total;
 }
 
+AllStreamSums aggregate_all_streams(const Dataset& ds) {
+  const auto n_hours = static_cast<std::size_t>(ds.num_days()) * 24;
+  AllStreamSums out;
+  for (auto& sums : out.hour_sums) sums.assign(n_hours, 0);
+
+  const core::DatasetIndex* idx = ds.index();
+  if (idx == nullptr) {
+    // Unindexed dataset (e.g. hand-built in tests): serial reference,
+    // matching aggregate_hour_sums() and lte_traffic_sums() exactly.
+    for (const Sample& s : ds.samples) {
+      const auto hour = static_cast<std::size_t>(s.bin / kBinsPerHour);
+      out.hour_sums[0][hour] += s.cell_rx;
+      out.hour_sums[1][hour] += s.cell_tx;
+      out.hour_sums[2][hour] += s.wifi_rx;
+      out.hour_sums[3][hour] += s.wifi_tx;
+      if (s.cell_rx != 0) {
+        out.lte.total += s.cell_rx;
+        if (s.tech == CellTech::Lte) out.lte.lte += s.cell_rx;
+      }
+    }
+    return out;
+  }
+
+  const std::span<const std::uint32_t> cols[4] = {
+      idx->cell_rx(), idx->cell_tx(), idx->wifi_rx(), idx->wifi_tx()};
+  const std::span<const CellTech> tech = idx->tech();
+  struct Partial {
+    std::vector<std::uint64_t> hour_sums[4];
+    std::uint64_t lte = 0, total = 0;
+  };
+  std::vector<Partial> partials;
+  if (idx->dense()) {
+    // Dense campaign: fixed-stride hour runs per device, all four
+    // streams and the LTE tallies in one walk (see the dense path of
+    // aggregate_hour_sums() for the stride argument).
+    const std::size_t n_devices = idx->num_devices();
+    const std::size_t n_blocks = (n_devices + kDeviceBlock - 1) / kDeviceBlock;
+    partials = core::parallel_map(n_blocks, [&](std::size_t b) {
+      Partial part;
+      for (auto& sums : part.hour_sums) sums.assign(n_hours, 0);
+      const std::size_t d0 = b * kDeviceBlock;
+      const std::size_t d1 = std::min(d0 + kDeviceBlock, n_devices);
+      static_assert(kBinsPerHour == 6);
+      for (std::size_t d = d0; d < d1; ++d) {
+        const std::size_t begin = idx->device_begin(d);
+        const std::uint32_t* p[4];
+        for (int s = 0; s < 4; ++s) p[s] = cols[s].data() + begin;
+        const CellTech* t = tech.data() + begin;
+        for (std::size_t h = 0; h < n_hours; ++h) {
+          for (int j = 0; j < kBinsPerHour; ++j) {
+            const std::uint32_t rx = p[0][j];
+            if (rx != 0) {
+              part.total += rx;
+              if (t[j] == CellTech::Lte) part.lte += rx;
+            }
+          }
+          for (int s = 0; s < 4; ++s) {
+            part.hour_sums[s][h] += std::uint64_t{p[s][0]} + p[s][1] +
+                                    p[s][2] + p[s][3] + p[s][4] + p[s][5];
+            p[s] += kBinsPerHour;
+          }
+          t += kBinsPerHour;
+        }
+      }
+      return part;
+    });
+  } else {
+    const std::span<const TimeBin> bin = idx->bin();
+    const std::size_t n = bin.size();
+    partials = core::parallel_map(num_chunks(n), [&](std::size_t c) {
+      Partial part;
+      for (auto& sums : part.hour_sums) sums.assign(n_hours, 0);
+      const std::size_t begin = c * kScanChunk;
+      const std::size_t end = std::min(begin + kScanChunk, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto hour = static_cast<std::size_t>(bin[i] / kBinsPerHour);
+        for (int s = 0; s < 4; ++s) part.hour_sums[s][hour] += cols[s][i];
+        const std::uint32_t rx = cols[0][i];
+        if (rx != 0) {
+          part.total += rx;
+          if (tech[i] == CellTech::Lte) part.lte += rx;
+        }
+      }
+      return part;
+    });
+  }
+  for (const Partial& p : partials) {
+    for (int s = 0; s < 4; ++s) {
+      for (std::size_t h = 0; h < n_hours; ++h) {
+        out.hour_sums[s][h] += p.hour_sums[s][h];
+      }
+    }
+    out.lte.lte += p.lte;
+    out.lte.total += p.total;
+  }
+  return out;
+}
+
 HourlySeries hourly_series_from_sums(std::span<const std::uint64_t> sums) {
   HourlySeries out;
   out.mbps.resize(sums.size());

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/classify.h"
+#include "analysis/volumes.h"
 #include "core/records.h"
 
 namespace tokyonet::analysis {
@@ -45,6 +46,21 @@ enum class Stream : std::uint8_t {
 /// The Mbps conversion aggregate_series() applies to its hour sums.
 [[nodiscard]] HourlySeries hourly_series_from_sums(
     std::span<const std::uint64_t> sums);
+
+/// Every per-stream hour-sum vector plus the LTE byte sums, from one
+/// fused pass over the traffic columns. Byte-identical to four
+/// aggregate_hour_sums() calls and one lte_traffic_sums() call — all
+/// accumulators are exact u64 sums, so fusing the loops changes only
+/// the order of associative additions — at roughly a quarter of the
+/// column traffic. The out-of-core shard scan (analysis/sharded.h) is
+/// the hot caller: it pays this pass once per shard.
+struct AllStreamSums {
+  /// Indexed by Stream (CellRx, CellTx, WifiRx, WifiTx).
+  std::vector<std::uint64_t> hour_sums[4];
+  LteTrafficSums lte;
+};
+
+[[nodiscard]] AllStreamSums aggregate_all_streams(const Dataset& ds);
 
 /// Fig 11: WiFi traffic restricted to APs of one inferred class
 /// (office = ApClass::Other with the office flag).

@@ -170,19 +170,44 @@ ApClassificationBuilder::ApClassificationBuilder(std::size_t n_devices,
 
 ApClassificationBuilder::~ApClassificationBuilder() = default;
 
-void ApClassificationBuilder::add_device_block(const Dataset& block,
-                                               std::size_t device_base) {
+struct ApClassificationBuilder::BlockStats::Impl {
+  std::vector<DeviceApStats> per_device;
+  std::vector<DeviceInfo> devices;  // the block's (local-id) device table
+};
+
+ApClassificationBuilder::BlockStats::BlockStats() = default;
+ApClassificationBuilder::BlockStats::BlockStats(BlockStats&&) noexcept =
+    default;
+ApClassificationBuilder::BlockStats&
+ApClassificationBuilder::BlockStats::operator=(BlockStats&&) noexcept =
+    default;
+ApClassificationBuilder::BlockStats::~BlockStats() = default;
+
+ApClassificationBuilder::BlockStats ApClassificationBuilder::scan_block(
+    const Dataset& block) const {
   // Per-device scans run in parallel; each returns the compact per-AP
-  // statistics its stream contributes plus its home-AP verdict.
-  const std::vector<DeviceApStats> per_device =
+  // statistics its stream contributes plus its home-AP verdict. Only
+  // impl_->opt / impl_->min_bins are read, so concurrent scan_block()
+  // calls on different blocks never race.
+  BlockStats stats;
+  stats.impl_ = std::make_unique<BlockStats::Impl>();
+  stats.impl_->per_device =
       core::parallel_map(block.devices.size(), [&](std::size_t i) {
         return scan_device(block, impl_->opt, block.devices[i],
                            impl_->min_bins);
       });
+  stats.impl_->devices = block.devices;
+  return stats;
+}
 
+void ApClassificationBuilder::merge_block(BlockStats block_stats,
+                                          std::size_t device_base) {
   // Ordered merge into the per-AP aggregates. Counts merge by addition
   // and cell sets by union, so the merged totals equal the serial
   // one-pass totals exactly.
+  const std::vector<DeviceApStats>& per_device =
+      block_stats.impl_->per_device;
+  const std::vector<DeviceInfo>& block_devices = block_stats.impl_->devices;
   ApClassification& out = impl_->out;
   for (std::size_t i = 0; i < per_device.size(); ++i) {
     const DeviceApStats& stats = per_device[i];
@@ -194,11 +219,16 @@ void ApClassificationBuilder::add_device_block(const Dataset& block,
                                           per_ap.cells_seen.end());
     }
     if (stats.home_ap != value(kNoAp)) {
-      out.home_ap_of_device[device_base + value(block.devices[i].id)] =
+      out.home_ap_of_device[device_base + value(block_devices[i].id)] =
           ApId{stats.home_ap};
       out.ap_class[stats.home_ap] = ApClass::Home;
     }
   }
+}
+
+void ApClassificationBuilder::add_device_block(const Dataset& block,
+                                               std::size_t device_base) {
+  merge_block(scan_block(block), device_base);
 }
 
 ApClassification ApClassificationBuilder::finish(

@@ -88,6 +88,33 @@ class ApClassificationBuilder {
   /// device indices start at `device_base`.
   void add_device_block(const Dataset& block, std::size_t device_base);
 
+  /// The per-device statistics one block contributes, detached from the
+  /// builder's accumulators so blocks can be scanned concurrently.
+  class BlockStats {
+   public:
+    BlockStats();
+    BlockStats(BlockStats&&) noexcept;
+    BlockStats& operator=(BlockStats&&) noexcept;
+    ~BlockStats();
+
+   private:
+    friend class ApClassificationBuilder;
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+  };
+
+  /// The scan half of add_device_block(): a pure function of `block`
+  /// and the builder's options, touching no builder state — safe to
+  /// call from several threads at once (the parallel shard scan in
+  /// analysis/sharded.h does).
+  [[nodiscard]] BlockStats scan_block(const Dataset& block) const;
+
+  /// The merge half: folds a scanned block whose global device indices
+  /// start at `device_base` into the accumulators. Not thread-safe;
+  /// call in device order from one thread. add_device_block(b, base) ==
+  /// merge_block(scan_block(b), base).
+  void merge_block(BlockStats stats, std::size_t device_base);
+
   /// Final per-AP classification pass; `aps` is the global universe.
   [[nodiscard]] ApClassification finish(const std::vector<ApInfo>& aps);
 

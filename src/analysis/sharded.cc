@@ -1,14 +1,38 @@
 #include "analysis/sharded.h"
 
+#include <algorithm>
+#include <condition_variable>
 #include <cstddef>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
 
 #include "analysis/common.h"
 
 namespace tokyonet::analysis {
+namespace {
+
+/// Everything one shard contributes to the accumulators, detached from
+/// them so shards can be scanned concurrently and folded in strict
+/// shard order. All sample-heavy state (the shard itself) is gone by
+/// the time a partial exists; a partial is O(shard devices + touched
+/// APs).
+struct ShardPartial {
+  std::vector<DeviceInfo> devices;  // rebased to global indices
+  UpdateDetection det;              // shard-local device indices
+  UserTypeCounts type_counts;
+  stats::LogHist2d heatmap{-2.0, 3.0, 3};
+  AllStreamSums sums;
+  ApClassificationBuilder::BlockStats cls;
+  std::vector<OffloadDeviceMetrics> offload;
+};
+
+}  // namespace
 
 ShardedContext::ShardedContext(io::ShardedDataset& store) : store_(&store) {}
 
-io::SnapshotResult ShardedContext::scan() {
+io::SnapshotResult ShardedContext::scan(const ShardedScanOptions& opt) {
   const io::ShardManifest& m = store_->manifest();
   year_ = store_->year();
   calendar_ = store_->calendar();
@@ -18,31 +42,40 @@ io::SnapshotResult ShardedContext::scan() {
   const auto n_devices = static_cast<std::size_t>(m.n_devices);
   const auto n_aps = static_cast<std::size_t>(m.n_aps);
   const auto n_hours = static_cast<std::size_t>(num_days_) * 24;
+  const std::size_t n_shards = store_->num_shards();
 
-  devices_.clear();
-  devices_.reserve(n_devices);
-  for (auto& sums : hour_sums_) sums.assign(n_hours, 0);
-  lte_ = {};
-  type_counts_ = {};
-  heatmap_ = stats::LogHist2d(-2.0, 3.0, 3);
-  updates_ = {};
-  updates_.update_bin.assign(n_devices, -1);
-  offload_metrics_.clear();
-  offload_metrics_.reserve(n_devices);
+  // Called up front and again on any shard error, so a failed scan
+  // never leaves a partial fold behind.
+  auto reset = [&] {
+    devices_.clear();
+    devices_.reserve(n_devices);
+    for (auto& sums : hour_sums_) sums.assign(n_hours, 0);
+    lte_ = {};
+    type_counts_ = {};
+    heatmap_ = stats::LogHist2d(-2.0, 3.0, 3);
+    updates_ = {};
+    updates_.update_bin.assign(n_devices, -1);
+    classification_ = {};
+    offload_metrics_.clear();
+    offload_metrics_.reserve(n_devices);
+  };
+  reset();
 
   ApClassificationBuilder cls_builder(n_devices, n_aps);
 
-  for (std::size_t i = 0; i < store_->num_shards(); ++i) {
-    Dataset shard;
-    const io::SnapshotResult r = store_->load_shard(i, shard);
-    if (!r.ok()) return r;
-    const std::size_t base = store_->device_begin(i);
+  // The scan half: a pure function of one shard (plus the campaign
+  // frame and the builder's options), touching no accumulator — safe to
+  // run for several shards at once.
+  auto scan_shard = [&](const Dataset& shard,
+                        std::size_t base) -> ShardPartial {
+    ShardPartial p;
 
     // Device table, rebased to global indices.
+    p.devices.reserve(shard.devices.size());
     for (const DeviceInfo& d : shard.devices) {
       DeviceInfo g = d;
       g.id = DeviceId{static_cast<std::uint32_t>(base + value(d.id))};
-      devices_.push_back(g);
+      p.devices.push_back(g);
     }
 
     // §3.7 update detection: per-device, shard-local indices. The
@@ -52,38 +85,140 @@ io::SnapshotResult ShardedContext::scan() {
     // March 10th is day 9 (0-based) of the 2015 calendar; earlier
     // campaigns have no in-campaign release (AnalysisContext::updates).
     uopt.min_day = year_ == Year::Y2015 ? 9 : num_days_;
-    const UpdateDetection det = detect_updates(shard, uopt);
-    updates_.num_ios += det.num_ios;
-    updates_.num_updated += det.num_updated;
-    for (std::size_t d = 0; d < det.update_bin.size(); ++d) {
-      updates_.update_bin[base + d] = det.update_bin[d];
-    }
+    p.det = detect_updates(shard, uopt);
 
     // Fig 5: the shard's user-day rollup (§2 cleaning applied) feeds
     // the additive user-type tallies and the heat map, then dies with
     // the shard — no campaign-wide day vector is ever resident.
     UserDayOptions dopt;
-    dopt.update_bin_by_device = &det.update_bin;
+    dopt.update_bin_by_device = &p.det.update_bin;
     const std::vector<UserDay> days = user_days(shard, dopt);
-    accumulate_user_type_counts(type_counts_, shard.devices.size(), days);
-    accumulate_user_day_heatmap(heatmap_, days);
+    accumulate_user_type_counts(p.type_counts, shard.devices.size(), days);
+    accumulate_user_day_heatmap(p.heatmap, days);
 
-    // Fig 2 / Table 1: exact integer partial sums.
-    for (int s = 0; s < 4; ++s) {
-      const std::vector<std::uint64_t> part =
-          aggregate_hour_sums(shard, static_cast<Stream>(s));
-      for (std::size_t h = 0; h < n_hours; ++h) hour_sums_[s][h] += part[h];
-    }
-    const LteTrafficSums lte = lte_traffic_sums(shard);
-    lte_.lte += lte.lte;
-    lte_.total += lte.total;
+    // Fig 2 / Table 1: exact integer partial sums, all four streams and
+    // the LTE tallies in one fused pass over the sample column.
+    p.sums = aggregate_all_streams(shard);
 
     // Table 4 / §3.5: per-device products in device order.
-    cls_builder.add_device_block(shard, base);
-    const std::vector<OffloadDeviceMetrics> metrics =
-        offload_device_metrics(shard);
-    offload_metrics_.insert(offload_metrics_.end(), metrics.begin(),
-                            metrics.end());
+    p.cls = cls_builder.scan_block(shard);
+    p.offload = offload_device_metrics(shard);
+    return p;
+  };
+
+  // The fold half: shard-order-dependent, single-threaded. Every merge
+  // is u64/counter addition, set union or a device-order concatenation,
+  // so folding partials in shard order reproduces the sequential scan
+  // byte-identically (DESIGN.md §5j).
+  auto fold_partial = [&](ShardPartial&& p, std::size_t base) {
+    devices_.insert(devices_.end(), p.devices.begin(), p.devices.end());
+    updates_.num_ios += p.det.num_ios;
+    updates_.num_updated += p.det.num_updated;
+    for (std::size_t d = 0; d < p.det.update_bin.size(); ++d) {
+      updates_.update_bin[base + d] = p.det.update_bin[d];
+    }
+    type_counts_.cell_intensive += p.type_counts.cell_intensive;
+    type_counts_.wifi_intensive += p.type_counts.wifi_intensive;
+    type_counts_.mixed += p.type_counts.mixed;
+    type_counts_.active += p.type_counts.active;
+    type_counts_.mixed_days += p.type_counts.mixed_days;
+    type_counts_.mixed_above += p.type_counts.mixed_above;
+    heatmap_.merge(p.heatmap);
+    for (int s = 0; s < 4; ++s) {
+      for (std::size_t h = 0; h < n_hours; ++h) {
+        hour_sums_[s][h] += p.sums.hour_sums[s][h];
+      }
+    }
+    lte_.lte += p.sums.lte.lte;
+    lte_.total += p.sums.lte.total;
+    cls_builder.merge_block(std::move(p.cls), base);
+    offload_metrics_.insert(offload_metrics_.end(), p.offload.begin(),
+                            p.offload.end());
+  };
+
+  if (opt.resident_shards == 0) {
+    // Strict sequential scan: one shard resident at a time (the PR 8
+    // path and memory bound).
+    for (std::size_t i = 0; i < n_shards; ++i) {
+      Dataset shard;
+      const io::SnapshotResult r = store_->load_shard(i, shard);
+      if (!r.ok()) {
+        reset();
+        return r;
+      }
+      const std::size_t base = store_->device_begin(i);
+      fold_partial(scan_shard(shard, base), base);
+    }
+  } else {
+    // Pipelined scan: the prefetcher's loader thread stays one load
+    // ahead while up to K scanner threads turn delivered shards into
+    // partials; this thread folds the partials in shard order. Residency
+    // tokens bound live shard payloads to K+1 (K being scanned + one
+    // loading); folded-but-unconsumed partials are O(devices + aps).
+    const std::size_t k = opt.resident_shards;
+    io::ShardPrefetcher prefetcher(*store_, k + 1);
+
+    struct Slots {
+      std::mutex mu;
+      std::condition_variable cv;
+      std::vector<std::optional<ShardPartial>> partials;
+      std::size_t error_index;  // first failed shard, n_shards if none
+      io::SnapshotResult error;
+    };
+    Slots slots;
+    slots.partials.resize(n_shards);
+    slots.error_index = n_shards;
+
+    auto worker = [&] {
+      io::ShardPrefetcher::Loaded item;
+      while (prefetcher.next(item)) {
+        if (!item.result.ok()) {
+          std::lock_guard<std::mutex> lk(slots.mu);
+          if (item.index < slots.error_index) {
+            slots.error_index = item.index;
+            slots.error = item.result;
+          }
+          slots.cv.notify_all();
+          return;
+        }
+        const std::size_t idx = item.index;
+        ShardPartial p = scan_shard(item.dataset, store_->device_begin(idx));
+        // Drop the shard payload (and its residency token) before
+        // parking the partial for the folder.
+        item = io::ShardPrefetcher::Loaded{};
+        std::lock_guard<std::mutex> lk(slots.mu);
+        slots.partials[idx] = std::move(p);
+        slots.cv.notify_all();
+      }
+    };
+
+    std::vector<std::thread> workers;
+    const std::size_t n_workers = std::min(k, n_shards);
+    workers.reserve(n_workers);
+    for (std::size_t w = 0; w < n_workers; ++w) workers.emplace_back(worker);
+
+    io::SnapshotResult err;
+    for (std::size_t i = 0; i < n_shards; ++i) {
+      std::unique_lock<std::mutex> lk(slots.mu);
+      slots.cv.wait(lk, [&] {
+        return slots.partials[i].has_value() || slots.error_index <= i;
+      });
+      if (slots.error_index <= i) {
+        // Shards >= error_index were never delivered; everything before
+        // it has already been folded.
+        err = slots.error;
+        break;
+      }
+      ShardPartial p = std::move(*slots.partials[i]);
+      slots.partials[i].reset();
+      lk.unlock();
+      fold_partial(std::move(p), store_->device_begin(i));
+    }
+    for (std::thread& t : workers) t.join();
+    if (!err.ok()) {
+      reset();
+      return err;
+    }
   }
 
   classification_ = cls_builder.finish(store_->universe_aps());

@@ -1,8 +1,9 @@
-// Out-of-core analysis over a sharded campaign store (DESIGN.md §5i).
+// Out-of-core analysis over a sharded campaign store (DESIGN.md §5i,
+// pipelined in §5j).
 //
 // ShardedContext is the bounded-memory counterpart of AnalysisContext:
-// one sequential pass over the shards of an io::ShardedDataset, holding
-// a single fully-indexed shard in memory at a time, accumulating only
+// one pass over the shards of an io::ShardedDataset, holding a bounded
+// number of fully-indexed shards in memory at a time, accumulating only
 // O(devices + aps) state between shards. Every product it exposes is
 // byte-identical to running the corresponding in-memory kernel on the
 // materialized campaign, because each accumulator is one of:
@@ -39,6 +40,24 @@
 
 namespace tokyonet::analysis {
 
+/// How many shards the scan may keep resident (the K of DESIGN.md §5j,
+/// --resident-shards / TOKYONET_RESIDENT_SHARDS):
+///   0  strict sequential — load shard i, scan it, drop it, load i+1;
+///      peak residency is exactly one shard (the PR 8 bound);
+///   1  pipelined (the default) — an io::ShardPrefetcher loads shard
+///      i+1 while the caller's thread scans shard i; peak residency is
+///      exactly two shards;
+///   K  K >= 2: K scanner threads consume prefetched shards
+///      concurrently, each computing that shard's monoid partial, and
+///      the caller's thread folds the partials in strict shard order;
+///      peak residency is at most K+1 shards.
+/// The products are byte-identical at every (threads, shards, K): each
+/// per-shard partial is thread-count-independent, and the cross-shard
+/// fold is the same ordered fold at every K.
+struct ShardedScanOptions {
+  std::size_t resident_shards = 1;
+};
+
 class ShardedContext {
  public:
   /// Borrows `store` (must be open and outlive the context). Call
@@ -48,10 +67,12 @@ class ShardedContext {
   ShardedContext(const ShardedContext&) = delete;
   ShardedContext& operator=(const ShardedContext&) = delete;
 
-  /// The one sequential pass. Loads shard i, folds its contribution
-  /// into every accumulator, drops it, moves to shard i+1. Peak memory
-  /// is one shard plus the O(devices + aps) running state.
-  [[nodiscard]] io::SnapshotResult scan();
+  /// The one pass. Computes every shard's partial (sequentially,
+  /// pipelined or K-wide per `opt`), folds the partials into the
+  /// accumulators in shard order, and finishes the classification. On
+  /// any shard error the accumulators are reset — no partial fold
+  /// escapes — and the error is returned on this thread.
+  [[nodiscard]] io::SnapshotResult scan(const ShardedScanOptions& opt = {});
 
   // Campaign frame.
   [[nodiscard]] Year year() const noexcept { return year_; }

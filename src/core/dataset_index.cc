@@ -151,10 +151,16 @@ std::shared_ptr<const DatasetIndex> DatasetIndex::build(const Dataset& ds) {
 
   // One parallel chunked pass projects the SoA columns and verifies the
   // Dataset contract at the same time: every sample must reference a
-  // known device, carry an in-calendar bin, and follow its predecessor
-  // in (device, bin) order. Each chunk also checks the ordering edge to
-  // its predecessor chunk, so coverage is seamless. Any violation makes
-  // build() return nullptr instead of silently indexing a wrong stream.
+  // known device, carry an in-calendar bin, reference only known APs
+  // and app-traffic rows, and follow its predecessor in (device, bin)
+  // order. Each chunk also checks the ordering edge to its predecessor
+  // chunk, so coverage is seamless. Any violation makes build() return
+  // nullptr instead of silently indexing a wrong stream. The per-sample
+  // rules match Dataset::validate() exactly, so loaders may pair
+  // validate_frame() with this build instead of a separate full
+  // validate() sweep.
+  const std::size_t n_aps = ds.aps.size();
+  const std::size_t n_apps = ds.app_traffic.size();
   constexpr std::size_t kChunk = 1 << 16;
   const std::size_t n_chunks = (n + kChunk - 1) / kChunk;
   const std::vector<char> chunk_ok =
@@ -165,6 +171,8 @@ std::shared_ptr<const DatasetIndex> DatasetIndex::build(const Dataset& ds) {
           const Sample& s = ss[i];
           if (value(s.device) >= n_devices) return 0;
           if (std::size_t{s.bin} >= n_bins) return 0;
+          if (s.ap != kNoAp && value(s.ap) >= n_aps) return 0;
+          if (std::size_t{s.app_begin} + s.app_count > n_apps) return 0;
           if (i > 0) {
             const Sample& p = ss[i - 1];
             if (value(p.device) > value(s.device) ||

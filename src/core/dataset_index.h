@@ -43,8 +43,11 @@ class DatasetIndex {
   /// Builds the index for `ds`. Returns nullptr — instead of silently
   /// building a wrong index — when the sample stream violates the
   /// Dataset contract: samples not sorted by (device, bin), a sample
-  /// referencing a device outside `ds.devices`, or a bin outside the
-  /// campaign calendar.
+  /// referencing a device outside `ds.devices`, an AP outside `ds.aps`,
+  /// an app-traffic range outside `ds.app_traffic`, or a bin outside
+  /// the campaign calendar. These are exactly Dataset::validate()'s
+  /// per-sample rules, so a loader that runs build() right after
+  /// Dataset::validate_frame() gets full validation in one sweep.
   [[nodiscard]] static std::shared_ptr<const DatasetIndex> build(
       const Dataset& ds);
 

@@ -40,4 +40,48 @@ namespace tokyonet::core {
   return h;
 }
 
+/// Hashes four independent byte streams in one interleaved loop,
+/// producing out[l] == hash_bytes(data[l], n[l], seed[l]) exactly. The
+/// fold's serial multiply chain limits hash_bytes() to ~1 word per
+/// ~10 cycles; interleaving four chains keeps the multiplier busy and
+/// roughly triples single-thread checksum throughput (used by
+/// io/snapshot's chunked section checksums, whose per-chunk hashes are
+/// independent by construction). Same bytes, same seeds, same results —
+/// this is a scheduling change, not a format change.
+inline void hash_bytes_x4(const void* const data[4], const std::size_t n[4],
+                          const std::uint64_t seed[4],
+                          std::uint64_t out[4]) noexcept {
+  const std::uint8_t* p[4];
+  std::uint64_t h[4];
+  for (int l = 0; l < 4; ++l) {
+    p[l] = static_cast<const std::uint8_t*>(data[l]);
+    h[l] = mix64(seed[l] ^ (0x9E3779B97F4A7C15ull + n[l]));
+  }
+  std::size_t common = n[0];
+  for (int l = 1; l < 4; ++l) common = n[l] < common ? n[l] : common;
+  std::size_t i = 0;
+  for (; i + 8 <= common; i += 8) {
+    for (int l = 0; l < 4; ++l) {
+      std::uint64_t w;
+      std::memcpy(&w, p[l] + i, 8);
+      h[l] = mix64(h[l] ^ w);
+    }
+  }
+  for (int l = 0; l < 4; ++l) {
+    std::size_t j = i;
+    std::uint64_t hl = h[l];
+    for (; j + 8 <= n[l]; j += 8) {
+      std::uint64_t w;
+      std::memcpy(&w, p[l] + j, 8);
+      hl = mix64(hl ^ w);
+    }
+    if (j < n[l]) {
+      std::uint64_t w = 0;
+      std::memcpy(&w, p[l] + j, n[l] - j);
+      hl = mix64(hl ^ w ^ (std::uint64_t{n[l] - j} << 56));
+    }
+    out[l] = hl;
+  }
+}
+
 }  // namespace tokyonet::core

@@ -36,10 +36,9 @@ std::span<const Sample> Dataset::device_samples(DeviceId id) const {
   return {samples.data() + begin, end - begin};
 }
 
-std::string Dataset::validate() const {
+std::string Dataset::validate_frame() const {
   const std::size_t n_devices = devices.size();
   const std::size_t n_aps = aps.size();
-  const std::size_t n_apps = app_traffic.size();
   const std::size_t n_days = static_cast<std::size_t>(calendar.num_days());
 
   for (std::size_t i = 0; i < n_devices; ++i) {
@@ -69,6 +68,14 @@ std::string Dataset::validate() const {
              std::to_string(n_days) + "-day campaign";
     }
   }
+  return {};
+}
+
+std::string Dataset::validate() const {
+  if (std::string err = validate_frame(); !err.empty()) return err;
+  const std::size_t n_devices = devices.size();
+  const std::size_t n_aps = aps.size();
+  const std::size_t n_apps = app_traffic.size();
 
   // The sample scan dominates (millions of rows at scale); split it into
   // chunks checked in parallel. Each chunk also checks the ordering edge

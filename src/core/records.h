@@ -38,6 +38,11 @@ inline constexpr GeoCell kNoGeoCell = 0xFFFF;
 /// (Android only; iOS reports a single `Unknown` aggregate, §2).
 struct AppTraffic {
   AppCategory category = AppCategory::Unknown;
+  /// Explicit padding, always zero: these records are serialized raw
+  /// (io/snapshot.cc), so compiler-inserted padding would leak
+  /// indeterminate bytes into snapshot files and break byte-level
+  /// write determinism.
+  std::uint8_t reserved[3] = {};
   std::uint32_t rx_bytes = 0;
   std::uint32_t tx_bytes = 0;
 };
@@ -50,6 +55,8 @@ struct DeviceInfo {
   /// True for recruited participants (who also answer the survey);
   /// false for organic app-store installs (§2).
   bool recruited = true;
+  /// Explicit padding, always zero (serialized raw — see AppTraffic).
+  std::uint8_t reserved = 0;
 };
 
 /// Observable identity of a WiFi access point, as seen by a device that
@@ -174,6 +181,8 @@ struct DeviceTruth {
 /// Ground truth about one AP.
 struct ApTruth {
   ApPlacement placement = ApPlacement::Public;
+  /// Explicit padding, always zero (serialized raw — see AppTraffic).
+  std::uint8_t reserved = 0;
   GeoCell cell = kNoGeoCell;
 };
 
@@ -230,6 +239,14 @@ class Dataset {
   /// problem. Snapshot loads call this before trusting a file; the
   /// sample scan runs on the core/parallel pool.
   [[nodiscard]] std::string validate() const;
+
+  /// The non-sample half of validate(): device-id/survey/ground-truth
+  /// shape checks only, O(devices + aps). Loaders that immediately run
+  /// build_index() — whose projection pass verifies every per-sample
+  /// rule validate() would — pair this with the index build instead of
+  /// paying a second full sweep of the sample array (io/shard_store
+  /// does).
+  [[nodiscard]] std::string validate_frame() const;
 
   /// True once build_index() has succeeded and matches the current
   /// sample count.

@@ -2,10 +2,16 @@
 
 #include <cerrno>
 #include <cinttypes>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <deque>
+#include <mutex>
 #include <span>
+#include <string_view>
 #include <system_error>
+#include <thread>
 
 #include "core/hash.h"
 
@@ -118,6 +124,15 @@ void append_line(std::string& out, const char* fmt, auto... args) {
 bool is_shard_dir(const fs::path& dir) {
   std::error_code ec;
   return fs::is_regular_file(dir / kShardManifestName, ec);
+}
+
+std::size_t resident_shards_from_env(std::size_t fallback) noexcept {
+  const char* env = std::getenv("TOKYONET_RESIDENT_SHARDS");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0') return fallback;
+  return static_cast<std::size_t>(v);
 }
 
 SnapshotResult write_shard_manifest(const ShardManifest& m,
@@ -374,6 +389,18 @@ SnapshotResult ShardedDataset::open(const fs::path& dir, ShardedDataset& out,
   out.year_ = u.year;
   out.calendar_ = u.calendar;
   out.dir_ = dir;
+
+  // Once-per-open payload verification state: cleared flags here, set
+  // by the first successful load of each shard.
+  const std::size_t n_shards = out.manifest_.shards.size();
+  out.payload_verified_ =
+      std::shared_ptr<std::atomic<bool>[]>(new std::atomic<bool>[n_shards]);
+  for (std::size_t i = 0; i < n_shards; ++i) {
+    out.payload_verified_.get()[i].store(false, std::memory_order_relaxed);
+  }
+  const char* verify_env = std::getenv("TOKYONET_SHARD_VERIFY");
+  out.verify_always_ =
+      verify_env != nullptr && std::string_view(verify_env) == "always";
   return result;
 }
 
@@ -390,9 +417,16 @@ SnapshotResult ShardedDataset::load_shard(std::size_t i, Dataset& out,
 
   // The shard file carries no AP universe, so its samples reference APs
   // it does not hold: load deferred, install the shared universe, then
-  // run the full validate + index pass ourselves.
+  // validate + index ourselves. Payload checksums are rehashed only on
+  // the shard's first load this open (or always, under
+  // TOKYONET_SHARD_VERIFY=always); header and manifest identity checks
+  // run on every load.
   SnapshotLoadOptions sopts = opts;
   sopts.defer_validate = true;
+  const bool verified =
+      payload_verified_ != nullptr &&
+      payload_verified_.get()[i].load(std::memory_order_acquire);
+  if (verified && !verify_always_) sopts.verify_payload = false;
   SnapshotInfo info;
   result = load_snapshot(path, out, sopts, &info);
   if (!result.ok()) return result;
@@ -405,7 +439,12 @@ SnapshotResult ShardedDataset::load_shard(std::size_t i, Dataset& out,
   out.aps = aps_;
   out.truth.aps = truth_aps_;
 
-  const std::string invalid = out.validate();
+  // validate_frame() covers the non-sample shapes; build_index()'s
+  // projection pass enforces every per-sample rule validate() would
+  // (ordering, device/AP/app-range/bin bounds) in the same sweep that
+  // builds the SoA columns, so the sample array is walked once, not
+  // twice.
+  const std::string invalid = out.validate_frame();
   if (!invalid.empty()) {
     out = Dataset{};
     result.error = path.string() + ": invalid shard dataset: " + invalid;
@@ -413,15 +452,20 @@ SnapshotResult ShardedDataset::load_shard(std::size_t i, Dataset& out,
   }
   if (!out.build_index()) {
     out = Dataset{};
-    result.error =
-        path.string() + ": invalid shard dataset: samples not ordered";
+    result.error = path.string() +
+                   ": invalid shard dataset: sample stream unordered or "
+                   "referencing out-of-range device/AP/app records";
     return result;
+  }
+  if (payload_verified_ != nullptr && sopts.verify_payload) {
+    payload_verified_.get()[i].store(true, std::memory_order_release);
   }
   return result;
 }
 
 SnapshotResult ShardedDataset::materialize(Dataset& out,
-                                           const SnapshotLoadOptions& opts) {
+                                           const SnapshotLoadOptions& opts,
+                                           std::size_t resident_shards) {
   SnapshotResult result;
   out = Dataset{};
   out.year = year_;
@@ -433,19 +477,28 @@ SnapshotResult ShardedDataset::materialize(Dataset& out,
       static_cast<std::size_t>(manifest_.n_samples));
   out.app_traffic.reserve(static_cast<std::size_t>(manifest_.n_app_traffic));
 
-  std::size_t device_base = 0, sample_base = 0;
-  for (std::size_t i = 0; i < manifest_.shards.size(); ++i) {
+  // Concatenation reads raw shard snapshots (no per-shard universe
+  // install or index build; the result is validated and indexed once,
+  // below). With resident_shards >= 1 the next shard's load — read plus
+  // checksum — overlaps the current shard's rebase on one background
+  // loader, holding at most two shard payloads at a time.
+  SnapshotLoadOptions sopts = opts;
+  sopts.defer_validate = true;
+  struct RawLoad {
     Dataset shard;
-    SnapshotLoadOptions sopts = opts;
-    sopts.defer_validate = true;  // validated once, on the concatenation
+    SnapshotResult result;
+  };
+  const auto load_raw = [&](std::size_t i) {
+    RawLoad r;
     SnapshotInfo info;
-    result = load_snapshot(dir_ / manifest_.shards[i].file, shard, sopts,
-                           &info);
-    if (!result.ok()) {
-      out = Dataset{};
-      return result;
-    }
+    r.result =
+        load_snapshot(dir_ / manifest_.shards[i].file, r.shard, sopts, &info);
+    return r;
+  };
+  const bool pipelined = resident_shards >= 1 && manifest_.shards.size() > 1;
 
+  std::size_t device_base = 0, sample_base = 0;
+  const auto concat_shard = [&](Dataset& shard) {
     const auto app_base = static_cast<std::uint32_t>(out.app_traffic.size());
     for (const DeviceInfo& d : shard.devices) {
       DeviceInfo g = d;
@@ -478,6 +531,27 @@ SnapshotResult ShardedDataset::materialize(Dataset& out,
 
     device_base += shard.devices.size();
     sample_base += src.size();
+  };
+
+  RawLoad pending;
+  if (pipelined) pending = load_raw(0);
+  for (std::size_t i = 0; i < manifest_.shards.size(); ++i) {
+    RawLoad cur = pipelined ? std::move(pending) : load_raw(i);
+    std::thread loader;
+    if (pipelined && i + 1 < manifest_.shards.size()) {
+      pending = RawLoad{};
+      loader = std::thread([&pending, &load_raw, i] {
+        pending = load_raw(i + 1);
+      });
+    }
+    if (cur.result.ok()) concat_shard(cur.shard);
+    // Join before inspecting the error so `pending` is never abandoned
+    // mid-write.
+    if (loader.joinable()) loader.join();
+    if (!cur.result.ok()) {
+      out = Dataset{};
+      return cur.result;
+    }
   }
 
   out.aps = aps_;
@@ -496,6 +570,110 @@ SnapshotResult ShardedDataset::materialize(Dataset& out,
     return result;
   }
   return result;
+}
+
+// --- ShardPrefetcher ---------------------------------------------------
+
+struct ShardPrefetcher::Impl {
+  /// State shared between the loader thread, the consumer, and any
+  /// still-alive residency tokens (tokens co-own it so a token dropped
+  /// after the prefetcher's destruction stays harmless).
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable token_cv;  // loader waits for a free token
+    std::condition_variable ready_cv;  // consumer waits for a delivery
+    std::size_t free_tokens = 0;
+    bool cancelled = false;
+    bool done = false;
+    std::deque<Loaded> ready;  // in shard order (single loader)
+  };
+  std::shared_ptr<Shared> sh;
+  std::thread loader;
+
+  [[nodiscard]] static std::shared_ptr<void> make_token(
+      std::shared_ptr<Shared> s) {
+    // Store a non-null pointer so the token tests truthy; the deleter
+    // alone carries the semantics (return one residency slot).
+    void* mark = s.get();
+    return std::shared_ptr<void>(mark, [s = std::move(s)](void*) {
+      std::lock_guard<std::mutex> lk(s->mu);
+      ++s->free_tokens;
+      s->token_cv.notify_one();
+    });
+  }
+};
+
+ShardPrefetcher::ShardPrefetcher(ShardedDataset& store,
+                                 std::size_t max_resident,
+                                 const SnapshotLoadOptions& opts)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->sh = std::make_shared<Impl::Shared>();
+  impl_->sh->free_tokens = max_resident < 1 ? 1 : max_resident;
+  impl_->loader = std::thread([sh = impl_->sh, &store, opts] {
+    const std::size_t n = store.num_shards();
+    for (std::size_t i = 0; i < n; ++i) {
+      {
+        std::unique_lock<std::mutex> lk(sh->mu);
+        sh->token_cv.wait(
+            lk, [&] { return sh->free_tokens > 0 || sh->cancelled; });
+        if (sh->cancelled) break;
+        --sh->free_tokens;
+      }
+      Loaded item;
+      item.index = i;
+      item.token = Impl::make_token(sh);
+      item.result = store.load_shard(i, item.dataset, opts);
+      const bool failed = !item.result.ok();
+      {
+        std::lock_guard<std::mutex> lk(sh->mu);
+        sh->ready.push_back(std::move(item));
+        sh->ready_cv.notify_all();
+      }
+      // An errored load is delivered at its position, then the loader
+      // stops: the consumer sees the failure in order with nothing
+      // queued behind it.
+      if (failed) break;
+    }
+    std::lock_guard<std::mutex> lk(sh->mu);
+    sh->done = true;
+    sh->ready_cv.notify_all();
+  });
+}
+
+ShardPrefetcher::~ShardPrefetcher() {
+  cancel();
+  if (impl_->loader.joinable()) impl_->loader.join();
+  // Drain undelivered items outside the lock: each holds a token whose
+  // deleter both locks sh->mu and keeps Shared alive (a reference
+  // cycle through the ready queue if left in place).
+  std::deque<Loaded> undelivered;
+  {
+    std::lock_guard<std::mutex> lk(impl_->sh->mu);
+    undelivered.swap(impl_->sh->ready);
+  }
+}
+
+bool ShardPrefetcher::next(Loaded& out) {
+  Impl::Shared& sh = *impl_->sh;
+  Loaded item;
+  {
+    std::unique_lock<std::mutex> lk(sh.mu);
+    sh.ready_cv.wait(lk, [&] { return !sh.ready.empty() || sh.done; });
+    if (sh.ready.empty()) return false;
+    item = std::move(sh.ready.front());
+    sh.ready.pop_front();
+  }
+  // Assign outside the lock: dropping the caller's *previous* Loaded
+  // releases its residency token, whose deleter locks sh.mu.
+  out = std::move(item);
+  return true;
+}
+
+void ShardPrefetcher::cancel() {
+  Impl::Shared& sh = *impl_->sh;
+  std::lock_guard<std::mutex> lk(sh.mu);
+  sh.cancelled = true;
+  sh.token_cv.notify_all();
 }
 
 }  // namespace tokyonet::io

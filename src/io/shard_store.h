@@ -40,9 +40,11 @@
 // tests/shard_store_test.cc).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -89,6 +91,14 @@ struct ShardManifest {
 
 /// True when `dir` looks like a shard directory (has MANIFEST.tks).
 [[nodiscard]] bool is_shard_dir(const std::filesystem::path& dir);
+
+/// Resident-shard budget from TOKYONET_RESIDENT_SHARDS (the K in
+/// DESIGN.md §5j): 0 = strict sequential scan, 1 = prefetch one shard
+/// ahead (the default), K >= 2 = scan K shards concurrently. Unset or
+/// unparsable values fall back to `fallback`; the CLI's
+/// --resident-shards flag overrides this.
+[[nodiscard]] std::size_t resident_shards_from_env(
+    std::size_t fallback = 1) noexcept;
 
 /// Writes `m` as <dir>/MANIFEST.tks atomically (tmp + rename). Call
 /// only after every referenced file is in place: the manifest's
@@ -144,15 +154,27 @@ class ShardedDataset {
   /// are shard-local; add device_begin(i) to rebase. Only the returned
   /// dataset's samples are resident — dropping it before loading the
   /// next shard keeps memory bounded by one shard.
+  ///
+  /// Payload checksums are verified once per open: the first load of a
+  /// shard rehashes every section; later loads of the same shard skip
+  /// the rehash (header and manifest identity checks always run).
+  /// Setting TOKYONET_SHARD_VERIFY=always before open() restores the
+  /// rehash on every load. Thread-safe for distinct or equal `i` — the
+  /// once-per-open bookkeeping is atomic.
   [[nodiscard]] SnapshotResult load_shard(std::size_t i, Dataset& out,
                                           const SnapshotLoadOptions& opts = {});
 
   /// Concatenates every shard into one in-memory Dataset with global
   /// device ids and rebased app-traffic offsets — value-identical to
   /// the in-memory simulation the store was streamed from (and
-  /// byte-identical in the packed sample column).
+  /// byte-identical in the packed sample column). With
+  /// `resident_shards` >= 1 (the default) the next shard's read +
+  /// checksum overlaps the current shard's rebase (at most two shard
+  /// payloads resident beyond the output); 0 loads strictly
+  /// sequentially.
   [[nodiscard]] SnapshotResult materialize(Dataset& out,
-                                           const SnapshotLoadOptions& opts = {});
+                                           const SnapshotLoadOptions& opts = {},
+                                           std::size_t resident_shards = 1);
 
  private:
   std::filesystem::path dir_;
@@ -162,6 +184,64 @@ class ShardedDataset {
   std::vector<ApTruth> truth_aps_;
   Year year_ = Year::Y2015;
   CampaignCalendar calendar_;
+  // Once-per-open payload verification: flag `i` is set after shard i's
+  // section checksums verified in this process. Atomic so the
+  // prefetcher's loader thread and direct load_shard() callers never
+  // race on the bookkeeping.
+  std::shared_ptr<std::atomic<bool>[]> payload_verified_;
+  bool verify_always_ = false;  // TOKYONET_SHARD_VERIFY=always
+};
+
+/// Asynchronous shard loader for pipelined scans (DESIGN.md §5j): a
+/// dedicated loader thread walks shards [0, num_shards) in order and
+/// runs each full load_shard() — read, checksum, universe install,
+/// validation, index build, with the heavy chunked work hosted on the
+/// core/parallel pool — while the consumer scans already-delivered
+/// shards. A token budget bounds residency: at most `max_resident`
+/// shard datasets exist at once, counting both the loader's in-flight
+/// load and every delivered shard whose Loaded is still alive. With
+/// max_resident = 2 the loader is exactly one shard ahead of the
+/// consumer (the double-buffered prefetch); the K-parallel scan uses
+/// K + 1.
+///
+/// Delivery is strictly in shard order. A failed load is delivered at
+/// its position as a Loaded carrying the error, after which the loader
+/// stops — the consumer sees the failure on its own thread, in order,
+/// with no further shards behind it (no hang, no partial fold).
+class ShardPrefetcher {
+ public:
+  struct Loaded {
+    std::size_t index = 0;
+    Dataset dataset;
+    SnapshotResult result;
+    /// Releases this shard's residency token when destroyed; the loader
+    /// cannot start shard j until fewer than max_resident tokens are
+    /// outstanding.
+    std::shared_ptr<void> token;
+  };
+
+  /// Starts loading immediately. `store` must be open and outlive this
+  /// prefetcher. max_resident is clamped to >= 1.
+  ShardPrefetcher(ShardedDataset& store, std::size_t max_resident,
+                  const SnapshotLoadOptions& opts = {});
+  /// Cancels and joins the loader.
+  ~ShardPrefetcher();
+
+  ShardPrefetcher(const ShardPrefetcher&) = delete;
+  ShardPrefetcher& operator=(const ShardPrefetcher&) = delete;
+
+  /// Blocks for the next shard in order. Returns false when every shard
+  /// has been delivered (or the loader stopped after delivering an
+  /// error).
+  [[nodiscard]] bool next(Loaded& out);
+
+  /// Asks the loader to stop after its current load; pending deliveries
+  /// remain readable via next().
+  void cancel();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace tokyonet::io

@@ -95,6 +95,13 @@ struct SnapshotLoadOptions {
   /// the file does not carry — the caller installs the missing tables
   /// and then validates/indexes itself (io/shard_store.cc does).
   bool defer_validate = false;
+  /// When false, skip the per-section payload checksum re-hash (the
+  /// header and section-table checksum is always verified). Only for
+  /// callers that have already payload-verified the same file in this
+  /// process — io/shard_store verifies each shard once per open and
+  /// skips the rehash on later loads (TOKYONET_SHARD_VERIFY=always
+  /// restores the per-load rehash).
+  bool verify_payload = true;
 };
 
 /// Loads and fully verifies a snapshot into `out`. The sample index is

@@ -208,7 +208,10 @@ void Deployment::export_to(Dataset& dataset) const {
   dataset.truth.aps.reserve(aps_.size());
   for (const AccessPoint& ap : aps_) {
     dataset.aps.push_back(ap.info);
-    dataset.truth.aps.push_back(ApTruth{ap.placement, ap.cell});
+    ApTruth t;
+    t.placement = ap.placement;
+    t.cell = ap.cell;
+    dataset.truth.aps.push_back(t);
   }
 }
 

@@ -17,7 +17,8 @@ void Runner::adopt(Year year, Dataset ds) {
 }
 
 io::SnapshotResult Runner::adopt_shards(Year year,
-                                        const std::filesystem::path& dir) {
+                                        const std::filesystem::path& dir,
+                                        std::size_t resident_shards) {
   io::ShardedDataset store;
   if (io::SnapshotResult r = io::ShardedDataset::open(dir, store); !r.ok()) {
     return r;
@@ -32,7 +33,10 @@ io::SnapshotResult Runner::adopt_shards(Year year,
     return {std::move(err)};
   }
   Dataset ds;
-  if (io::SnapshotResult r = store.materialize(ds); !r.ok()) return r;
+  if (io::SnapshotResult r = store.materialize(ds, {}, resident_shards);
+      !r.ok()) {
+    return r;
+  }
   adopt(year, std::move(ds));
   return {};
 }

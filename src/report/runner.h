@@ -58,9 +58,12 @@ class Runner {
   /// Opens a sharded campaign store (io/shard_store.h), materializes it
   /// back into one in-memory Dataset and adopt()s the result as
   /// `year`'s campaign. Fails if the store's campaign year disagrees
-  /// with `year`.
+  /// with `year`. `resident_shards` >= 1 overlaps the next shard's load
+  /// with the current shard's concatenation (io::ShardedDataset::
+  /// materialize); 0 loads strictly sequentially.
   [[nodiscard]] io::SnapshotResult adopt_shards(
-      Year year, const std::filesystem::path& dir);
+      Year year, const std::filesystem::path& dir,
+      std::size_t resident_shards = 1);
 
   /// Renders one figure. For per-year figures `year` must be set (any
   /// campaign year is accepted — `spec.years` lists the paper's

@@ -26,10 +26,11 @@ Table stamp(Table t, std::string_view id, Year year) {
 }  // namespace
 
 io::SnapshotResult run_sharded_battery(io::ShardedDataset& store,
-                                       std::vector<Table>& out) {
+                                       std::vector<Table>& out,
+                                       const analysis::ShardedScanOptions& scan) {
   out.clear();
   analysis::ShardedContext ctx(store);
-  if (io::SnapshotResult r = ctx.scan(); !r.ok()) return r;
+  if (io::SnapshotResult r = ctx.scan(scan); !r.ok()) return r;
 
   const Year year = ctx.year();
   out.push_back(

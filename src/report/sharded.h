@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "analysis/sharded.h"
 #include "io/shard_store.h"
 #include "io/snapshot.h"
 #include "report/table.h"
@@ -18,9 +19,12 @@ namespace tokyonet::report {
 
 /// Renders the headline battery (table01, fig02, fig05, table04,
 /// sec35_opportunity, + fig18 for the 2015 campaign) out-of-core.
-/// `store` must be open; peak memory is one shard plus O(devices+aps)
-/// accumulators. On failure `out` is left empty.
-[[nodiscard]] io::SnapshotResult run_sharded_battery(io::ShardedDataset& store,
-                                                     std::vector<Table>& out);
+/// `store` must be open; peak memory is `scan.resident_shards + 1`
+/// shards (one at resident_shards = 0) plus O(devices+aps)
+/// accumulators, and the emitted tables are byte-identical at every
+/// residency budget. On failure `out` is left empty.
+[[nodiscard]] io::SnapshotResult run_sharded_battery(
+    io::ShardedDataset& store, std::vector<Table>& out,
+    const analysis::ShardedScanOptions& scan = {});
 
 }  // namespace tokyonet::report

@@ -57,7 +57,8 @@ Dataset cached_campaign(const ScenarioConfig& config,
       const io::SnapshotResult r = io::ShardedDataset::open(st.path, store);
       if (r.ok() && store.manifest().scenario_hash == scenario_hash(config)) {
         Dataset ds;
-        const io::SnapshotResult m = store.materialize(ds);
+        const io::SnapshotResult m =
+            store.materialize(ds, {}, io::resident_shards_from_env(1));
         if (m.ok()) {
           st.hit = true;
           return ds;
@@ -80,7 +81,10 @@ Dataset cached_campaign(const ScenarioConfig& config,
     io::ShardedDataset store;
     const io::SnapshotResult r = io::ShardedDataset::open(st.path, store);
     Dataset ds;
-    if (r.ok() && store.materialize(ds).ok()) return ds;
+    if (r.ok() &&
+        store.materialize(ds, {}, io::resident_shards_from_env(1)).ok()) {
+      return ds;
+    }
     st.detail = "cache save unreadable; re-simulating";
     return Simulator(config).run();
   }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <thread>
 #include <system_error>
+#include <vector>
 
 #include "io/snapshot.h"
 #include "sim/engine.h"
@@ -74,42 +76,68 @@ StreamCampaignResult stream_campaign(const ScenarioConfig& config,
   // take one extra device.
   const std::size_t base = n_devices / n_shards;
   const std::size_t extra = n_devices % n_shards;
-  std::size_t begin = 0;
+  std::vector<std::size_t> bounds(n_shards + 1, 0);
   for (std::size_t i = 0; i < n_shards; ++i) {
-    const std::size_t count = base + (i < extra ? 1 : 0);
-    const std::size_t end = begin + count;
+    bounds[i + 1] = bounds[i] + base + (i < extra ? 1 : 0);
+  }
 
-    // One shard's samples in memory at a time; the previous shard's
-    // dataset is destroyed before the next block is simulated.
+  // Pipelined write (DESIGN.md §5j): a writer thread serializes and
+  // checksums block i while this thread simulates block i+1, so at most
+  // two blocks are resident. The blocks' bytes are unaffected — Philox
+  // streams are counter-based, so run_block(i+1) is the same whether or
+  // not block i is still being written. Entries are appended in order
+  // after each writer join.
+  const bool pipelined = opts.pipeline && n_shards > 1;
+  Dataset next;
+  if (pipelined) {
+    next = engine.run_block(bounds[0], bounds[1], /*with_universe=*/false);
+  }
+  for (std::size_t i = 0; i < n_shards; ++i) {
     char name[48];
     std::snprintf(name, sizeof(name), "shard-%04zu.tksnap", i);
-    {
-      const Dataset block =
-          engine.run_block(begin, end, /*with_universe=*/false);
-      const io::SnapshotResult w = io::save_snapshot(block, dir / name, hash);
-      if (!w.ok()) {
-        result.error = w.error;
-        return result;
-      }
-      if (opts.announce) {
-        std::fprintf(stderr,
-                     "tokyonet-stream: shard %zu/%zu devices [%zu, %zu) "
-                     "%zu samples\n",
-                     i + 1, n_shards, begin, end, block.samples.size());
-      }
-    }
+    Dataset block = pipelined ? std::move(next)
+                              : engine.run_block(bounds[i], bounds[i + 1],
+                                                 /*with_universe=*/false);
+    const std::size_t block_samples = block.samples.size();
 
+    std::string write_error;
     io::SnapshotInfo info;
-    const io::SnapshotResult r = io::read_snapshot_info(dir / name, info);
-    if (!r.ok()) {
-      result.error = r.error;
+    auto write_block = [&write_error, &info, hash](const Dataset& b,
+                                                   const fs::path& path) {
+      const io::SnapshotResult w = io::save_snapshot(b, path, hash);
+      if (!w.ok()) {
+        write_error = w.error;
+        return;
+      }
+      const io::SnapshotResult r = io::read_snapshot_info(path, info);
+      if (!r.ok()) write_error = r.error;
+    };
+
+    if (pipelined && i + 1 < n_shards) {
+      std::thread writer(
+          [&write_block, &block, path = dir / name] { write_block(block, path); });
+      next = engine.run_block(bounds[i + 1], bounds[i + 2],
+                              /*with_universe=*/false);
+      writer.join();
+    } else {
+      write_block(block, dir / name);
+    }
+    if (!write_error.empty()) {
+      result.error = write_error;
       return result;
     }
+    if (opts.announce) {
+      std::fprintf(stderr,
+                   "tokyonet-stream: shard %zu/%zu devices [%zu, %zu) "
+                   "%zu samples\n",
+                   i + 1, n_shards, bounds[i], bounds[i + 1], block_samples);
+    }
+
     io::ShardEntry e;
     e.index = static_cast<std::uint32_t>(i);
     e.file = name;
-    e.device_begin = begin;
-    e.device_count = count;
+    e.device_begin = bounds[i];
+    e.device_count = bounds[i + 1] - bounds[i];
     e.n_samples = info.n_samples;
     e.n_app_traffic = info.n_app_traffic;
     e.file_bytes = info.file_bytes;
@@ -117,7 +145,6 @@ StreamCampaignResult stream_campaign(const ScenarioConfig& config,
     m.n_samples += info.n_samples;
     m.n_app_traffic += info.n_app_traffic;
     m.shards.push_back(std::move(e));
-    begin = end;
   }
 
   // The manifest commits the directory — written only now, when every

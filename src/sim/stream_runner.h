@@ -1,14 +1,18 @@
 // Streaming campaign runner: simulate straight into a shard directory,
-// never holding more than one shard's samples in memory.
+// holding at most two shards' samples in memory.
 //
 // stream_campaign() partitions the device panel into contiguous blocks,
 // runs each block through the CampaignEngine (whose counter-based
 // Philox streams make the bytes independent of the partitioning) and
-// saves it as one shard-store snapshot before simulating the next. Peak
-// memory is the campaign-global state (population, deployment) plus a
-// single shard's samples and SoA projections — a scale-1000 (~1.7 M
-// device) campaign streams in a few GB of RSS where the in-memory path
-// would need hundreds.
+// saves it as one shard-store snapshot. By default the write is
+// pipelined (DESIGN.md §5j): a writer thread serializes and checksums
+// block i while the caller's thread simulates block i+1, so at most two
+// blocks are resident and the simulated bytes are unchanged — the
+// pipeline reorders work across blocks, never within one. Peak memory
+// is the campaign-global state (population, deployment) plus two
+// shards' samples and SoA projections — a scale-1000 (~1.7 M device)
+// campaign streams in a few GB of RSS where the in-memory path would
+// need hundreds.
 //
 // The manifest is written last (see io/shard_store.h): a run killed
 // mid-stream leaves a directory without MANIFEST.tks that readers
@@ -32,6 +36,10 @@ struct StreamCampaignOptions {
   std::size_t devices_per_shard = 2048;
   /// Print one progress line per shard to stderr.
   bool announce = false;
+  /// Overlap block i's serialize + checksum with block i+1's simulation
+  /// (two blocks resident). false restores the strictly sequential
+  /// one-block-resident writer.
+  bool pipeline = true;
 };
 
 struct StreamCampaignResult {

@@ -94,6 +94,13 @@ int LogHist2d::index_of(double v) const noexcept {
   return static_cast<int>(std::clamp<long>(i, 0, bins_ - 1));
 }
 
+void LogHist2d::merge(const LogHist2d& other) noexcept {
+  assert(bins_ == other.bins_ && lo_exp_ == other.lo_exp_ &&
+         hi_exp_ == other.hi_exp_);
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  total_ += other.total_;
+}
+
 void LogHist2d::add(double x, double y) noexcept {
   cells_[static_cast<std::size_t>(index_of(y)) * static_cast<std::size_t>(bins_) +
          static_cast<std::size_t>(index_of(x))] += 1.0;

@@ -83,6 +83,13 @@ class LogHist2d {
 
   void add(double x, double y) noexcept;
 
+  /// Folds `other` (same geometry) into this histogram by cellwise
+  /// addition. Cells hold integer counts (add() increments by 1), so
+  /// the doubles are exact up to 2^53 and merging per-shard partials in
+  /// any grouping reproduces the single-pass histogram byte-identically
+  /// (analysis/sharded.h relies on this).
+  void merge(const LogHist2d& other) noexcept;
+
   [[nodiscard]] int bins() const noexcept { return bins_; }
   [[nodiscard]] double count(int ix, int iy) const noexcept {
     return cells_[static_cast<std::size_t>(iy) * static_cast<std::size_t>(bins_) + static_cast<std::size_t>(ix)];

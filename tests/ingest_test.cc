@@ -36,8 +36,12 @@ Dataset tiny_dataset() {
   Sample& s0 = test::add_sample(ds, 0, 0, 5'000'000, 0);
   s0.app_begin = 0;
   s0.app_count = 2;
-  ds.app_traffic.push_back({AppCategory::Video, 4'000'000, 100'000});
-  ds.app_traffic.push_back({AppCategory::Social, 900'000, 50'000});
+  ds.app_traffic.push_back(
+      {.category = AppCategory::Video, .rx_bytes = 4'000'000,
+       .tx_bytes = 100'000});
+  ds.app_traffic.push_back(
+      {.category = AppCategory::Social, .rx_bytes = 900'000,
+       .tx_bytes = 50'000});
   Sample& s1 =
       test::add_sample(ds, 0, 150, 0, 2'000'000, WifiState::Associated, ap);
   s1.app_begin = 2;  // app_count == 0: producer offset passes through
@@ -46,7 +50,9 @@ Dataset tiny_dataset() {
       test::add_sample(ds, 1, 200, 0, 7'000'000, WifiState::Associated, ap);
   s3.app_begin = 2;
   s3.app_count = 1;
-  ds.app_traffic.push_back({AppCategory::Browser, 6'000'000, 10'000});
+  ds.app_traffic.push_back(
+      {.category = AppCategory::Browser, .rx_bytes = 6'000'000,
+       .tx_bytes = 10'000});
   test::add_sample(ds, 2, 100, 300'000, 0);
 
   ds.build_index();
@@ -220,7 +226,8 @@ TEST(IngestFrameTest, AppReferencePastFrameRejected) {
   s.app_begin = 0;
   s.app_count = 3;  // frame only carries one app record
   const std::vector<Sample> samples = {s};
-  const std::vector<AppTraffic> apps = {{AppCategory::Game, 1, 1}};
+  const std::vector<AppTraffic> apps = {
+      {.category = AppCategory::Game, .rx_bytes = 1, .tx_bytes = 1}};
   std::vector<std::uint8_t> bytes;
   encode_records(DeviceId{1}, samples, apps, bytes);
   FrameParser parser;

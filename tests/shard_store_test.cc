@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/sharded.h"
 #include "core/records.h"
 #include "core/scenario.h"
 #include "io/snapshot.h"
@@ -340,6 +341,246 @@ TEST_F(BrokenStore, ShardPayloadCorruptionCaughtOnLoad) {
   const io::SnapshotResult r = store.load_shard(2, out);
   EXPECT_FALSE(r.ok());
   EXPECT_NE(r.error.find("checksum"), std::string::npos) << r.error;
+}
+
+// --- Pipelined scan (DESIGN.md §5j) ------------------------------------
+// Suite names carry the ShardPipeline prefix so the TSan CI job can
+// select the prefetcher / parallel-scan coverage by regex.
+
+// The prefetcher walks shards strictly in order and delivers each one
+// fully loaded (universe installed, validated, indexed).
+TEST(ShardPipeline, PrefetcherDeliversShardsInOrder) {
+  const ScenarioConfig config =
+      scenario_config(Year::Y2015, kShardTestScale);
+  TempDir tmp;
+  io::ShardedDataset store = stream_and_open(config, tmp.path / "store", 4);
+
+  io::ShardPrefetcher prefetcher(store, 2);
+  io::ShardPrefetcher::Loaded item;
+  std::size_t expected = 0;
+  while (prefetcher.next(item)) {
+    ASSERT_TRUE(item.result.ok()) << item.result.error;
+    EXPECT_EQ(item.index, expected);
+    EXPECT_TRUE(item.dataset.indexed());
+    EXPECT_EQ(item.dataset.devices.size(),
+              store.manifest().shards[item.index].device_count);
+    EXPECT_NE(item.token, nullptr);
+    ++expected;
+  }
+  EXPECT_EQ(expected, store.num_shards());
+}
+
+// A corrupt shard is delivered at its position carrying the error, then
+// the prefetcher stops: the consumer sees the failure in order, with
+// nothing queued behind it and no hang.
+TEST(ShardPipeline, PrefetcherSurfacesCorruptShardInOrder) {
+  const ScenarioConfig config =
+      scenario_config(Year::Y2015, kShardTestScale);
+  TempDir tmp;
+  io::ShardedDataset store = stream_and_open(config, tmp.path / "store", 4);
+  const fs::path shard = tmp.path / "store" / "shard-0002.tksnap";
+  flip_byte(shard, fs::file_size(shard) - 128);
+
+  io::ShardPrefetcher prefetcher(store, 2);
+  io::ShardPrefetcher::Loaded item;
+  for (std::size_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(prefetcher.next(item));
+    EXPECT_EQ(item.index, i);
+    EXPECT_TRUE(item.result.ok()) << item.result.error;
+  }
+  ASSERT_TRUE(prefetcher.next(item));
+  EXPECT_EQ(item.index, 2u);
+  EXPECT_FALSE(item.result.ok());
+  EXPECT_NE(item.result.error.find("checksum"), std::string::npos)
+      << item.result.error;
+  EXPECT_FALSE(prefetcher.next(item));
+}
+
+// A failed load surfaces as a clean error on the scanning thread at
+// every residency budget — sequential, prefetched and K-parallel — and
+// never leaves a partial fold behind.
+TEST(ShardPipeline, ScanErrorIsCleanAtEveryResidency) {
+  const ScenarioConfig config =
+      scenario_config(Year::Y2015, kShardTestScale);
+  TempDir tmp;
+  io::ShardedDataset store = stream_and_open(config, tmp.path / "store", 4);
+  const fs::path shard = tmp.path / "store" / "shard-0001.tksnap";
+  flip_byte(shard, fs::file_size(shard) - 128);
+
+  for (const std::size_t k : {std::size_t{0}, std::size_t{1},
+                              std::size_t{4}}) {
+    analysis::ShardedContext ctx(store);
+    const io::SnapshotResult r = ctx.scan({k});
+    EXPECT_FALSE(r.ok()) << "resident_shards=" << k;
+    EXPECT_NE(r.error.find("checksum"), std::string::npos)
+        << "resident_shards=" << k << ": " << r.error;
+    EXPECT_TRUE(ctx.devices().empty()) << "resident_shards=" << k;
+
+    std::vector<report::Table> tables;
+    const io::SnapshotResult b =
+        report::run_sharded_battery(store, tables, {k});
+    EXPECT_FALSE(b.ok()) << "resident_shards=" << k;
+    EXPECT_TRUE(tables.empty()) << "resident_shards=" << k;
+  }
+}
+
+// The K-parallel scan's per-shard partials fold in shard order, so its
+// battery is byte-identical to the strict sequential scan. (This is the
+// concurrency stress the TSan job runs; the full shards x residency
+// matrix lives in ShardScanMatrix below.)
+TEST(ShardPipeline, ParallelScanMatchesSequential) {
+  const ScenarioConfig config =
+      scenario_config(Year::Y2015, kShardTestScale);
+  TempDir tmp;
+  io::ShardedDataset store = stream_and_open(config, tmp.path / "store", 16);
+
+  std::vector<report::Table> sequential;
+  ASSERT_TRUE(report::run_sharded_battery(store, sequential, {0}).ok());
+  std::vector<report::Table> parallel;
+  ASSERT_TRUE(report::run_sharded_battery(store, parallel, {4}).ok());
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(report::to_canonical_json(parallel[i]),
+              report::to_canonical_json(sequential[i]))
+        << sequential[i].id;
+  }
+}
+
+// The writer pipeline (simulate block i+1 while block i serializes)
+// must not change a single byte of the store: same manifest, same shard
+// files as the strictly sequential writer.
+TEST(ShardPipeline, StreamWriterPipelineMatchesSequential) {
+  const ScenarioConfig config =
+      scenario_config(Year::Y2015, kShardTestScale);
+  TempDir tmp;
+  sim::StreamCampaignOptions pipelined;
+  pipelined.shards = 3;
+  ASSERT_TRUE(
+      sim::stream_campaign(config, tmp.path / "piped", pipelined).ok());
+  sim::StreamCampaignOptions sequential;
+  sequential.shards = 3;
+  sequential.pipeline = false;
+  ASSERT_TRUE(
+      sim::stream_campaign(config, tmp.path / "seq", sequential).ok());
+
+  for (const char* name :
+       {"MANIFEST.tks", "universe.tksnap", "shard-0000.tksnap",
+        "shard-0001.tksnap", "shard-0002.tksnap"}) {
+    EXPECT_EQ(read_file(tmp.path / "piped" / name),
+              read_file(tmp.path / "seq" / name))
+        << name;
+  }
+}
+
+// materialize() with the load-ahead thread returns the same dataset as
+// the strictly sequential loader.
+TEST(ShardStore, MaterializeResidencyInvariant) {
+  const ScenarioConfig config =
+      scenario_config(Year::Y2015, kShardTestScale);
+  TempDir tmp;
+  io::ShardedDataset store = stream_and_open(config, tmp.path / "store", 4);
+
+  Dataset sequential;
+  ASSERT_TRUE(store.materialize(sequential, {}, 0).ok());
+  Dataset pipelined;
+  ASSERT_TRUE(store.materialize(pipelined, {}, 1).ok());
+  ASSERT_EQ(pipelined.devices.size(), sequential.devices.size());
+  ASSERT_EQ(pipelined.samples.size(), sequential.samples.size());
+  EXPECT_EQ(std::memcmp(pipelined.samples.span().data(),
+                        sequential.samples.span().data(),
+                        sequential.samples.span().size_bytes()),
+            0);
+}
+
+// The full determinism matrix: the out-of-core battery's canonical JSON
+// must byte-match the in-memory registry rendering at every shard count
+// x residency budget (the thread dimension comes from the
+// shard_scan_threads{1,4} ctest entries re-running this suite under
+// TOKYONET_THREADS).
+TEST(ShardScanMatrix, BatteryByteIdenticalAcrossShardsAndResidency) {
+  const ScenarioConfig config =
+      scenario_config(Year::Y2015, kShardTestScale);
+
+  // In-memory reference, rendered once.
+  report::Runner::Options opt;
+  opt.scale = kShardTestScale;
+  report::Runner runner(opt);
+  const auto& registry = report::FigureRegistry::instance();
+
+  for (const std::size_t shards :
+       {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    TempDir tmp;
+    io::ShardedDataset store =
+        stream_and_open(config, tmp.path / "store", shards);
+    for (const std::size_t k : {std::size_t{0}, std::size_t{1},
+                                std::size_t{2}, std::size_t{4}}) {
+      std::vector<report::Table> tables;
+      const io::SnapshotResult b =
+          report::run_sharded_battery(store, tables, {k});
+      ASSERT_TRUE(b.ok()) << "shards=" << shards << " K=" << k << ": "
+                          << b.error;
+      ASSERT_EQ(tables.size(), 6u) << "shards=" << shards << " K=" << k;
+      for (const report::Table& t : tables) {
+        const report::FigureSpec* spec = registry.find(t.id);
+        ASSERT_NE(spec, nullptr) << t.id;
+        EXPECT_EQ(report::to_canonical_json(t),
+                  report::to_canonical_json(runner.run(*spec, Year::Y2015)))
+            << t.id << " shards=" << shards << " K=" << k;
+      }
+    }
+  }
+}
+
+// --- Once-per-open payload verification --------------------------------
+
+// The first load of a shard rehashes every section; later loads of the
+// same shard in the same open skip the rehash (header and manifest
+// identity checks still run). Observable: corrupting the payload
+// *after* a verified load must not produce a checksum error on reload,
+// while a fresh open catches it again.
+TEST(ShardStore, PayloadVerifiedOncePerOpen) {
+  const ScenarioConfig config =
+      scenario_config(Year::Y2015, kShardTestScale);
+  TempDir tmp;
+  io::ShardedDataset store = stream_and_open(config, tmp.path / "store", 3);
+
+  Dataset out;
+  ASSERT_TRUE(store.load_shard(0, out).ok());
+  const fs::path shard = tmp.path / "store" / "shard-0000.tksnap";
+  flip_byte(shard, fs::file_size(shard) - 128);
+
+  // Reload skips the rehash: no checksum error. (The flipped byte may
+  // still trip structural validation, which is fine — the point is that
+  // the section rehash did not run.)
+  const io::SnapshotResult again = store.load_shard(0, out);
+  EXPECT_EQ(again.error.find("checksum"), std::string::npos) << again.error;
+
+  // A fresh open starts a fresh verification epoch and catches it.
+  io::ShardedDataset reopened;
+  ASSERT_TRUE(io::ShardedDataset::open(tmp.path / "store", reopened).ok());
+  const io::SnapshotResult fresh = reopened.load_shard(0, out);
+  EXPECT_FALSE(fresh.ok());
+  EXPECT_NE(fresh.error.find("checksum"), std::string::npos) << fresh.error;
+}
+
+// TOKYONET_SHARD_VERIFY=always (read at open()) restores the rehash on
+// every load.
+TEST(ShardStore, ShardVerifyAlwaysRestoresRehash) {
+  const ScenarioConfig config =
+      scenario_config(Year::Y2015, kShardTestScale);
+  TempDir tmp;
+  ASSERT_EQ(::setenv("TOKYONET_SHARD_VERIFY", "always", 1), 0);
+  io::ShardedDataset store = stream_and_open(config, tmp.path / "store", 3);
+  ASSERT_EQ(::unsetenv("TOKYONET_SHARD_VERIFY"), 0);
+
+  Dataset out;
+  ASSERT_TRUE(store.load_shard(0, out).ok());
+  const fs::path shard = tmp.path / "store" / "shard-0000.tksnap";
+  flip_byte(shard, fs::file_size(shard) - 128);
+
+  const io::SnapshotResult again = store.load_shard(0, out);
+  EXPECT_FALSE(again.ok());
+  EXPECT_NE(again.error.find("checksum"), std::string::npos) << again.error;
 }
 
 // --- Sharded campaign-cache storage mode -------------------------------

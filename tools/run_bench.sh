@@ -8,7 +8,8 @@
 # bounded-memory promise of the shard store is tracked alongside speed.
 #
 # Usage: tools/run_bench.sh [--cache-dir DIR] [--smoke] [--allow-debug]
-#                           [--shard-demo SCALE] [build_dir] [out.json]
+#                           [--shard-demo SCALE]
+#                           [--out-of-core-demo SCALE] [build_dir] [out.json]
 #   --cache-dir DIR  enable the on-disk campaign cache: pre-warm DIR via
 #                    `tokyonet snapshot warm`, then run every bench with
 #                    TOKYONET_CACHE_DIR=DIR so campaigns are mmap-loaded
@@ -25,6 +26,14 @@
 #                    (DESIGN.md §5i) and render the sharded battery from
 #                    it, recording both steps' peak RSS plus the store's
 #                    size under "memory"."shard_demo" in the JSON.
+#   --out-of-core-demo S
+#                    pipelined-scan comparison (DESIGN.md §5j) at panel
+#                    scale S (use >= 4): stream the 2015 campaign to a
+#                    16-shard store, then time the out-of-core battery
+#                    at --resident-shards 0 (strict sequential), 1
+#                    (prefetch pipeline) and 4 (K-parallel scan),
+#                    recording wall time and peak RSS of each under
+#                    "out_of_core" in the JSON.
 #   build_dir        defaults to ./build; configured + built at
 #                    CMAKE_BUILD_TYPE=Release automatically if missing
 #   out.json         defaults to BENCH_$(date +%Y%m%d).json in the repo root
@@ -38,6 +47,7 @@ cache_dir=""
 smoke=0
 allow_debug=0
 shard_demo_scale=""
+ooc_demo_scale=""
 positional=()
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -51,6 +61,9 @@ while [ $# -gt 0 ]; do
     --shard-demo)
       [ $# -ge 2 ] || { echo "error: --shard-demo needs a scale" >&2; exit 2; }
       shard_demo_scale="$2"; shift 2 ;;
+    --out-of-core-demo)
+      [ $# -ge 2 ] || { echo "error: --out-of-core-demo needs a scale" >&2; exit 2; }
+      ooc_demo_scale="$2"; shift 2 ;;
     -*)
       echo "error: unknown flag $1" >&2; exit 2 ;;
     *)
@@ -219,6 +232,59 @@ PY
   echo "shard demo: $(cat "${tmp_dir}/shard_demo.json")"
 fi
 
+# Pipelined out-of-core comparison (DESIGN.md §5j): one 16-shard store,
+# three battery runs at --resident-shards 0 / 1 / 4, each with wall
+# time and peak RSS. The K=0 run is the PR 8 sequential baseline the
+# speedup is measured against.
+if [ -n "${ooc_demo_scale}" ]; then
+  cli="${build_dir}/tools/tokyonet"
+  [ -x "${cli}" ] || { echo "error: ${cli} not built" >&2; exit 1; }
+  ooc_dir="${tmp_dir}/ooc_demo_store"
+  echo "out-of-core demo: streaming 2015 at scale ${ooc_demo_scale}" \
+       "(16 shards)..."
+  "${cli}" snapshot shard --year 2015 --scale "${ooc_demo_scale}" \
+      --out "${ooc_dir}" --shards 16 \
+      > "${tmp_dir}/ooc_demo.log" 2>&1 \
+    || { echo "error: snapshot shard failed; log follows" >&2; \
+         cat "${tmp_dir}/ooc_demo.log" >&2; exit 1; }
+  for k in 0 1 4; do
+    echo "out-of-core demo: battery at --resident-shards ${k}..."
+    python3 - "${tmp_dir}/ooc_k${k}" "${cli}" report \
+        --shard-dir "${ooc_dir}" --out-of-core \
+        --resident-shards "${k}" <<'PYOOC' \
+      >> "${tmp_dir}/ooc_demo.log" 2>&1 \
+      || { echo "error: out-of-core battery (K=${k}) failed; log follows" >&2; \
+           cat "${tmp_dir}/ooc_demo.log" >&2; exit 1; }
+import json, resource, subprocess, sys, time
+t0 = time.monotonic()
+rc = subprocess.call(sys.argv[2:])
+seconds = time.monotonic() - t0
+kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+with open(sys.argv[1] + ".json", "w") as f:
+    json.dump({"seconds": round(seconds, 3), "peak_rss_kb": kb}, f)
+sys.exit(rc)
+PYOOC
+  done
+  ooc_disk_kb="$(du -sk "${ooc_dir}" | cut -f1)"
+  python3 - "${tmp_dir}" "${ooc_demo_scale}" "${ooc_disk_kb}" <<'PY'
+import json, sys
+tmp, scale, disk_kb = sys.argv[1:4]
+out = {"scale": float(scale), "shards": 16, "store_disk_kb": int(disk_kb)}
+for k in (0, 1, 4):
+    with open(f"{tmp}/ooc_k{k}.json") as f:
+        out[f"resident_shards_{k}"] = json.load(f)
+seq = out["resident_shards_0"]["seconds"]
+for k in (1, 4):
+    run = out[f"resident_shards_{k}"]
+    run["speedup_vs_sequential"] = round(seq / run["seconds"], 3) \
+        if run["seconds"] > 0 else None
+with open(f"{tmp}/ooc_demo.json", "w") as f:
+    json.dump(out, f)
+PY
+  rm -rf "${ooc_dir}" "${tmp_dir}"/ooc_k*.json
+  echo "out-of-core demo: $(cat "${tmp_dir}/ooc_demo.json")"
+fi
+
 # Streaming ingest throughput: bench_ingest prints one
 # "tokyonet-ingest: key=value ..." line per replay configuration.
 ingest_lines="${tmp_dir}/ingest_lines.txt"
@@ -297,11 +363,17 @@ demo_json = os.path.join(tmp_dir, "shard_demo.json")
 if os.path.exists(demo_json):
     with open(demo_json) as f:
         result["memory"]["shard_demo"] = json.load(f)
+# Pipelined-scan comparison (--out-of-core-demo): battery wall time and
+# peak RSS at resident-shards 0 / 1 / 4 over one 16-shard store.
+ooc_json = os.path.join(tmp_dir, "ooc_demo.json")
+if os.path.exists(ooc_json):
+    with open(ooc_json) as f:
+        result["out_of_core"] = json.load(f)
 for fname in sorted(os.listdir(tmp_dir)):
     if not fname.endswith(".json"):
         continue
-    if fname == "shard_demo.json":
-        continue  # --shard-demo record, not a benchmark output
+    if fname in ("shard_demo.json", "ooc_demo.json"):
+        continue  # demo records, not benchmark outputs
     with open(os.path.join(tmp_dir, fname)) as f:
         try:
             data = json.load(f)

@@ -6,12 +6,15 @@
 //
 //   tokyonet fig run <id> [--year Y] [--scale S] [--seed N]
 //                    [--format text|csv|json] [--shard-dir DIR]
+//                    [--resident-shards K]
 //       Render one registered reproduction. Without --year a per-year
 //       figure is stacked over all its paper years; longitudinal
 //       figures take no --year. With --shard-dir the campaign comes
-//       from a sharded store instead of simulation.
+//       from a sharded store instead of simulation
+//       (--resident-shards >= 1 overlaps shard loads with the rebase).
 //
-//   tokyonet fig all [--format text|csv|json]
+//   tokyonet fig all [--format text|csv|json] [--shard-dir DIR]
+//                    [--resident-shards K]
 //   tokyonet fig all --update-goldens [--goldens DIR]
 //   tokyonet fig all --check-goldens [--goldens DIR]
 //       Render the whole catalog, or write / byte-compare the golden
@@ -21,13 +24,16 @@
 //       Simulate a campaign and export it as CSV (observable data only).
 //
 //   tokyonet report (--in DIR | --shard-dir DIR [--out-of-core]
-//                    | --year Y [--scale S])
+//                    [--resident-shards K] | --year Y [--scale S])
 //       Print the headline reproductions for a dataset through the
 //       figure registry (Table 1/4, user types, offload opportunity,
 //       and for 2015 the update event). --shard-dir reads a sharded
 //       campaign store; with --out-of-core the battery is computed by
-//       scanning one shard at a time (bounded memory) instead of
-//       materializing the campaign.
+//       scanning shards with bounded memory instead of materializing
+//       the campaign: --resident-shards K (default 1, or
+//       TOKYONET_RESIDENT_SHARDS) pipelines the scan with at most K+1
+//       shards resident — 0 restores the strict one-shard-at-a-time
+//       scan — and the tables are byte-identical at every K.
 //
 //   tokyonet years [--scale S]
 //       Headline report for all three campaigns plus the longitudinal
@@ -44,11 +50,13 @@
 //       its manifest instead.
 //
 //   tokyonet snapshot shard --year Y [--scale S] [--seed N] --out DIR
-//                           [--shards N]
+//                           [--shards N] [--resident-shards K]
 //       Stream a campaign simulation into a sharded store
-//       (io/shard_store.h) without ever materializing it: peak memory
-//       is one shard, so million-device campaigns fit in a few GB.
-//       --shards 0 sizes shards automatically (~2048 devices each).
+//       (io/shard_store.h) without ever materializing it: block i+1
+//       simulates while block i serializes, so peak memory is two
+//       shards (with --resident-shards 0, strictly sequential: one) and
+//       million-device campaigns fit in a few GB. --shards 0 sizes
+//       shards automatically (~2048 devices each).
 //
 //   tokyonet ingest serve --port P [--host H] [--shards N] [--queue N]
 //                         [--shed] [--sessions N]
@@ -121,6 +129,10 @@ struct Args {
   std::string out_dir;
   std::string shard_dir;
   bool out_of_core = false;
+  // The K of DESIGN.md §5j: 0 = strict sequential shard scan, 1 =
+  // prefetch one shard ahead, K >= 2 = scan K shards concurrently.
+  // Defaults from TOKYONET_RESIDENT_SHARDS; --resident-shards overrides.
+  std::size_t resident_shards = io::resident_shards_from_env(1);
 
   // fig flags
   std::string figure_id;
@@ -148,20 +160,22 @@ int usage() {
                "usage:\n"
                "  tokyonet fig list [--ids]\n"
                "  tokyonet fig run <id> [--year Y] [--scale S] [--seed N] "
-               "[--format text|csv|json] [--shard-dir DIR]\n"
+               "[--format text|csv|json] [--shard-dir DIR] "
+               "[--resident-shards K]\n"
                "  tokyonet fig all [--format text|csv|json] "
-               "[--shard-dir DIR]\n"
+               "[--shard-dir DIR] [--resident-shards K]\n"
                "  tokyonet fig all --update-goldens|--check-goldens "
                "[--goldens DIR]\n"
                "  tokyonet simulate --year 2013|2014|2015 [--scale S] "
                "[--seed N] --out DIR\n"
                "  tokyonet report (--in DIR | --shard-dir DIR "
-               "[--out-of-core] | --year Y [--scale S])\n"
+               "[--out-of-core] [--resident-shards K] | --year Y "
+               "[--scale S])\n"
                "  tokyonet years [--scale S]\n"
                "  tokyonet snapshot save --year Y [--scale S] [--seed N] "
                "--out FILE\n"
                "  tokyonet snapshot shard --year Y [--scale S] [--seed N] "
-               "--out DIR [--shards N]\n"
+               "--out DIR [--shards N] [--resident-shards K]\n"
                "  tokyonet snapshot load --in FILE\n"
                "  tokyonet snapshot info --in PATH\n"
                "  tokyonet snapshot warm [--scale S]   "
@@ -275,6 +289,12 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.shard_dir = v;
     } else if (flag == "--out-of-core") {
       args.out_of_core = true;
+    } else if (flag == "--resident-shards") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      int k = 0;
+      if (!parse_int_flag("--resident-shards", v, k) || k < 0) return false;
+      args.resident_shards = static_cast<std::size_t>(k);
     } else if (flag == "--format") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -358,7 +378,7 @@ int snapshot_failure_code(const std::string& path) {
 // (materialized) and reports its year. Returns kExitOk or the exit
 // code to fail with.
 int adopt_shard_dir(report::Runner& runner, const std::string& dir,
-                    Year& out_year) {
+                    std::size_t resident_shards, Year& out_year) {
   io::ShardManifest m;
   const io::SnapshotResult r = io::read_shard_manifest(dir, m);
   if (!r.ok()) {
@@ -371,7 +391,8 @@ int adopt_shard_dir(report::Runner& runner, const std::string& dir,
                  dir.c_str(), m.year);
     return kExitVerify;
   }
-  const io::SnapshotResult a = runner.adopt_shards(*year, dir);
+  const io::SnapshotResult a = runner.adopt_shards(*year, dir,
+                                                   resident_shards);
   if (!a.ok()) {
     std::fprintf(stderr, "shard store: %s\n", a.error.c_str());
     return snapshot_failure_code(dir);
@@ -454,7 +475,8 @@ int cmd_fig_run(const Args& args) {
   report::Runner runner(runner_options(args));
   if (!args.shard_dir.empty()) {
     Year store_year;
-    const int rc = adopt_shard_dir(runner, args.shard_dir, store_year);
+    const int rc = adopt_shard_dir(runner, args.shard_dir,
+                                   args.resident_shards, store_year);
     if (rc != kExitOk) return rc;
     // A per-year figure defaults to the store's campaign year instead
     // of stacking (the other years would have to be simulated).
@@ -502,7 +524,8 @@ int cmd_fig_all(const Args& args) {
   report::Runner runner(runner_options(args));
   if (!args.shard_dir.empty()) {
     Year store_year;
-    const int rc = adopt_shard_dir(runner, args.shard_dir, store_year);
+    const int rc = adopt_shard_dir(runner, args.shard_dir,
+                                   args.resident_shards, store_year);
     if (rc != kExitOk) return rc;
   }
   const auto& registry = report::FigureRegistry::instance();
@@ -590,9 +613,10 @@ int cmd_simulate(const Args& args) {
   return kExitOk;
 }
 
-// The headline battery computed out-of-core: one ShardedContext scan,
-// one shard resident at a time. Same tables (byte-identical canonical
-// JSON) as the in-memory report, bounded memory.
+// The headline battery computed out-of-core: one ShardedContext scan
+// with at most --resident-shards + 1 shards resident (one when K = 0).
+// Same tables (byte-identical canonical JSON) as the in-memory report
+// at every K, bounded memory.
 int cmd_report_out_of_core(const Args& args) {
   io::ShardedDataset store;
   const io::SnapshotResult r = io::ShardedDataset::open(args.shard_dir, store);
@@ -607,7 +631,8 @@ int cmd_report_out_of_core(const Args& args) {
               m.n_devices, m.n_samples, store.num_shards());
 
   std::vector<report::Table> tables;
-  const io::SnapshotResult b = report::run_sharded_battery(store, tables);
+  const io::SnapshotResult b = report::run_sharded_battery(
+      store, tables, {args.resident_shards});
   if (!b.ok()) {
     std::fprintf(stderr, "out-of-core battery failed: %s\n", b.error.c_str());
     return snapshot_failure_code(args.shard_dir);
@@ -631,7 +656,8 @@ int cmd_report(const Args& args) {
   report::Runner runner(runner_options(args));
   Year year;
   if (!args.shard_dir.empty()) {
-    const int rc = adopt_shard_dir(runner, args.shard_dir, year);
+    const int rc = adopt_shard_dir(runner, args.shard_dir,
+                                   args.resident_shards, year);
     if (rc != kExitOk) return rc;
   } else if (!args.in_dir.empty()) {
     Dataset ds;
@@ -713,6 +739,10 @@ int cmd_snapshot_shard(const Args& args) {
   sim::StreamCampaignOptions opts;
   opts.shards = args.shards < 0 ? 0 : static_cast<std::size_t>(args.shards);
   opts.announce = true;
+  // --resident-shards 0 forces the strictly sequential one-block writer;
+  // any K >= 1 keeps the default simulate/serialize pipeline (two
+  // blocks resident).
+  opts.pipeline = args.resident_shards >= 1;
   const sim::StreamCampaignResult r =
       sim::stream_campaign(config, args.out_dir, opts);
   if (!r.ok()) {
