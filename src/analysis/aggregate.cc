@@ -6,6 +6,8 @@
 #include <span>
 
 #include "analysis/common.h"
+#include "analysis/query/scan.h"
+#include "analysis/query/source.h"
 #include "core/dataset_index.h"
 #include "core/parallel.h"
 #include "stats/simd.h"
@@ -15,19 +17,10 @@ namespace {
 
 constexpr double kBytesPerHourToMbps = 8.0 / 3600.0 / 1e6;
 
-// Chunk length for parallel scans over the SoA columns. Every chunk
-// partial below is an exact integer sum (u64, or doubles holding
-// integers < 2^53), so the reduction is grouping-independent and the
-// merged result is byte-identical to the serial single-pass reference
-// at any thread count and any chunk/device grouping.
-constexpr std::size_t kScanChunk = std::size_t{1} << 16;
-
-[[nodiscard]] constexpr std::size_t num_chunks(std::size_t n) noexcept {
-  return (n + kScanChunk - 1) / kScanChunk;
+void add_hour_sums(std::vector<std::uint64_t>& acc,
+                   const std::vector<std::uint64_t>& p) {
+  for (std::size_t h = 0; h < acc.size(); ++h) acc[h] += p[h];
 }
-
-// Devices per parallel item for dense-campaign scans.
-constexpr std::size_t kDeviceBlock = 16;
 
 [[nodiscard]] double stream_bytes(const Sample& s, Stream stream) noexcept {
   switch (stream) {
@@ -76,26 +69,22 @@ std::vector<std::uint64_t> aggregate_hour_sums(const Dataset& ds,
     // consecutive samples per hour, so the hour sums are fixed-stride
     // runs — no per-sample bin division, no scatter, and the inner sum
     // auto-vectorizes.
-    const std::size_t n_devices = idx->num_devices();
-    const std::size_t n_blocks = (n_devices + kDeviceBlock - 1) / kDeviceBlock;
-    partials = core::parallel_map(n_blocks, [&](std::size_t b) {
-      std::vector<std::uint64_t> sums(n_hours, 0);
-      const std::size_t d0 = b * kDeviceBlock;
-      const std::size_t d1 = std::min(d0 + kDeviceBlock, n_devices);
-      static_assert(kBinsPerHour == 6);
-      for (std::size_t d = d0; d < d1; ++d) {
-        const std::uint32_t* p = bytes.data() + idx->device_begin(d);
-        for (std::size_t h = 0; h < n_hours; ++h, p += kBinsPerHour) {
-          sums[h] += std::uint64_t{p[0]} + p[1] + p[2] + p[3] + p[4] + p[5];
-        }
-      }
-      return sums;
-    });
+    partials = query::map_device_blocks(
+        idx->num_devices(), [&](std::size_t d0, std::size_t d1) {
+          std::vector<std::uint64_t> sums(n_hours, 0);
+          static_assert(kBinsPerHour == 6);
+          for (std::size_t d = d0; d < d1; ++d) {
+            const std::uint32_t* p = bytes.data() + idx->device_begin(d);
+            for (std::size_t h = 0; h < n_hours; ++h, p += kBinsPerHour) {
+              sums[h] +=
+                  std::uint64_t{p[0]} + p[1] + p[2] + p[3] + p[4] + p[5];
+            }
+          }
+          return sums;
+        });
   } else {
-    partials = core::parallel_map(num_chunks(n), [&](std::size_t c) {
+    partials = query::map_chunks(n, [&](std::size_t begin, std::size_t end) {
       std::vector<std::uint64_t> sums(n_hours, 0);
-      const std::size_t begin = c * kScanChunk;
-      const std::size_t end = std::min(begin + kScanChunk, n);
       for (std::size_t i = begin; i < end; ++i) {
         sums[static_cast<std::size_t>(bin[i] / kBinsPerHour)] += bytes[i];
       }
@@ -103,9 +92,7 @@ std::vector<std::uint64_t> aggregate_hour_sums(const Dataset& ds,
     });
   }
   std::vector<std::uint64_t> total(n_hours, 0);
-  for (const std::vector<std::uint64_t>& p : partials) {
-    for (std::size_t h = 0; h < n_hours; ++h) total[h] += p[h];
-  }
+  for (const std::vector<std::uint64_t>& p : partials) add_hour_sums(total, p);
   return total;
 }
 
@@ -144,13 +131,10 @@ AllStreamSums aggregate_all_streams(const Dataset& ds) {
     // Dense campaign: fixed-stride hour runs per device, all four
     // streams and the LTE tallies in one walk (see the dense path of
     // aggregate_hour_sums() for the stride argument).
-    const std::size_t n_devices = idx->num_devices();
-    const std::size_t n_blocks = (n_devices + kDeviceBlock - 1) / kDeviceBlock;
-    partials = core::parallel_map(n_blocks, [&](std::size_t b) {
+    partials = query::map_device_blocks(
+        idx->num_devices(), [&](std::size_t d0, std::size_t d1) {
       Partial part;
       for (auto& sums : part.hour_sums) sums.assign(n_hours, 0);
-      const std::size_t d0 = b * kDeviceBlock;
-      const std::size_t d1 = std::min(d0 + kDeviceBlock, n_devices);
       static_assert(kBinsPerHour == 6);
       for (std::size_t d = d0; d < d1; ++d) {
         const std::size_t begin = idx->device_begin(d);
@@ -178,11 +162,9 @@ AllStreamSums aggregate_all_streams(const Dataset& ds) {
   } else {
     const std::span<const TimeBin> bin = idx->bin();
     const std::size_t n = bin.size();
-    partials = core::parallel_map(num_chunks(n), [&](std::size_t c) {
+    partials = query::map_chunks(n, [&](std::size_t begin, std::size_t end) {
       Partial part;
       for (auto& sums : part.hour_sums) sums.assign(n_hours, 0);
-      const std::size_t begin = c * kScanChunk;
-      const std::size_t end = std::min(begin + kScanChunk, n);
       for (std::size_t i = begin; i < end; ++i) {
         const auto hour = static_cast<std::size_t>(bin[i] / kBinsPerHour);
         for (int s = 0; s < 4; ++s) part.hour_sums[s][hour] += cols[s][i];
@@ -220,23 +202,28 @@ HourlySeries aggregate_series(const Dataset& ds, Stream stream) {
   return hourly_series_from_sums(aggregate_hour_sums(ds, stream));
 }
 
-HourlySeries location_series(const Dataset& ds, const ApClassification& cls,
-                             LocationFilter filter, bool rx) {
-  HourlySeries out;
+namespace {
+
+// The exact per-hour byte sums behind location_series(). All
+// accumulation is u64 (the serial reference sums u32 byte counts into
+// doubles, which is exact below 2^53, so integer sums convert to the
+// same doubles), which makes per-shard partials merge byte-identically.
+[[nodiscard]] std::vector<std::uint64_t> location_hour_sums(
+    const Dataset& ds, const ApClassification& cls, LocationFilter filter,
+    bool rx) {
   const auto n_hours = static_cast<std::size_t>(ds.num_days()) * 24;
-  out.mbps.assign(n_hours, 0.0);
 
   const core::DatasetIndex* idx = ds.index();
   if (idx == nullptr) {
+    std::vector<std::uint64_t> total(n_hours, 0);
     for (const Sample& s : ds.samples) {
       if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
       if (cls.class_of(s.ap) != filter.ap_class) continue;
       if (filter.office_only && !cls.is_office[value(s.ap)]) continue;
       const auto hour = static_cast<std::size_t>(s.bin / kBinsPerHour);
-      out.mbps[hour] += rx ? s.wifi_rx : s.wifi_tx;
+      total[hour] += rx ? s.wifi_rx : s.wifi_tx;
     }
-    for (double& v : out.mbps) v *= kBytesPerHourToMbps;
-    return out;
+    return total;
   }
 
   // Fold the per-sample class/office test into one per-AP table with a
@@ -261,39 +248,34 @@ HourlySeries location_series(const Dataset& ds, const ApClassification& cls,
   if (idx->dense()) {
     // Fixed-stride hour runs as in aggregate_series, with the keep
     // select folded into the accumulate.
-    const std::size_t n_devices = idx->num_devices();
-    const std::size_t n_blocks = (n_devices + kDeviceBlock - 1) / kDeviceBlock;
-    partials = core::parallel_map(n_blocks, [&](std::size_t b) {
-      std::vector<std::uint64_t> sums(n_hours, 0);
-      const std::size_t d0 = b * kDeviceBlock;
-      const std::size_t d1 = std::min(d0 + kDeviceBlock, n_devices);
-      for (std::size_t d = d0; d < d1; ++d) {
-        const std::size_t begin = idx->device_begin(d);
-        const std::uint32_t* ap_p = ap.data() + begin;
-        const WifiState* st_p = state.data() + begin;
-        const std::uint32_t* by_p = bytes.data() + begin;
-        for (std::size_t h = 0; h < n_hours; ++h) {
-          std::uint64_t acc = 0;
-          for (std::size_t j = 0; j < kBinsPerHour; ++j) {
-            const std::uint32_t a = ap_p[j];
-            const std::size_t ki = a < naps ? a : naps;
-            const std::uint64_t sel =
-                keep[ki] & (st_p[j] == WifiState::Associated);
-            acc += sel * by_p[j];
+    partials = query::map_device_blocks(
+        idx->num_devices(), [&](std::size_t d0, std::size_t d1) {
+          std::vector<std::uint64_t> sums(n_hours, 0);
+          for (std::size_t d = d0; d < d1; ++d) {
+            const std::size_t begin = idx->device_begin(d);
+            const std::uint32_t* ap_p = ap.data() + begin;
+            const WifiState* st_p = state.data() + begin;
+            const std::uint32_t* by_p = bytes.data() + begin;
+            for (std::size_t h = 0; h < n_hours; ++h) {
+              std::uint64_t acc = 0;
+              for (std::size_t j = 0; j < kBinsPerHour; ++j) {
+                const std::uint32_t a = ap_p[j];
+                const std::size_t ki = a < naps ? a : naps;
+                const std::uint64_t sel =
+                    keep[ki] & (st_p[j] == WifiState::Associated);
+                acc += sel * by_p[j];
+              }
+              sums[h] += acc;
+              ap_p += kBinsPerHour;
+              st_p += kBinsPerHour;
+              by_p += kBinsPerHour;
+            }
           }
-          sums[h] += acc;
-          ap_p += kBinsPerHour;
-          st_p += kBinsPerHour;
-          by_p += kBinsPerHour;
-        }
-      }
-      return sums;
-    });
+          return sums;
+        });
   } else {
-    partials = core::parallel_map(num_chunks(n), [&](std::size_t c) {
+    partials = query::map_chunks(n, [&](std::size_t begin, std::size_t end) {
       std::vector<std::uint64_t> sums(n_hours, 0);
-      const std::size_t begin = c * kScanChunk;
-      const std::size_t end = std::min(begin + kScanChunk, n);
       for (std::size_t i = begin; i < end; ++i) {
         const std::uint32_t a = ap[i];
         const std::size_t ki = a < naps ? a : naps;
@@ -306,13 +288,35 @@ HourlySeries location_series(const Dataset& ds, const ApClassification& cls,
     });
   }
   std::vector<std::uint64_t> total(n_hours, 0);
-  for (const std::vector<std::uint64_t>& p : partials) {
-    for (std::size_t h = 0; h < n_hours; ++h) total[h] += p[h];
+  for (const std::vector<std::uint64_t>& p : partials) add_hour_sums(total, p);
+  return total;
+}
+
+}  // namespace
+
+HourlySeries location_series(const Dataset& ds, const ApClassification& cls,
+                             LocationFilter filter, bool rx) {
+  return hourly_series_from_sums(location_hour_sums(ds, cls, filter, rx));
+}
+
+HourlySeries location_series(const query::DataSource& src,
+                             const ApClassification& cls, LocationFilter filter,
+                             bool rx) {
+  if (const Dataset* ds = src.dataset_or_null()) {
+    return location_series(*ds, cls, filter, rx);
   }
-  for (std::size_t h = 0; h < n_hours; ++h) {
-    out.mbps[h] = static_cast<double>(total[h]) * kBytesPerHourToMbps;
-  }
-  return out;
+  // Shard samples reference the global AP universe, so the per-AP keep
+  // table is the same in every block; hour sums are u64 and add.
+  std::vector<std::uint64_t> total(
+      static_cast<std::size_t>(src.num_days()) * 24, 0);
+  src.fold<std::vector<std::uint64_t>>(
+      [&](const Dataset& block, std::size_t) {
+        return location_hour_sums(block, cls, filter, rx);
+      },
+      [&](std::vector<std::uint64_t>&& p, std::size_t) {
+        add_hour_sums(total, p);
+      });
+  return hourly_series_from_sums(total);
 }
 
 WeekSplit weekday_weekend_split(const Dataset& ds, Stream stream) {
@@ -342,20 +346,26 @@ WeekSplit weekday_weekend_split(const HourlySeries& series,
   return out;
 }
 
-WifiLocationShares wifi_location_shares(const Dataset& ds,
-                                        const ApClassification& cls) {
-  double home = 0, publik = 0, office = 0, other = 0;
+namespace {
+
+// Exact byte sums per location bucket (home, public, office, other).
+// The serial reference accumulated doubles; u32 byte counts sum exactly
+// in doubles below 2^53, so u64 sums convert to the same values and
+// merge byte-identically across chunks and shards.
+[[nodiscard]] std::array<std::uint64_t, 4> wifi_location_sums(
+    const Dataset& ds, const ApClassification& cls) {
+  std::array<std::uint64_t, 4> out{};
 
   const core::DatasetIndex* idx = ds.index();
   if (idx == nullptr) {
     for (const Sample& s : ds.samples) {
       if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
-      const double v = static_cast<double>(s.wifi_rx) + s.wifi_tx;
+      const std::uint64_t v = std::uint64_t{s.wifi_rx} + s.wifi_tx;
       switch (cls.class_of(s.ap)) {
-        case ApClass::Home: home += v; break;
-        case ApClass::Public: publik += v; break;
+        case ApClass::Home: out[0] += v; break;
+        case ApClass::Public: out[1] += v; break;
         case ApClass::Other:
-          (cls.is_office[value(s.ap)] ? office : other) += v;
+          out[cls.is_office[value(s.ap)] ? 2 : 3] += v;
           break;
       }
     }
@@ -379,10 +389,8 @@ WifiLocationShares wifi_location_shares(const Dataset& ds,
     const std::size_t n = ap.size();
     using Sums = std::array<std::uint64_t, 5>;
     const std::vector<Sums> partials =
-        core::parallel_map(num_chunks(n), [&](std::size_t c) {
+        query::map_chunks(n, [&](std::size_t begin, std::size_t end) {
           Sums sums{};
-          const std::size_t begin = c * kScanChunk;
-          const std::size_t end = std::min(begin + kScanChunk, n);
           // Devices dwell on one AP for many consecutive bins, so
           // run-length-encode the AP stream: one bucket lookup per
           // association run, and the byte sum inside a run is a
@@ -407,16 +415,19 @@ WifiLocationShares wifi_location_shares(const Dataset& ds,
           }
           return sums;
         });
-    Sums total{};
     for (const Sums& p : partials) {
-      for (std::size_t b = 0; b < 4; ++b) total[b] += p[b];
+      for (std::size_t b = 0; b < 4; ++b) out[b] += p[b];
     }
-    home = static_cast<double>(total[0]);
-    publik = static_cast<double>(total[1]);
-    office = static_cast<double>(total[2]);
-    other = static_cast<double>(total[3]);
   }
+  return out;
+}
 
+[[nodiscard]] WifiLocationShares wifi_location_shares_from_sums(
+    const std::array<std::uint64_t, 4>& sums) {
+  const double home = static_cast<double>(sums[0]);
+  const double publik = static_cast<double>(sums[1]);
+  const double office = static_cast<double>(sums[2]);
+  const double other = static_cast<double>(sums[3]);
   const double total = home + publik + office + other;
   WifiLocationShares shares;
   if (total > 0) {
@@ -426,6 +437,74 @@ WifiLocationShares wifi_location_shares(const Dataset& ds,
     shares.other = other / total;
   }
   return shares;
+}
+
+}  // namespace
+
+WifiLocationShares wifi_location_shares(const Dataset& ds,
+                                        const ApClassification& cls) {
+  return wifi_location_shares_from_sums(wifi_location_sums(ds, cls));
+}
+
+WifiLocationShares wifi_location_shares(const query::DataSource& src,
+                                        const ApClassification& cls) {
+  if (const Dataset* ds = src.dataset_or_null()) {
+    return wifi_location_shares(*ds, cls);
+  }
+  return wifi_location_shares_from_sums(
+      src.reduce<std::array<std::uint64_t, 4>>(
+          [&](const Dataset& block, std::size_t) {
+            return wifi_location_sums(block, cls);
+          },
+          [](std::array<std::uint64_t, 4>& acc,
+             std::array<std::uint64_t, 4>&& p) {
+            for (std::size_t b = 0; b < 4; ++b) acc[b] += p[b];
+          }));
+}
+
+HourlySeries aggregate_series(const query::DataSource& src, Stream stream) {
+  if (const Dataset* ds = src.dataset_or_null()) {
+    return aggregate_series(*ds, stream);
+  }
+  std::vector<std::uint64_t> total(
+      static_cast<std::size_t>(src.num_days()) * 24, 0);
+  src.fold<std::vector<std::uint64_t>>(
+      [&](const Dataset& block, std::size_t) {
+        return aggregate_hour_sums(block, stream);
+      },
+      [&](std::vector<std::uint64_t>&& p, std::size_t) {
+        add_hour_sums(total, p);
+      });
+  return hourly_series_from_sums(total);
+}
+
+AllStreamSums aggregate_all_streams(const query::DataSource& src) {
+  if (const Dataset* ds = src.dataset_or_null()) {
+    return aggregate_all_streams(*ds);
+  }
+  AllStreamSums total;
+  const auto n_hours = static_cast<std::size_t>(src.num_days()) * 24;
+  for (auto& sums : total.hour_sums) sums.assign(n_hours, 0);
+  src.fold<AllStreamSums>(
+      [&](const Dataset& block, std::size_t) {
+        return aggregate_all_streams(block);
+      },
+      [&](AllStreamSums&& p, std::size_t) {
+        for (int s = 0; s < 4; ++s) {
+          add_hour_sums(total.hour_sums[s], p.hour_sums[s]);
+        }
+        total.lte.lte += p.lte.lte;
+        total.lte.total += p.lte.total;
+      });
+  return total;
+}
+
+WeekSplit weekday_weekend_split(const query::DataSource& src, Stream stream) {
+  if (const Dataset* ds = src.dataset_or_null()) {
+    return weekday_weekend_split(*ds, stream);
+  }
+  return weekday_weekend_split(aggregate_series(src, stream), src.calendar(),
+                               src.num_days());
 }
 
 }  // namespace tokyonet::analysis

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/classify.h"
+#include "analysis/query/fwd.h"
 #include "analysis/volumes.h"
 #include "core/records.h"
 
@@ -34,12 +35,14 @@ enum class Stream : std::uint8_t {
 
 /// Fig 2: one aggregated series per stream.
 [[nodiscard]] HourlySeries aggregate_series(const Dataset& ds, Stream stream);
+[[nodiscard]] HourlySeries aggregate_series(const query::DataSource& src,
+                                            Stream stream);
 
 /// The exact per-hour byte sums behind aggregate_series(). Exposed so
-/// out-of-core scans (analysis/sharded.h) can accumulate shard partials
-/// as integers — u64 addition is associative, so summing per-shard hour
-/// sums and converting once reproduces the in-memory series
-/// byte-identically at any shard count.
+/// out-of-core scans can accumulate shard partials as integers — u64
+/// addition is associative, so summing per-shard hour sums and
+/// converting once reproduces the in-memory series byte-identically at
+/// any shard count.
 [[nodiscard]] std::vector<std::uint64_t> aggregate_hour_sums(const Dataset& ds,
                                                              Stream stream);
 
@@ -52,8 +55,8 @@ enum class Stream : std::uint8_t {
 /// aggregate_hour_sums() calls and one lte_traffic_sums() call — all
 /// accumulators are exact u64 sums, so fusing the loops changes only
 /// the order of associative additions — at roughly a quarter of the
-/// column traffic. The out-of-core shard scan (analysis/sharded.h) is
-/// the hot caller: it pays this pass once per shard.
+/// column traffic. The out-of-core backend is the hot caller: it pays
+/// this pass once per shard.
 struct AllStreamSums {
   /// Indexed by Stream (CellRx, CellTx, WifiRx, WifiTx).
   std::vector<std::uint64_t> hour_sums[4];
@@ -61,6 +64,7 @@ struct AllStreamSums {
 };
 
 [[nodiscard]] AllStreamSums aggregate_all_streams(const Dataset& ds);
+[[nodiscard]] AllStreamSums aggregate_all_streams(const query::DataSource& src);
 
 /// Fig 11: WiFi traffic restricted to APs of one inferred class
 /// (office = ApClass::Other with the office flag).
@@ -73,6 +77,10 @@ struct LocationFilter {
                                            const ApClassification& cls,
                                            LocationFilter filter,
                                            bool rx);
+[[nodiscard]] HourlySeries location_series(const query::DataSource& src,
+                                           const ApClassification& cls,
+                                           LocationFilter filter,
+                                           bool rx);
 
 /// §3.1: cellular traffic is smaller on weekends, WiFi the opposite.
 struct WeekSplit {
@@ -81,6 +89,8 @@ struct WeekSplit {
 };
 
 [[nodiscard]] WeekSplit weekday_weekend_split(const Dataset& ds,
+                                              Stream stream);
+[[nodiscard]] WeekSplit weekday_weekend_split(const query::DataSource& src,
                                               Stream stream);
 
 /// As above, over an already-computed series (the out-of-core path has
@@ -100,5 +110,7 @@ struct WifiLocationShares {
 
 [[nodiscard]] WifiLocationShares wifi_location_shares(
     const Dataset& ds, const ApClassification& cls);
+[[nodiscard]] WifiLocationShares wifi_location_shares(
+    const query::DataSource& src, const ApClassification& cls);
 
 }  // namespace tokyonet::analysis

@@ -4,8 +4,9 @@
 #include <cassert>
 #include <cstdint>
 
+#include "analysis/query/scan.h"
+#include "analysis/query/source.h"
 #include "core/dataset_index.h"
-#include "core/parallel.h"
 
 namespace tokyonet::analysis {
 
@@ -36,31 +37,44 @@ std::vector<AppBreakdown::Entry> AppBreakdown::top(AppContext context,
   return entries;
 }
 
-AppBreakdown app_breakdown(const Dataset& ds, const ApClassification& cls,
-                           const std::vector<GeoCell>& home_cells,
-                           const AppBreakdownOptions& opt) {
-  AppBreakdown out;
-  AppBreakdown::Shares rx_sum{}, tx_sum{};
+namespace {
 
-  // Optional light-user filtering by (device, day).
-  const auto num_days = static_cast<std::size_t>(ds.num_days());
-  std::vector<bool> include_day;
-  if (opt.light_users_only) {
-    include_day.assign(ds.devices.size() * num_days, false);
-    for (const UserDay& d : *opt.days) {
-      include_day[value(d.device) * num_days +
-                  static_cast<std::size_t>(d.day)] =
-          opt.classes->classify(d) == UserClass::Light;
+// Exact u64 byte sums per (context, category) behind app_breakdown().
+// `home_cells` and `include_day` are campaign-wide tables (global
+// device indices); `base` rebases this block's local device ids into
+// them, so shard partials merge byte-identically.
+using AppSums =
+    std::array<std::array<std::uint64_t, kNumAppCategories>, kNumAppContexts>;
+
+struct AppPartial {
+  AppSums rx{}, tx{};
+
+  void merge(const AppPartial& p) noexcept {
+    for (std::size_t ctx = 0; ctx < kNumAppContexts; ++ctx) {
+      for (std::size_t c = 0;
+           c < static_cast<std::size_t>(kNumAppCategories); ++c) {
+        rx[ctx][c] += p.rx[ctx][c];
+        tx[ctx][c] += p.tx[ctx][c];
+      }
     }
   }
+};
+
+[[nodiscard]] AppPartial app_breakdown_sums(
+    const Dataset& ds, const ApClassification& cls,
+    const std::vector<GeoCell>& home_cells,
+    const std::vector<bool>& include_day, bool light_users_only,
+    std::size_t base) {
+  AppPartial out;
+  const auto num_days = static_cast<std::size_t>(ds.num_days());
 
   const core::DatasetIndex* idx = ds.index();
   if (idx == nullptr) {
     for (const Sample& s : ds.samples) {
       if (s.app_count == 0) continue;
       if (ds.devices[value(s.device)].os != Os::Android) continue;
-      if (opt.light_users_only &&
-          !include_day[value(s.device) * num_days +
+      if (light_users_only &&
+          !include_day[(base + value(s.device)) * num_days +
                        static_cast<std::size_t>(ds.calendar.day_of(s.bin))]) {
         continue;
       }
@@ -73,7 +87,7 @@ AppBreakdown app_breakdown(const Dataset& ds, const ApClassification& cls,
           case ApClass::Other: continue;  // office/venue not tabulated
         }
       } else {
-        const GeoCell home = home_cells[value(s.device)];
+        const GeoCell home = home_cells[base + value(s.device)];
         ctx = (home != kNoGeoCell && s.geo_cell == home)
                   ? AppContext::CellHome
                   : AppContext::CellOther;
@@ -81,8 +95,8 @@ AppBreakdown app_breakdown(const Dataset& ds, const ApClassification& cls,
 
       for (const AppTraffic& at : ds.apps_of(s)) {
         const auto c = static_cast<std::size_t>(at.category);
-        rx_sum[static_cast<std::size_t>(ctx)][c] += at.rx_bytes;
-        tx_sum[static_cast<std::size_t>(ctx)][c] += at.tx_bytes;
+        out.rx[static_cast<std::size_t>(ctx)][c] += at.rx_bytes;
+        out.tx[static_cast<std::size_t>(ctx)][c] += at.tx_bytes;
       }
     }
   } else {
@@ -97,29 +111,19 @@ AppBreakdown app_breakdown(const Dataset& ds, const ApClassification& cls,
     // app_begin. All sums are u64 over u32 values, so the block
     // reduction is byte-identical to the serial scan at any thread
     // count.
-    using Sums =
-        std::array<std::array<std::uint64_t, kNumAppCategories>,
-                   kNumAppContexts>;
-    struct Partial {
-      Sums rx{}, tx{};
-    };
-    constexpr std::size_t kDeviceBlock = 16;
     const std::span<const std::uint8_t> acnt = idx->app_count();
     const std::span<const WifiState> state = idx->wifi_state();
     const std::span<const std::uint32_t> apcol = idx->ap();
     const std::span<const std::uint16_t> geo = idx->geo_cell();
     const std::span<const AppTraffic> apps = ds.app_traffic.span();
     const std::size_t n_devices = ds.devices.size();
-    const std::size_t n_blocks = (n_devices + kDeviceBlock - 1) / kDeviceBlock;
     const int days_total = ds.num_days();
-    const std::vector<Partial> partials =
-        core::parallel_map(n_blocks, [&](std::size_t b) {
-          Partial p;
-          const std::size_t d0 = b * kDeviceBlock;
-          const std::size_t d1 = std::min(d0 + kDeviceBlock, n_devices);
+    const std::vector<AppPartial> partials = query::map_device_blocks(
+        n_devices, [&](std::size_t d0, std::size_t d1) {
+          AppPartial p;
           for (std::size_t d = d0; d < d1; ++d) {
             if (ds.devices[d].os != Os::Android) continue;
-            const GeoCell home = home_cells[d];
+            const GeoCell home = home_cells[base + d];
             std::size_t cursor = idx->device_app_begin(d);
             // The app context is a pure function of (wifi_state, ap,
             // geo_cell), and devices dwell — those columns are constant
@@ -183,11 +187,11 @@ AppBreakdown app_breakdown(const Dataset& ds, const ApClassification& cls,
                 i = j;
               }
             };
-            if (opt.light_users_only) {
+            if (light_users_only) {
               for (int day = 0; day < days_total; ++day) {
                 const std::size_t begin = idx->day_begin(d, day);
                 const std::size_t end = idx->day_begin(d, day + 1);
-                if (!include_day[d * num_days +
+                if (!include_day[(base + d) * num_days +
                                  static_cast<std::size_t>(day)]) {
                   // Keep the cursor in sync across excluded days.
                   for (std::size_t i = begin; i < end; ++i) cursor += acnt[i];
@@ -201,35 +205,81 @@ AppBreakdown app_breakdown(const Dataset& ds, const ApClassification& cls,
           }
           return p;
         });
-    for (const Partial& p : partials) {
-      for (std::size_t ctx = 0; ctx < kNumAppContexts; ++ctx) {
-        for (std::size_t c = 0;
-             c < static_cast<std::size_t>(kNumAppCategories); ++c) {
-          rx_sum[ctx][c] += static_cast<double>(p.rx[ctx][c]);
-          tx_sum[ctx][c] += static_cast<double>(p.tx[ctx][c]);
-        }
-      }
+    for (const AppPartial& p : partials) out.merge(p);
+  }
+  return out;
+}
+
+// The light-user (device, day) filter table over the *campaign-wide*
+// device universe; empty unless filtering (UserDay carries global ids).
+[[nodiscard]] std::vector<bool> light_day_table(
+    std::size_t n_devices, std::size_t num_days,
+    const AppBreakdownOptions& opt) {
+  std::vector<bool> include_day;
+  if (opt.light_users_only) {
+    include_day.assign(n_devices * num_days, false);
+    for (const UserDay& d : *opt.days) {
+      include_day[value(d.device) * num_days +
+                  static_cast<std::size_t>(d.day)] =
+          opt.classes->classify(d) == UserClass::Light;
     }
   }
+  return include_day;
+}
 
-  for (int ctx = 0; ctx < kNumAppContexts; ++ctx) {
+// Normalizes the exact sums to per-context shares. Totals are summed in
+// category order from the same integer operands the all-at-once scan
+// produced, so shares match it bit-for-bit.
+[[nodiscard]] AppBreakdown app_breakdown_finalize(const AppPartial& sums) {
+  AppBreakdown out;
+  for (std::size_t ctx = 0; ctx < kNumAppContexts; ++ctx) {
     double rx_total = 0, tx_total = 0;
-    for (int c = 0; c < kNumAppCategories; ++c) {
-      rx_total += rx_sum[static_cast<std::size_t>(ctx)][static_cast<std::size_t>(c)];
-      tx_total += tx_sum[static_cast<std::size_t>(ctx)][static_cast<std::size_t>(c)];
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(kNumAppCategories); ++c) {
+      rx_total += static_cast<double>(sums.rx[ctx][c]);
+      tx_total += static_cast<double>(sums.tx[ctx][c]);
     }
-    for (int c = 0; c < kNumAppCategories; ++c) {
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(kNumAppCategories); ++c) {
       if (rx_total > 0) {
-        out.rx_share[static_cast<std::size_t>(ctx)][static_cast<std::size_t>(c)] =
-            rx_sum[static_cast<std::size_t>(ctx)][static_cast<std::size_t>(c)] / rx_total;
+        out.rx_share[ctx][c] =
+            static_cast<double>(sums.rx[ctx][c]) / rx_total;
       }
       if (tx_total > 0) {
-        out.tx_share[static_cast<std::size_t>(ctx)][static_cast<std::size_t>(c)] =
-            tx_sum[static_cast<std::size_t>(ctx)][static_cast<std::size_t>(c)] / tx_total;
+        out.tx_share[ctx][c] =
+            static_cast<double>(sums.tx[ctx][c]) / tx_total;
       }
     }
   }
   return out;
+}
+
+}  // namespace
+
+AppBreakdown app_breakdown(const Dataset& ds, const ApClassification& cls,
+                           const std::vector<GeoCell>& home_cells,
+                           const AppBreakdownOptions& opt) {
+  const std::vector<bool> include_day = light_day_table(
+      ds.devices.size(), static_cast<std::size_t>(ds.num_days()), opt);
+  return app_breakdown_finalize(app_breakdown_sums(
+      ds, cls, home_cells, include_day, opt.light_users_only, 0));
+}
+
+AppBreakdown app_breakdown(const query::DataSource& src,
+                           const ApClassification& cls,
+                           const std::vector<GeoCell>& home_cells,
+                           const AppBreakdownOptions& opt) {
+  if (const Dataset* ds = src.dataset_or_null()) {
+    return app_breakdown(*ds, cls, home_cells, opt);
+  }
+  const std::vector<bool> include_day = light_day_table(
+      src.n_devices(), static_cast<std::size_t>(src.num_days()), opt);
+  return app_breakdown_finalize(src.reduce<AppPartial>(
+      [&](const Dataset& block, std::size_t base) {
+        return app_breakdown_sums(block, cls, home_cells, include_day,
+                                  opt.light_users_only, base);
+      },
+      [](AppPartial& acc, AppPartial&& p) { acc.merge(p); }));
 }
 
 }  // namespace tokyonet::analysis

@@ -5,6 +5,7 @@
 #include <span>
 
 #include "analysis/common.h"
+#include "analysis/query/source.h"
 #include "core/dataset_index.h"
 #include "core/parallel.h"
 #include "stats/simd.h"
@@ -162,6 +163,47 @@ OffloadOpportunity offload_opportunity_from_metrics(
 OffloadOpportunity offload_opportunity(const Dataset& ds,
                                        const OpportunityOptions& opt) {
   return offload_opportunity_from_metrics(offload_device_metrics(ds), opt);
+}
+
+ScanAvailability scan_availability(const query::DataSource& src) {
+  if (const Dataset* ds = src.dataset_or_null()) return scan_availability(*ds);
+  // Per-shard series are emitted in (device, bin) order, so appending
+  // them in shard order reproduces the in-memory emission order.
+  ScanAvailability out;
+  src.fold<ScanAvailability>(
+      [](const Dataset& block, std::size_t) {
+        return scan_availability(block);
+      },
+      [&](ScanAvailability&& p, std::size_t) {
+        auto append = [](std::vector<double>& into, std::vector<double>& from) {
+          if (into.empty()) {
+            into = std::move(from);
+          } else {
+            into.insert(into.end(), from.begin(), from.end());
+          }
+        };
+        append(out.all_24, p.all_24);
+        append(out.strong_24, p.strong_24);
+        append(out.all_5, p.all_5);
+        append(out.strong_5, p.strong_5);
+      });
+  return out;
+}
+
+std::vector<OffloadDeviceMetrics> offload_device_metrics(
+    const query::DataSource& src) {
+  if (const Dataset* ds = src.dataset_or_null()) {
+    return offload_device_metrics(*ds);
+  }
+  return src.concat<OffloadDeviceMetrics>(
+      [](const Dataset& block, std::size_t) {
+        return offload_device_metrics(block);
+      });
+}
+
+OffloadOpportunity offload_opportunity(const query::DataSource& src,
+                                       const OpportunityOptions& opt) {
+  return offload_opportunity_from_metrics(offload_device_metrics(src), opt);
 }
 
 }  // namespace tokyonet::analysis

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "analysis/query/fwd.h"
 #include "core/records.h"
 #include "stats/distribution.h"
 
@@ -29,6 +30,7 @@ struct ScanAvailability {
 };
 
 [[nodiscard]] ScanAvailability scan_availability(const Dataset& ds);
+[[nodiscard]] ScanAvailability scan_availability(const query::DataSource& src);
 
 /// §3.5's offloading headroom estimate for WiFi-available users.
 struct OffloadOpportunity {
@@ -52,6 +54,8 @@ struct OpportunityOptions {
 
 [[nodiscard]] OffloadOpportunity offload_opportunity(
     const Dataset& ds, const OpportunityOptions& opt = {});
+[[nodiscard]] OffloadOpportunity offload_opportunity(
+    const query::DataSource& src, const OpportunityOptions& opt = {});
 
 /// One device's §3.5 tallies — a pure function of that device's stream,
 /// so the out-of-core scan concatenates per-shard vectors in device
@@ -66,6 +70,8 @@ struct OffloadDeviceMetrics {
 
 [[nodiscard]] std::vector<OffloadDeviceMetrics> offload_device_metrics(
     const Dataset& ds);
+[[nodiscard]] std::vector<OffloadDeviceMetrics> offload_device_metrics(
+    const query::DataSource& src);
 
 [[nodiscard]] OffloadOpportunity offload_opportunity_from_metrics(
     const std::vector<OffloadDeviceMetrics>& metrics,

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "analysis/common.h"
+#include "analysis/query/fwd.h"
 #include "core/records.h"
 
 namespace tokyonet::analysis {
@@ -27,5 +28,6 @@ struct BatteryAnalysis {
 };
 
 [[nodiscard]] BatteryAnalysis battery_analysis(const Dataset& ds);
+[[nodiscard]] BatteryAnalysis battery_analysis(const query::DataSource& src);
 
 }  // namespace tokyonet::analysis

@@ -4,8 +4,14 @@ namespace tokyonet::analysis {
 
 CapAnalysis analyze_cap(const Dataset& ds, const std::vector<UserDay>& days,
                         double threshold_mb) {
+  return analyze_cap(ds.devices.size(), days, threshold_mb);
+}
+
+CapAnalysis analyze_cap(std::size_t n_devices,
+                        const std::vector<UserDay>& days,
+                        double threshold_mb) {
   std::vector<double> capped, others;
-  std::vector<bool> user_capped(ds.devices.size(), false);
+  std::vector<bool> user_capped(n_devices, false);
 
   // `days` is ordered by (device, day); walk with a 3-day lookback.
   for (std::size_t i = 0; i < days.size(); ++i) {
@@ -37,9 +43,9 @@ CapAnalysis analyze_cap(const Dataset& ds, const std::vector<UserDay>& days,
   std::size_t n_capped_users = 0;
   for (bool b : user_capped) n_capped_users += b;
   out.capped_user_share =
-      ds.devices.empty()
+      n_devices == 0
           ? 0
-          : static_cast<double>(n_capped_users) / static_cast<double>(ds.devices.size());
+          : static_cast<double>(n_capped_users) / static_cast<double>(n_devices);
   out.capped_below_half = out.ratio_capped.at(0.5);
   out.others_below_half = out.ratio_others.at(0.5);
   out.gap_at_half = out.capped_below_half - out.others_below_half;

@@ -32,4 +32,10 @@ struct CapAnalysis {
                                       const std::vector<UserDay>& days,
                                       double threshold_mb = 1000.0);
 
+/// As above for callers without a resident Dataset (the out-of-core
+/// path): the dataset is only consulted for the device count.
+[[nodiscard]] CapAnalysis analyze_cap(std::size_t n_devices,
+                                      const std::vector<UserDay>& days,
+                                      double threshold_mb = 1000.0);
+
 }  // namespace tokyonet::analysis

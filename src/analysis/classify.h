@@ -69,7 +69,7 @@ struct ApClassification {
                                             const ClassifyOptions& opt = {});
 
 /// Incremental form of classify_aps() for device-partitioned scans
-/// (analysis/sharded.h): feed each contiguous device block (a shard
+/// (analysis/query/source.h): feed each contiguous device block (a shard
 /// loaded with local device ids, samples referencing global AP ids),
 /// then finish() against the AP universe. Per-AP tallies merge by
 /// addition and set union and each device's home-AP verdict depends
@@ -105,8 +105,8 @@ class ApClassificationBuilder {
 
   /// The scan half of add_device_block(): a pure function of `block`
   /// and the builder's options, touching no builder state — safe to
-  /// call from several threads at once (the parallel shard scan in
-  /// analysis/sharded.h does).
+  /// call from several threads at once (the K-parallel shard scan in
+  /// analysis/query/source.cc does).
   [[nodiscard]] BlockStats scan_block(const Dataset& block) const;
 
   /// The merge half: folds a scanned block whose global device indices

@@ -5,22 +5,32 @@
 // intermediates: the user-day volume rollup, the heavy/light user
 // classifier, the AP classification and the per-device home-cell
 // inference. AnalysisContext computes each of them at most once per
-// Dataset — lazily, thread-safely via std::call_once — so the CLI, the
+// campaign — lazily, thread-safely via std::call_once — so the CLI, the
 // bench suite (bench/common.cc) and any multi-kernel driver pay for a
 // shared intermediate exactly once no matter how many kernels consume
 // it.
 //
-// The memoized results are identical to calling the underlying
-// functions directly (enforced by tests/index_equiv_test.cc); the
-// context only removes repetition, never changes an answer.
+// The context runs over a query::DataSource, so the same figure code
+// serves both backends: constructed from a Dataset it wraps an
+// InMemorySource and every intermediate is computed by the original
+// in-memory function (bit-identical, enforced by
+// tests/index_equiv_test.cc); constructed from a ShardedSource each
+// intermediate is one bounded-memory pass over the shards, folding
+// per-shard partials in shard order (update detection, user-day
+// rollups, home cells and home-AP verdicts are per-device products;
+// classification tallies merge by addition and set union), so the
+// results are byte-identical to the in-memory ones. Only O(devices +
+// aps) state is ever retained.
 #pragma once
 
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "analysis/classify.h"
 #include "analysis/common.h"
+#include "analysis/query/source.h"
 #include "analysis/update.h"
 #include "core/records.h"
 
@@ -29,20 +39,37 @@ namespace tokyonet::analysis {
 class AnalysisContext {
  public:
   /// The context borrows `ds`; the dataset must outlive it.
-  explicit AnalysisContext(const Dataset& ds) : ds_(&ds) {}
+  explicit AnalysisContext(const Dataset& ds)
+      : owned_(std::make_unique<query::InMemorySource>(ds)),
+        src_(owned_.get()) {}
+
+  /// Borrows `src` (must outlive the context). Out of core, every
+  /// intermediate below is one pass over the store.
+  explicit AnalysisContext(const query::DataSource& src) : src_(&src) {}
 
   AnalysisContext(const AnalysisContext&) = delete;
   AnalysisContext& operator=(const AnalysisContext&) = delete;
 
-  [[nodiscard]] const Dataset& dataset() const noexcept { return *ds_; }
+  [[nodiscard]] const query::DataSource& source() const noexcept {
+    return *src_;
+  }
 
-  /// iOS software-update detection (§3.7). Uses the campaign's public
-  /// release knowledge: day 9 for the 2015 campaign (March 10th),
-  /// no in-campaign release for earlier years.
+  /// The resident campaign. Only callable in-memory; out-of-core
+  /// figures must consume source() (enforced — throws std::logic_error
+  /// rather than silently materializing the campaign).
+  [[nodiscard]] const Dataset& dataset() const;
+
+  /// The global device table (ids are global indices in both backends).
+  [[nodiscard]] std::span<const DeviceInfo> devices() const;
+
+  /// iOS software-update detection (§3.7), global device indices. Uses
+  /// the campaign's public release knowledge: day 9 for the 2015
+  /// campaign (March 10th), no in-campaign release for earlier years.
   [[nodiscard]] const UpdateDetection& updates() const;
 
   /// The paper's main user-day rollup (§2 cleaning applied): tethering
-  /// samples stripped, detected update days excluded.
+  /// samples stripped, detected update days excluded. Ordered by
+  /// (device, day) with global device ids.
   [[nodiscard]] const std::vector<UserDay>& days() const;
 
   /// Heavy/light user-day classifier over days().
@@ -55,10 +82,16 @@ class AnalysisContext {
   [[nodiscard]] const std::vector<GeoCell>& home_cells() const;
 
  private:
-  const Dataset* ds_;
+  /// One pass computing devices + updates + days together (they share
+  /// the scan: the rollup excludes each device's detected update days).
+  void ensure_scan() const;
 
-  mutable std::once_flag updates_once_, days_once_, classifier_once_,
-      classification_once_, home_cells_once_;
+  std::unique_ptr<query::InMemorySource> owned_;  // in-memory ctor only
+  const query::DataSource* src_;
+
+  mutable std::once_flag scan_once_, classifier_once_, classification_once_,
+      home_cells_once_;
+  mutable std::vector<DeviceInfo> devices_;  // out-of-core only
   mutable std::unique_ptr<UpdateDetection> updates_;
   mutable std::unique_ptr<std::vector<UserDay>> days_;
   mutable std::unique_ptr<UserClassifier> classifier_;

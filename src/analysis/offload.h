@@ -6,6 +6,7 @@
 
 #include "analysis/classify.h"
 #include "analysis/common.h"
+#include "analysis/query/fwd.h"
 #include "core/records.h"
 
 namespace tokyonet::analysis {
@@ -33,6 +34,9 @@ struct OffloadAssumptions {
 
 [[nodiscard]] OffloadImpact offload_impact(
     const Dataset& ds, const std::vector<UserDay>& days,
+    const ApClassification& cls, const OffloadAssumptions& assume = {});
+[[nodiscard]] OffloadImpact offload_impact(
+    const query::DataSource& src, const std::vector<UserDay>& days,
     const ApClassification& cls, const OffloadAssumptions& assume = {});
 
 }  // namespace tokyonet::analysis

@@ -7,52 +7,50 @@
 #include <span>
 #include <unordered_map>
 
+#include "analysis/query/scan.h"
+#include "analysis/query/source.h"
 #include "core/dataset_index.h"
-#include "core/parallel.h"
 #include "net/radio.h"
 #include "stats/descriptive.h"
 
 namespace tokyonet::analysis {
 namespace {
 
-// Chunk length for parallel scans over the SoA columns. Chunk partials
-// are max-merges or exact integer sums, both grouping-independent, so
-// the merged result is byte-identical to the serial reference at any
-// thread count.
-constexpr std::size_t kScanChunk = std::size_t{1} << 16;
+// All chunk/block partials below are max-merges or exact integer sums,
+// both grouping-independent, so the merged result is byte-identical to
+// the serial reference at any thread count — and per-shard partials of
+// the same shapes merge identically out of core.
 
-[[nodiscard]] constexpr std::size_t num_chunks(std::size_t n) noexcept {
-  return (n + kScanChunk - 1) / kScanChunk;
-}
+using PairCounts = std::unordered_map<std::uint64_t, int>;
 
-// Devices per parallel_map item for scans that need per-device fields
-// (OS). Fixed, so the partial grouping never depends on the thread
-// count.
-constexpr std::size_t kDeviceBlock = 16;
-
-/// Most common device geolocation per AP while associated, restricted
-/// to APs with keep[ap] != 0; kNoGeoCell for APs never observed. The
-/// per-chunk (ap, cell) counts are merged into per-AP ordered maps, so
-/// the arg-max tie-break (lowest cell wins) matches the serial maps.
+/// (ap, cell) -> associated-sample count, restricted to APs with
+/// keep[ap] != 0 (keep has one entry per AP in the global universe).
 ///
 /// Devices dwell: consecutive samples usually repeat the same (ap,
 /// geo-cell) pair, so each chunk run-length-encodes the pair stream and
 /// pays one hash-map update per run instead of one per sample. Counts
 /// are exact integers, so any run/chunk grouping merges identically.
-[[nodiscard]] std::vector<GeoCell> top_cell_per_ap(
-    const Dataset& ds, const core::DatasetIndex& idx,
-    const std::vector<std::uint8_t>& keep) {
-  const std::span<const std::uint32_t> ap = idx.ap();
-  const std::span<const WifiState> state = idx.wifi_state();
-  const std::span<const std::uint16_t> geo = idx.geo_cell();
+[[nodiscard]] PairCounts ap_cell_pair_counts(
+    const Dataset& ds, const std::vector<std::uint8_t>& keep) {
+  const core::DatasetIndex* idx = ds.index();
+  if (idx == nullptr) {
+    PairCounts counts;
+    for (const Sample& s : ds.samples) {
+      if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
+      if (s.geo_cell == kNoGeoCell || !keep[value(s.ap)]) continue;
+      ++counts[(std::uint64_t{value(s.ap)} << 16) | s.geo_cell];
+    }
+    return counts;
+  }
+
+  const std::span<const std::uint32_t> ap = idx->ap();
+  const std::span<const WifiState> state = idx->wifi_state();
+  const std::span<const std::uint16_t> geo = idx->geo_cell();
   const std::size_t n = ap.size();
 
-  using PairCounts = std::unordered_map<std::uint64_t, int>;
   const std::vector<PairCounts> partials =
-      core::parallel_map(num_chunks(n), [&](std::size_t c) {
+      query::map_chunks(n, [&](std::size_t begin, std::size_t end) {
         PairCounts counts;
-        const std::size_t begin = c * kScanChunk;
-        const std::size_t end = std::min(begin + kScanChunk, n);
         std::size_t i = begin;
         while (i < end) {
           const std::uint32_t a = ap[i];
@@ -71,11 +69,6 @@ constexpr std::size_t kDeviceBlock = 16;
         return counts;
       });
 
-  // Merge into one flat (ap, cell) -> count map, then take the per-AP
-  // arg-max in a single pass. Picking the strictly larger count — or,
-  // on ties, the lower cell id — is order-independent, so the result
-  // matches the ordered-map reference (first-in-iteration-order win
-  // over an ordered map == lowest cell id among tied counts).
   PairCounts total;
   std::size_t est = 0;
   for (const PairCounts& p : partials) est += p.size();
@@ -83,8 +76,22 @@ constexpr std::size_t kDeviceBlock = 16;
   for (const PairCounts& p : partials) {
     for (const auto& [key, k] : p) total[key] += k;
   }
-  std::vector<int> best(ds.aps.size(), 0);
-  std::vector<GeoCell> out(ds.aps.size(), kNoGeoCell);
+  return total;
+}
+
+void merge_pair_counts(PairCounts& acc, const PairCounts& p) {
+  for (const auto& [key, k] : p) acc[key] += k;
+}
+
+/// Per-AP arg-max over merged (ap, cell) counts. Picking the strictly
+/// larger count — or, on ties, the lower cell id — is
+/// order-independent, so the result matches the ordered-map reference
+/// (first-in-iteration-order win over an ordered map == lowest cell id
+/// among tied counts).
+[[nodiscard]] std::vector<GeoCell> top_cells_from_counts(
+    std::size_t n_aps, const PairCounts& total) {
+  std::vector<int> best(n_aps, 0);
+  std::vector<GeoCell> out(n_aps, kNoGeoCell);
   for (const auto& [key, k] : total) {
     const std::size_t a = key >> 16;
     const auto cell = static_cast<GeoCell>(key & 0xFFFF);
@@ -110,8 +117,12 @@ stats::Histogram RssiAnalysis::public_pdf() const {
   return h;
 }
 
-RssiAnalysis rssi_analysis(const Dataset& ds, const ApClassification& cls) {
-  // Max RSSI per associated 2.4 GHz AP.
+namespace {
+
+// Max RSSI per associated 2.4 GHz AP (indexed by global AP id; -1e9
+// for APs never associated). Max-merge is order-independent, so chunk
+// and shard partials combine byte-identically.
+[[nodiscard]] std::vector<double> ap_max_rssi(const Dataset& ds) {
   std::vector<double> max_rssi(ds.aps.size(), -1e9);
 
   const core::DatasetIndex* idx = ds.index();
@@ -142,10 +153,8 @@ RssiAnalysis rssi_analysis(const Dataset& ds, const ApClassification& cls) {
     constexpr std::int16_t kUnseen = -32768;
     using RunMax = std::pair<std::uint32_t, std::int16_t>;
     const std::vector<std::vector<RunMax>> partials =
-        core::parallel_map(num_chunks(n), [&](std::size_t c) {
+        query::map_chunks(n, [&](std::size_t begin, std::size_t end) {
           std::vector<RunMax> maxima;
-          const std::size_t begin = c * kScanChunk;
-          const std::size_t end = std::min(begin + kScanChunk, n);
           std::size_t i = begin;
           while (i < end) {
             const std::uint32_t a = ap[i];
@@ -171,9 +180,13 @@ RssiAnalysis rssi_analysis(const Dataset& ds, const ApClassification& cls) {
       }
     }
   }
+  return max_rssi;
+}
 
+[[nodiscard]] RssiAnalysis rssi_finalize(const std::vector<double>& max_rssi,
+                                         const ApClassification& cls) {
   RssiAnalysis out;
-  for (std::size_t i = 0; i < ds.aps.size(); ++i) {
+  for (std::size_t i = 0; i < max_rssi.size(); ++i) {
     if (max_rssi[i] < -200) continue;
     switch (cls.ap_class[i]) {
       case ApClass::Home: out.home_max_rssi.push_back(max_rssi[i]); break;
@@ -194,11 +207,36 @@ RssiAnalysis rssi_analysis(const Dataset& ds, const ApClassification& cls) {
   return out;
 }
 
-ChannelAnalysis channel_analysis(const Dataset& ds,
-                                 const ApClassification& cls) {
-  ChannelAnalysis out;
-  std::array<double, 14> home{}, publik{};
-  double home_total = 0, public_total = 0;
+}  // namespace
+
+RssiAnalysis rssi_analysis(const Dataset& ds, const ApClassification& cls) {
+  return rssi_finalize(ap_max_rssi(ds), cls);
+}
+
+RssiAnalysis rssi_analysis(const query::DataSource& src,
+                           const ApClassification& cls) {
+  if (const Dataset* ds = src.dataset_or_null()) return rssi_analysis(*ds, cls);
+  return rssi_finalize(
+      src.reduce<std::vector<double>>(
+          [](const Dataset& block, std::size_t) { return ap_max_rssi(block); },
+          [](std::vector<double>& acc, std::vector<double>&& p) {
+            for (std::size_t a = 0; a < acc.size(); ++a) {
+              acc[a] = std::max(acc[a], p[a]);
+            }
+          }),
+      cls);
+}
+
+namespace {
+
+// Flat 29-slot association counts behind channel_analysis(): slot 0 =
+// trash, 1 + channel = home, 15 + channel = public. u64, so chunk and
+// shard partials merge byte-identically.
+using ChannelCounts = std::array<std::uint64_t, 29>;
+
+[[nodiscard]] ChannelCounts channel_counts(const Dataset& ds,
+                                           const ApClassification& cls) {
+  ChannelCounts total{};
 
   const core::DatasetIndex* idx = ds.index();
   if (idx == nullptr) {
@@ -208,109 +246,107 @@ ChannelAnalysis channel_analysis(const Dataset& ds,
       const ApInfo& ap = ds.aps[value(s.ap)];
       if (ap.band != Band::B24GHz || ap.channel > 13) continue;
       switch (cls.class_of(s.ap)) {
-        case ApClass::Home:
-          home[ap.channel] += 1;
-          home_total += 1;
+        case ApClass::Home: ++total[1 + static_cast<std::size_t>(ap.channel)];
           break;
         case ApClass::Public:
-          publik[ap.channel] += 1;
-          public_total += 1;
+          ++total[15 + static_cast<std::size_t>(ap.channel)];
           break;
         case ApClass::Other:
           break;
       }
     }
-  } else {
-    // Per-AP code into a flat 29-slot count table: 0 = trash,
-    // 1 + channel = home, 15 + channel = public. A trailing sentinel
-    // row absorbs out-of-range AP ids, so associated samples need no
-    // bounds or class branches — one gather + increment each.
-    const std::size_t naps = ds.aps.size();
-    std::vector<std::uint8_t> code(naps + 1, 0);
-    for (std::size_t a = 0; a < naps; ++a) {
-      const ApInfo& ap = ds.aps[a];
-      if (ap.band != Band::B24GHz || ap.channel > 13) continue;
-      if (cls.ap_class[a] == ApClass::Home) {
-        code[a] = static_cast<std::uint8_t>(1 + ap.channel);
-      } else if (cls.ap_class[a] == ApClass::Public) {
-        code[a] = static_cast<std::uint8_t>(15 + ap.channel);
-      }
-    }
-    const std::span<const std::uint32_t> ap = idx->ap();
-    const std::span<const WifiState> state = idx->wifi_state();
-    const std::size_t n_devices = ds.devices.size();
-    using Counts = std::array<std::uint64_t, 29>;
-    const std::size_t n_blocks =
-        (n_devices + kDeviceBlock - 1) / kDeviceBlock;
-    const std::vector<Counts> partials =
-        core::parallel_map(n_blocks, [&](std::size_t b) {
-          Counts counts{};
-          const std::size_t d0 = b * kDeviceBlock;
-          const std::size_t d1 = std::min(d0 + kDeviceBlock, n_devices);
-          for (std::size_t d = d0; d < d1; ++d) {
-            if (ds.devices[d].os != Os::Android) continue;
-            const std::size_t end = idx->device_end(d);
-            for (std::size_t i = idx->device_begin(d); i < end; ++i) {
-              // Branch on association state: unassociated bins cluster
-              // into long, well-predicted runs, and skipping them keeps
-              // the counts[] increment chain off the common path.
-              if (state[i] != WifiState::Associated) continue;
-              const std::uint32_t a = ap[i];
-              const std::size_t ki = a < naps ? a : naps;
-              ++counts[code[ki]];
-            }
-          }
-          return counts;
-        });
-    for (const Counts& p : partials) {
-      for (std::size_t c = 0; c < 14; ++c) {
-        home[c] += static_cast<double>(p[1 + c]);
-        publik[c] += static_cast<double>(p[15 + c]);
-        home_total += static_cast<double>(p[1 + c]);
-        public_total += static_cast<double>(p[15 + c]);
-      }
-    }
+    return total;
   }
 
-  for (int c = 0; c < 14; ++c) {
-    out.home_pmf[static_cast<std::size_t>(c)] =
-        home_total > 0 ? home[static_cast<std::size_t>(c)] / home_total : 0;
-    out.public_pmf[static_cast<std::size_t>(c)] =
-        public_total > 0 ? publik[static_cast<std::size_t>(c)] / public_total
-                         : 0;
+  // Per-AP code into the flat count table; a trailing sentinel row
+  // absorbs out-of-range AP ids, so associated samples need no bounds
+  // or class branches — one gather + increment each.
+  const std::size_t naps = ds.aps.size();
+  std::vector<std::uint8_t> code(naps + 1, 0);
+  for (std::size_t a = 0; a < naps; ++a) {
+    const ApInfo& ap = ds.aps[a];
+    if (ap.band != Band::B24GHz || ap.channel > 13) continue;
+    if (cls.ap_class[a] == ApClass::Home) {
+      code[a] = static_cast<std::uint8_t>(1 + ap.channel);
+    } else if (cls.ap_class[a] == ApClass::Public) {
+      code[a] = static_cast<std::uint8_t>(15 + ap.channel);
+    }
+  }
+  const std::span<const std::uint32_t> ap = idx->ap();
+  const std::span<const WifiState> state = idx->wifi_state();
+  const std::size_t n_devices = ds.devices.size();
+  const std::vector<ChannelCounts> partials = query::map_device_blocks(
+      n_devices, [&](std::size_t d0, std::size_t d1) {
+        ChannelCounts counts{};
+        for (std::size_t d = d0; d < d1; ++d) {
+          if (ds.devices[d].os != Os::Android) continue;
+          const std::size_t end = idx->device_end(d);
+          for (std::size_t i = idx->device_begin(d); i < end; ++i) {
+            // Branch on association state: unassociated bins cluster
+            // into long, well-predicted runs, and skipping them keeps
+            // the counts[] increment chain off the common path.
+            if (state[i] != WifiState::Associated) continue;
+            const std::uint32_t a = ap[i];
+            const std::size_t ki = a < naps ? a : naps;
+            ++counts[code[ki]];
+          }
+        }
+        return counts;
+      });
+  for (const ChannelCounts& p : partials) {
+    for (std::size_t s = 0; s < total.size(); ++s) total[s] += p[s];
+  }
+  return total;
+}
+
+[[nodiscard]] ChannelAnalysis channel_finalize(const ChannelCounts& counts) {
+  std::array<double, 14> home{}, publik{};
+  double home_total = 0, public_total = 0;
+  for (std::size_t c = 0; c < 14; ++c) {
+    home[c] = static_cast<double>(counts[1 + c]);
+    publik[c] = static_cast<double>(counts[15 + c]);
+    home_total += home[c];
+    public_total += publik[c];
+  }
+  ChannelAnalysis out;
+  for (std::size_t c = 0; c < 14; ++c) {
+    out.home_pmf[c] = home_total > 0 ? home[c] / home_total : 0;
+    out.public_pmf[c] = public_total > 0 ? publik[c] / public_total : 0;
   }
   return out;
+}
+
+}  // namespace
+
+ChannelAnalysis channel_analysis(const Dataset& ds,
+                                 const ApClassification& cls) {
+  return channel_finalize(channel_counts(ds, cls));
+}
+
+ChannelAnalysis channel_analysis(const query::DataSource& src,
+                                 const ApClassification& cls) {
+  if (const Dataset* ds = src.dataset_or_null()) {
+    return channel_analysis(*ds, cls);
+  }
+  return channel_finalize(src.reduce<ChannelCounts>(
+      [&](const Dataset& block, std::size_t) {
+        return channel_counts(block, cls);
+      },
+      [](ChannelCounts& acc, ChannelCounts&& p) {
+        for (std::size_t s = 0; s < acc.size(); ++s) acc[s] += p[s];
+      }));
 }
 
 namespace {
 
 /// Most common device geolocation per AP while associated (2.4 GHz only).
 std::vector<GeoCell> ap_cells_24(const Dataset& ds) {
-  if (const core::DatasetIndex* idx = ds.index()) {
-    std::vector<std::uint8_t> band24(ds.aps.size(), 0);
-    for (std::size_t a = 0; a < ds.aps.size(); ++a) {
-      band24[a] = ds.aps[a].band == Band::B24GHz;
-    }
-    return top_cell_per_ap(ds, *idx, band24);
+  std::vector<std::uint8_t> band24(ds.aps.size(), 0);
+  for (std::size_t a = 0; a < ds.aps.size(); ++a) {
+    band24[a] = ds.aps[a].band == Band::B24GHz;
   }
-  std::vector<std::map<GeoCell, int>> counts(ds.aps.size());
-  for (const Sample& s : ds.samples) {
-    if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
-    if (s.geo_cell == kNoGeoCell) continue;
-    if (ds.aps[value(s.ap)].band != Band::B24GHz) continue;
-    ++counts[value(s.ap)][s.geo_cell];
-  }
-  std::vector<GeoCell> out(ds.aps.size(), kNoGeoCell);
-  for (std::size_t i = 0; i < counts.size(); ++i) {
-    int best = 0;
-    for (const auto& [cell, n] : counts[i]) {
-      if (n > best) {
-        best = n;
-        out[i] = cell;
-      }
-    }
-  }
-  return out;
+  return top_cells_from_counts(ds.aps.size(),
+                               ap_cell_pair_counts(ds, band24));
 }
 
 }  // namespace
@@ -361,40 +397,20 @@ InterferenceAnalysis channel_interference(const Dataset& ds,
   return out;
 }
 
-ApDensityMap ap_density_map(const Dataset& ds, const ApClassification& cls,
-                            ApClass which, int num_cells) {
-  // Most common device geolocation per AP while associated.
-  std::vector<GeoCell> top_cell;
-  if (const core::DatasetIndex* idx = ds.index()) {
-    std::vector<std::uint8_t> keep(ds.aps.size(), 0);
-    for (std::size_t a = 0; a < ds.aps.size(); ++a) {
-      keep[a] = cls.ap_class[a] == which;
-    }
-    top_cell = top_cell_per_ap(ds, *idx, keep);
-  } else {
-    std::vector<std::map<GeoCell, int>> cells(ds.aps.size());
-    for (const Sample& s : ds.samples) {
-      if (s.wifi_state != WifiState::Associated || s.ap == kNoAp) continue;
-      if (s.geo_cell == kNoGeoCell) continue;
-      if (cls.class_of(s.ap) != which) continue;
-      ++cells[value(s.ap)][s.geo_cell];
-    }
-    top_cell.assign(ds.aps.size(), kNoGeoCell);
-    for (std::size_t i = 0; i < ds.aps.size(); ++i) {
-      int best = 0;
-      for (const auto& [cell, n] : cells[i]) {
-        if (n > best) {
-          best = n;
-          top_cell[i] = cell;
-        }
-      }
-    }
-  }
+namespace {
 
+[[nodiscard]] std::vector<std::uint8_t> class_keep_table(
+    std::size_t n_aps, const ApClassification& cls, ApClass which) {
+  std::vector<std::uint8_t> keep(n_aps, 0);
+  for (std::size_t a = 0; a < n_aps; ++a) keep[a] = cls.ap_class[a] == which;
+  return keep;
+}
+
+[[nodiscard]] ApDensityMap density_from_top_cells(
+    const std::vector<GeoCell>& top_cell, int num_cells) {
   ApDensityMap out;
   out.count_by_cell.assign(static_cast<std::size_t>(num_cells), 0);
-  for (std::size_t i = 0; i < ds.aps.size(); ++i) {
-    const GeoCell best_cell = top_cell[i];
+  for (const GeoCell best_cell : top_cell) {
     if (best_cell != kNoGeoCell && best_cell < num_cells) {
       ++out.count_by_cell[best_cell];
     }
@@ -405,6 +421,35 @@ ApDensityMap ap_density_map(const Dataset& ds, const ApClassification& cls,
     out.max_count = std::max(out.max_count, n);
   }
   return out;
+}
+
+}  // namespace
+
+ApDensityMap ap_density_map(const Dataset& ds, const ApClassification& cls,
+                            ApClass which, int num_cells) {
+  // Most common device geolocation per AP while associated.
+  const std::vector<std::uint8_t> keep =
+      class_keep_table(ds.aps.size(), cls, which);
+  return density_from_top_cells(
+      top_cells_from_counts(ds.aps.size(), ap_cell_pair_counts(ds, keep)),
+      num_cells);
+}
+
+ApDensityMap ap_density_map(const query::DataSource& src,
+                            const ApClassification& cls, ApClass which,
+                            int num_cells) {
+  if (const Dataset* ds = src.dataset_or_null()) {
+    return ap_density_map(*ds, cls, which, num_cells);
+  }
+  const std::size_t n_aps = src.aps().size();
+  const std::vector<std::uint8_t> keep = class_keep_table(n_aps, cls, which);
+  const PairCounts total = src.reduce<PairCounts>(
+      [&](const Dataset& block, std::size_t) {
+        return ap_cell_pair_counts(block, keep);
+      },
+      [](PairCounts& acc, PairCounts&& p) { merge_pair_counts(acc, p); });
+  return density_from_top_cells(top_cells_from_counts(n_aps, total),
+                                num_cells);
 }
 
 }  // namespace tokyonet::analysis

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/classify.h"
+#include "analysis/query/fwd.h"
 #include "core/records.h"
 #include "stats/distribution.h"
 
@@ -27,6 +28,8 @@ struct RssiAnalysis {
 
 [[nodiscard]] RssiAnalysis rssi_analysis(const Dataset& ds,
                                          const ApClassification& cls);
+[[nodiscard]] RssiAnalysis rssi_analysis(const query::DataSource& src,
+                                         const ApClassification& cls);
 
 /// Fig 16: association-weighted 2.4 GHz channel PMFs for home and public
 /// APs (Android devices report channels via the associated-AP record).
@@ -36,6 +39,8 @@ struct ChannelAnalysis {
 };
 
 [[nodiscard]] ChannelAnalysis channel_analysis(const Dataset& ds,
+                                               const ApClassification& cls);
+[[nodiscard]] ChannelAnalysis channel_analysis(const query::DataSource& src,
                                                const ApClassification& cls);
 
 /// §3.4.5: potential cross-channel interference between associated
@@ -66,6 +71,9 @@ struct ApDensityMap {
 };
 
 [[nodiscard]] ApDensityMap ap_density_map(const Dataset& ds,
+                                          const ApClassification& cls,
+                                          ApClass which, int num_cells);
+[[nodiscard]] ApDensityMap ap_density_map(const query::DataSource& src,
                                           const ApClassification& cls,
                                           ApClass which, int num_cells);
 

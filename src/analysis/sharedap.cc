@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/query/source.h"
+
 namespace tokyonet::analysis {
 namespace {
 
@@ -9,21 +11,21 @@ constexpr std::uint64_t kOuiMask = 0xFFFFFFull << 24;
 
 }  // namespace
 
-SharedApAnalysis detect_shared_aps(const Dataset& ds,
+SharedApAnalysis detect_shared_aps(std::span<const ApInfo> aps,
                                    const ApClassification& cls,
                                    const SharedApOptions& opt) {
   SharedApAnalysis out;
 
   // Collect associated public networks, sorted by BSSID.
   std::vector<ApId> publics;
-  for (std::size_t i = 0; i < ds.aps.size(); ++i) {
+  for (std::size_t i = 0; i < aps.size(); ++i) {
     if (cls.associated[i] && cls.ap_class[i] == ApClass::Public) {
       publics.push_back(ApId{static_cast<std::uint32_t>(i)});
     }
   }
   out.public_aps = static_cast<int>(publics.size());
   std::sort(publics.begin(), publics.end(), [&](ApId a, ApId b) {
-    return ds.aps[value(a)].bssid < ds.aps[value(b)].bssid;
+    return aps[value(a)].bssid < aps[value(b)].bssid;
   });
 
   // Walk adjacent BSSIDs: same OUI, serials within the gap, different
@@ -38,9 +40,9 @@ SharedApAnalysis detect_shared_aps(const Dataset& ds,
     group.clear();
   };
   for (const ApId id : publics) {
-    const ApInfo& ap = ds.aps[value(id)];
+    const ApInfo& ap = aps[value(id)];
     if (!group.empty()) {
-      const ApInfo& prev = ds.aps[value(group.back())];
+      const ApInfo& prev = aps[value(group.back())];
       const bool same_oui = (prev.bssid & kOuiMask) == (ap.bssid & kOuiMask);
       const bool adjacent =
           ap.bssid - prev.bssid <= opt.max_serial_gap;  // sorted ascending
@@ -56,6 +58,19 @@ SharedApAnalysis detect_shared_aps(const Dataset& ds,
         static_cast<double>(shared_members) / out.public_aps;
   }
   return out;
+}
+
+SharedApAnalysis detect_shared_aps(const Dataset& ds,
+                                   const ApClassification& cls,
+                                   const SharedApOptions& opt) {
+  return detect_shared_aps(std::span<const ApInfo>(ds.aps), cls, opt);
+}
+
+SharedApAnalysis detect_shared_aps(const query::DataSource& src,
+                                   const ApClassification& cls,
+                                   const SharedApOptions& opt) {
+  // The AP universe is resident in both backends — no sample scan.
+  return detect_shared_aps(std::span<const ApInfo>(src.aps()), cls, opt);
 }
 
 }  // namespace tokyonet::analysis

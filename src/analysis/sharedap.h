@@ -8,9 +8,11 @@
 // as one shared box.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "analysis/classify.h"
+#include "analysis/query/fwd.h"
 #include "core/records.h"
 
 namespace tokyonet::analysis {
@@ -31,6 +33,13 @@ struct SharedApOptions {
 
 [[nodiscard]] SharedApAnalysis detect_shared_aps(
     const Dataset& ds, const ApClassification& cls,
+    const SharedApOptions& opt = {});
+/// The detection needs only the (resident) AP universe.
+[[nodiscard]] SharedApAnalysis detect_shared_aps(
+    std::span<const ApInfo> aps, const ApClassification& cls,
+    const SharedApOptions& opt = {});
+[[nodiscard]] SharedApAnalysis detect_shared_aps(
+    const query::DataSource& src, const ApClassification& cls,
     const SharedApOptions& opt = {});
 
 }  // namespace tokyonet::analysis

@@ -4,6 +4,7 @@
 
 #include <array>
 
+#include "analysis/query/fwd.h"
 #include "core/records.h"
 
 namespace tokyonet::analysis {
@@ -15,6 +16,7 @@ struct Demographics {
 };
 
 [[nodiscard]] Demographics demographics(const Dataset& ds);
+[[nodiscard]] Demographics demographics(const query::DataSource& src);
 
 /// Table 8: yes/no/not-answered (%) per location.
 struct SurveyApUsage {
@@ -24,6 +26,7 @@ struct SurveyApUsage {
 };
 
 [[nodiscard]] SurveyApUsage survey_ap_usage(const Dataset& ds);
+[[nodiscard]] SurveyApUsage survey_ap_usage(const query::DataSource& src);
 
 /// Table 9: share (%) of "No" respondents giving each reason, per
 /// location (multiple answers allowed).
@@ -34,5 +37,6 @@ struct SurveyReasons {
 };
 
 [[nodiscard]] SurveyReasons survey_reasons(const Dataset& ds);
+[[nodiscard]] SurveyReasons survey_reasons(const query::DataSource& src);
 
 }  // namespace tokyonet::analysis

@@ -57,8 +57,14 @@ UserTypeStats user_type_stats_from_counts(const UserTypeCounts& counts) {
 UserTypeStats user_type_stats(const Dataset& ds,
                               const std::vector<UserDay>& days,
                               double idle_mb) {
+  return user_type_stats(ds.devices.size(), days, idle_mb);
+}
+
+UserTypeStats user_type_stats(std::size_t n_devices,
+                              const std::vector<UserDay>& days,
+                              double idle_mb) {
   UserTypeCounts counts;
-  accumulate_user_type_counts(counts, ds.devices.size(), days, idle_mb);
+  accumulate_user_type_counts(counts, n_devices, days, idle_mb);
   return user_type_stats_from_counts(counts);
 }
 

@@ -26,6 +26,12 @@ struct UserTypeStats {
                                             const std::vector<UserDay>& days,
                                             double idle_mb = 1.0);
 
+/// As above for callers that have the user-days but not a resident
+/// Dataset (the out-of-core path): only the device count is needed.
+[[nodiscard]] UserTypeStats user_type_stats(std::size_t n_devices,
+                                            const std::vector<UserDay>& days,
+                                            double idle_mb = 1.0);
+
 /// The integer tallies behind UserTypeStats. A device's class depends
 /// only on its own user-days, so these counts are additive across any
 /// device partition — the out-of-core scan sums one Counts per shard

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <span>
 
+#include "analysis/query/scan.h"
+#include "analysis/query/source.h"
 #include "core/dataset_index.h"
-#include "core/parallel.h"
 #include "stats/descriptive.h"
 
 namespace tokyonet::analysis {
@@ -17,16 +18,12 @@ LteTrafficSums lte_traffic_sums(const Dataset& ds) {
     const std::span<const std::uint32_t> cell_rx = idx->cell_rx();
     const std::span<const CellTech> tech = idx->tech();
     const std::size_t n = cell_rx.size();
-    constexpr std::size_t kScanChunk = std::size_t{1} << 16;
-    const std::size_t n_chunks = (n + kScanChunk - 1) / kScanChunk;
     struct Sums {
       std::uint64_t lte = 0, total = 0;
     };
     const std::vector<Sums> partials =
-        core::parallel_map(n_chunks, [&](std::size_t c) {
+        query::map_chunks(n, [&](std::size_t begin, std::size_t end) {
           Sums sums;
-          const std::size_t begin = c * kScanChunk;
-          const std::size_t end = std::min(begin + kScanChunk, n);
           for (std::size_t i = begin; i < end; ++i) {
             if (cell_rx[i] == 0) continue;
             sums.total += cell_rx[i];
@@ -58,6 +55,51 @@ DatasetOverview overview(const Dataset& ds) {
   o.lte_traffic_share =
       sums.total > 0
           ? static_cast<double>(sums.lte) / static_cast<double>(sums.total)
+          : 0;
+  return o;
+}
+
+LteTrafficSums lte_traffic_sums(const query::DataSource& src) {
+  if (const Dataset* ds = src.dataset_or_null()) return lte_traffic_sums(*ds);
+  return src.reduce<LteTrafficSums>(
+      [](const Dataset& block, std::size_t) { return lte_traffic_sums(block); },
+      [](LteTrafficSums& acc, LteTrafficSums&& p) {
+        acc.lte += p.lte;
+        acc.total += p.total;
+      });
+}
+
+DatasetOverview overview(const query::DataSource& src) {
+  if (const Dataset* ds = src.dataset_or_null()) return overview(*ds);
+  // One shard pass for both the device counts and the LTE byte sums.
+  struct Part {
+    int n_android = 0, n_ios = 0, n_total = 0;
+    LteTrafficSums sums;
+  };
+  const Part p = src.reduce<Part>(
+      [](const Dataset& block, std::size_t) {
+        Part part;
+        for (const DeviceInfo& d : block.devices) {
+          ++part.n_total;
+          (d.os == Os::Android ? part.n_android : part.n_ios) += 1;
+        }
+        part.sums = lte_traffic_sums(block);
+        return part;
+      },
+      [](Part& acc, Part&& b) {
+        acc.n_android += b.n_android;
+        acc.n_ios += b.n_ios;
+        acc.n_total += b.n_total;
+        acc.sums.lte += b.sums.lte;
+        acc.sums.total += b.sums.total;
+      });
+  DatasetOverview o;
+  o.n_android = p.n_android;
+  o.n_ios = p.n_ios;
+  o.n_total = p.n_total;
+  o.lte_traffic_share =
+      p.sums.total > 0
+          ? static_cast<double>(p.sums.lte) / static_cast<double>(p.sums.total)
           : 0;
   return o;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "analysis/common.h"
+#include "analysis/query/fwd.h"
 #include "core/records.h"
 #include "stats/distribution.h"
 
@@ -20,6 +21,7 @@ struct DatasetOverview {
 };
 
 [[nodiscard]] DatasetOverview overview(const Dataset& ds);
+[[nodiscard]] DatasetOverview overview(const query::DataSource& src);
 
 /// Exact byte sums behind Table 1's %LTE: total cellular download and
 /// the LTE-carried part. Exposed (u64, associative) so the out-of-core
@@ -31,6 +33,7 @@ struct LteTrafficSums {
 };
 
 [[nodiscard]] LteTrafficSums lte_traffic_sums(const Dataset& ds);
+[[nodiscard]] LteTrafficSums lte_traffic_sums(const query::DataSource& src);
 
 /// Table 3 row set (download volumes, MB/day).
 struct DailyVolumeStats {

@@ -1,28 +1,86 @@
 #include "analysis/wifistate.h"
 
-#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <span>
 
+#include "analysis/query/scan.h"
+#include "analysis/query/source.h"
 #include "core/dataset_index.h"
-#include "core/parallel.h"
 #include "stats/simd.h"
 
 namespace tokyonet::analysis {
 namespace {
-
-// Devices per parallel_map item. Fixed, so the per-block partial
-// grouping never depends on the thread count; all accumulations below
-// are integer sums, exact in doubles, so the block merge is
-// byte-identical to the serial per-sample reference.
-constexpr std::size_t kDeviceBlock = 16;
 
 void merge(WifiStateProfiles& into, const WifiStateProfiles& from) noexcept {
   into.android_user.merge(from.android_user);
   into.android_off.merge(from.android_off);
   into.android_available.merge(from.android_available);
   into.ios_user.merge(from.ios_user);
+}
+
+// Exact integer counts behind ios_wifi_user_by_carrier(): associated
+// and total sample counts per carrier for iOS devices. u64, so shard
+// partials merge byte-identically.
+struct CarrierCounts {
+  std::array<std::uint64_t, kNumCarriers> assoc{}, total{};
+
+  void merge(const CarrierCounts& p) noexcept {
+    for (std::size_t c = 0; c < kNumCarriers; ++c) {
+      assoc[c] += p.assoc[c];
+      total[c] += p.total[c];
+    }
+  }
+};
+
+[[nodiscard]] CarrierCounts ios_wifi_user_counts(const Dataset& ds) {
+  CarrierCounts out;
+
+  const core::DatasetIndex* idx = ds.index();
+  if (idx == nullptr) {
+    for (const Sample& s : ds.samples) {
+      const DeviceInfo& dev = ds.devices[value(s.device)];
+      if (dev.os != Os::Ios) continue;
+      const auto c = static_cast<std::size_t>(dev.carrier);
+      out.total[c] += 1;
+      out.assoc[c] += s.wifi_state == WifiState::Associated;
+    }
+    return out;
+  }
+
+  const std::span<const WifiState> state = idx->wifi_state();
+  const auto* state_u8 = reinterpret_cast<const std::uint8_t*>(state.data());
+  const std::size_t n_devices = ds.devices.size();
+  const std::vector<CarrierCounts> partials = query::map_device_blocks(
+      n_devices, [&](std::size_t d0, std::size_t d1) {
+        CarrierCounts counts;
+        for (std::size_t d = d0; d < d1; ++d) {
+          const DeviceInfo& dev = ds.devices[d];
+          if (dev.os != Os::Ios) continue;
+          const auto c = static_cast<std::size_t>(dev.carrier);
+          const std::size_t begin = idx->device_begin(d);
+          const std::size_t end = idx->device_end(d);
+          counts.total[c] += end - begin;
+          counts.assoc[c] += stats::simd::count_eq_u8(
+              state_u8 + begin, end - begin,
+              static_cast<std::uint8_t>(WifiState::Associated));
+        }
+        return counts;
+      });
+  for (const CarrierCounts& p : partials) out.merge(p);
+  return out;
+}
+
+[[nodiscard]] std::array<double, kNumCarriers> carrier_ratios(
+    const CarrierCounts& counts) {
+  std::array<double, kNumCarriers> out{};
+  for (std::size_t c = 0; c < kNumCarriers; ++c) {
+    if (counts.total[c] > 0) {
+      out[c] = static_cast<double>(counts.assoc[c]) /
+               static_cast<double>(counts.total[c]);
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -60,17 +118,14 @@ WifiStateProfiles compute_wifi_states(const Dataset& ds) {
   const std::span<const WifiState> state = idx->wifi_state();
   const std::span<const std::uint16_t> how = idx->hour_of_week_table();
   const std::size_t n_devices = ds.devices.size();
-  const std::size_t n_blocks = (n_devices + kDeviceBlock - 1) / kDeviceBlock;
   // Slot layout: 4 counters per hour-of-week, indexed by the WifiState
   // value (0 = Off, 1 = OnUnassociated, 2 = Associated; slot 3 unused).
   constexpr std::size_t kSlots =
       static_cast<std::size_t>(WeeklyProfile::kHours) * 4;
-  const std::vector<WifiStateProfiles> partials =
-      core::parallel_map(n_blocks, [&](std::size_t b) {
+  const std::vector<WifiStateProfiles> partials = query::map_device_blocks(
+      n_devices, [&](std::size_t d0, std::size_t d1) {
         std::array<std::uint32_t, kSlots> android{};
         std::array<std::uint32_t, kSlots> ios{};
-        const std::size_t d0 = b * kDeviceBlock;
-        const std::size_t d1 = std::min(d0 + kDeviceBlock, n_devices);
         for (std::size_t d = d0; d < d1; ++d) {
           std::uint32_t* const cnt =
               (ds.devices[d].os == Os::Android ? android : ios).data();
@@ -104,60 +159,35 @@ WifiStateProfiles compute_wifi_states(const Dataset& ds) {
   return p;
 }
 
-std::array<double, kNumCarriers> ios_wifi_user_by_carrier(const Dataset& ds) {
-  std::array<double, kNumCarriers> assoc{};
-  std::array<double, kNumCarriers> total{};
-
-  const core::DatasetIndex* idx = ds.index();
-  if (idx == nullptr) {
-    for (const Sample& s : ds.samples) {
-      const DeviceInfo& dev = ds.devices[value(s.device)];
-      if (dev.os != Os::Ios) continue;
-      const auto c = static_cast<std::size_t>(dev.carrier);
-      total[c] += 1;
-      assoc[c] += s.wifi_state == WifiState::Associated;
-    }
-  } else {
-    const std::span<const WifiState> state = idx->wifi_state();
-    const auto* state_u8 =
-        reinterpret_cast<const std::uint8_t*>(state.data());
-    struct Counts {
-      std::array<std::uint64_t, kNumCarriers> assoc{}, total{};
-    };
-    const std::size_t n_devices = ds.devices.size();
-    const std::size_t n_blocks = (n_devices + kDeviceBlock - 1) / kDeviceBlock;
-    const std::vector<Counts> partials =
-        core::parallel_map(n_blocks, [&](std::size_t b) {
-          Counts counts;
-          const std::size_t d0 = b * kDeviceBlock;
-          const std::size_t d1 = std::min(d0 + kDeviceBlock, n_devices);
-          for (std::size_t d = d0; d < d1; ++d) {
-            const DeviceInfo& dev = ds.devices[d];
-            if (dev.os != Os::Ios) continue;
-            const auto c = static_cast<std::size_t>(dev.carrier);
-            const std::size_t begin = idx->device_begin(d);
-            const std::size_t end = idx->device_end(d);
-            counts.total[c] += end - begin;
-            counts.assoc[c] += stats::simd::count_eq_u8(
-                state_u8 + begin, end - begin,
-                static_cast<std::uint8_t>(WifiState::Associated));
-          }
-          return counts;
-        });
-    for (const Counts& p : partials) {
-      for (std::size_t c = 0; c < kNumCarriers; ++c) {
-        assoc[c] += static_cast<double>(p.assoc[c]);
-        total[c] += static_cast<double>(p.total[c]);
-      }
-    }
+WifiStateProfiles compute_wifi_states(const query::DataSource& src) {
+  if (const Dataset* ds = src.dataset_or_null()) {
+    return compute_wifi_states(*ds);
   }
-
-  std::array<double, kNumCarriers> out{};
-  for (int c = 0; c < kNumCarriers; ++c) {
-    const auto i = static_cast<std::size_t>(c);
-    if (total[i] > 0) out[i] = assoc[i] / total[i];
-  }
+  // WeeklyProfile sums are exact integer counts in doubles, so merging
+  // per-shard profiles in shard order matches the in-memory block merge.
+  WifiStateProfiles out;
+  src.fold<WifiStateProfiles>(
+      [](const Dataset& block, std::size_t) {
+        return compute_wifi_states(block);
+      },
+      [&](WifiStateProfiles&& p, std::size_t) { merge(out, p); });
   return out;
+}
+
+std::array<double, kNumCarriers> ios_wifi_user_by_carrier(const Dataset& ds) {
+  return carrier_ratios(ios_wifi_user_counts(ds));
+}
+
+std::array<double, kNumCarriers> ios_wifi_user_by_carrier(
+    const query::DataSource& src) {
+  if (const Dataset* ds = src.dataset_or_null()) {
+    return ios_wifi_user_by_carrier(*ds);
+  }
+  return carrier_ratios(src.reduce<CarrierCounts>(
+      [](const Dataset& block, std::size_t) {
+        return ios_wifi_user_counts(block);
+      },
+      [](CarrierCounts& acc, CarrierCounts&& p) { acc.merge(p); }));
 }
 
 }  // namespace tokyonet::analysis

@@ -1,23 +1,37 @@
 #include "analysis/wifiusage.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
 #include <string_view>
 
+#include "analysis/query/source.h"
+
 namespace tokyonet::analysis {
+namespace {
 
-ApsPerDay aps_per_day(const Dataset& ds, const std::vector<UserDay>& days,
-                      const UserClassifier& classes) {
-  const auto num_days = static_cast<std::size_t>(ds.num_days());
-  std::vector<UserClass> klass(ds.devices.size() * num_days,
-                               UserClass::Neither);
-  for (const UserDay& d : days) {
-    klass[value(d.device) * num_days + static_cast<std::size_t>(d.day)] =
-        classes.classify(d);
+// Exact integer tallies behind aps_per_day(): user-day counts per
+// (class, distinct-AP bucket). A device-day's bucket depends only on
+// that device's stream and the global per-day class table, so shard
+// partials are additive.
+struct ApsPerDayCounts {
+  std::array<std::array<std::uint64_t, 4>, 3> counts{};
+  std::array<std::uint64_t, 3> totals{};
+
+  void merge(const ApsPerDayCounts& p) noexcept {
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t k = 0; k < 4; ++k) counts[c][k] += p.counts[c][k];
+      totals[c] += p.totals[c];
+    }
   }
+};
 
-  std::array<std::array<double, 4>, 3> counts{};
-  std::array<double, 3> totals{};
+// Scans one device block whose global device indices start at `base`;
+// `klass` is the campaign-wide (device, day) -> UserClass table.
+[[nodiscard]] ApsPerDayCounts aps_per_day_counts(
+    const Dataset& ds, const std::vector<UserClass>& klass, std::size_t base) {
+  const auto num_days = static_cast<std::size_t>(ds.num_days());
+  ApsPerDayCounts out;
 
   std::set<std::uint32_t> seen;
   for (const DeviceInfo& dev : ds.devices) {
@@ -31,16 +45,16 @@ ApsPerDay aps_per_day(const Dataset& ds, const std::vector<UserDay>& days,
         return;
       }
       const auto k = std::min<std::size_t>(seen.size(), 4) - 1;
-      const UserClass uc =
-          klass[value(dev.id) * num_days + static_cast<std::size_t>(cur_day)];
-      counts[0][k] += 1;
-      totals[0] += 1;
+      const UserClass uc = klass[(base + value(dev.id)) * num_days +
+                                 static_cast<std::size_t>(cur_day)];
+      out.counts[0][k] += 1;
+      out.totals[0] += 1;
       if (uc == UserClass::Heavy) {
-        counts[1][k] += 1;
-        totals[1] += 1;
+        out.counts[1][k] += 1;
+        out.totals[1] += 1;
       } else if (uc == UserClass::Light) {
-        counts[2][k] += 1;
-        totals[2] += 1;
+        out.counts[2][k] += 1;
+        out.totals[2] += 1;
       }
       seen.clear();
       cur_day = day;
@@ -54,23 +68,51 @@ ApsPerDay aps_per_day(const Dataset& ds, const std::vector<UserDay>& days,
     }
     flush(-1);
   }
+  return out;
+}
 
+[[nodiscard]] std::vector<UserClass> class_table(
+    std::size_t n_devices, std::size_t num_days,
+    const std::vector<UserDay>& days, const UserClassifier& classes) {
+  std::vector<UserClass> klass(n_devices * num_days, UserClass::Neither);
+  for (const UserDay& d : days) {
+    klass[value(d.device) * num_days + static_cast<std::size_t>(d.day)] =
+        classes.classify(d);
+  }
+  return klass;
+}
+
+[[nodiscard]] ApsPerDay aps_per_day_finalize(const ApsPerDayCounts& c) {
   ApsPerDay out;
-  for (int c = 0; c < 3; ++c) {
-    for (int k = 0; k < 4; ++k) {
-      out.share[static_cast<std::size_t>(c)][static_cast<std::size_t>(k)] =
-          totals[static_cast<std::size_t>(c)] > 0
-              ? counts[static_cast<std::size_t>(c)][static_cast<std::size_t>(k)] /
-                    totals[static_cast<std::size_t>(c)]
-              : 0;
+  for (std::size_t cc = 0; cc < 3; ++cc) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      out.share[cc][k] = c.totals[cc] > 0
+                             ? static_cast<double>(c.counts[cc][k]) /
+                                   static_cast<double>(c.totals[cc])
+                             : 0;
     }
   }
   return out;
 }
 
-HpoBreakdown hpo_breakdown(const Dataset& ds, const ApClassification& cls) {
-  HpoBreakdown out;
-  double total = 0;
+// Exact integer tallies behind hpo_breakdown(). Each user-day
+// contributes one increment keyed by its (home, public, other)
+// distinct-ESSID counts, so shard partials are additive.
+struct HpoCounts {
+  std::map<std::array<int, 3>, std::uint64_t> share;
+  std::uint64_t four_plus = 0;
+  std::uint64_t total = 0;
+
+  void merge(const HpoCounts& p) {
+    for (const auto& [key, v] : p.share) share[key] += v;
+    four_plus += p.four_plus;
+    total += p.total;
+  }
+};
+
+[[nodiscard]] HpoCounts hpo_counts(const Dataset& ds,
+                                   const ApClassification& cls) {
+  HpoCounts out;
 
   std::set<std::pair<int, std::string_view>> essids;  // (class, essid)
   for (const DeviceInfo& dev : ds.devices) {
@@ -81,7 +123,7 @@ HpoBreakdown hpo_breakdown(const Dataset& ds, const ApClassification& cls) {
       if (cur_day >= 0 && !essids.empty()) {
         std::array<int, 3> hpo{0, 0, 0};
         for (const auto& [c, name] : essids) ++hpo[static_cast<std::size_t>(c)];
-        total += 1;
+        out.total += 1;
         if (hpo[0] + hpo[1] + hpo[2] >= 4) {
           out.four_plus += 1;
         } else {
@@ -101,12 +143,65 @@ HpoBreakdown hpo_breakdown(const Dataset& ds, const ApClassification& cls) {
     }
     flush(-1);
   }
+  return out;
+}
 
-  if (total > 0) {
+[[nodiscard]] HpoBreakdown hpo_finalize(const HpoCounts& c) {
+  HpoBreakdown out;
+  for (const auto& [key, v] : c.share) {
+    out.share[key] = static_cast<double>(v);
+  }
+  out.four_plus = static_cast<double>(c.four_plus);
+  if (c.total > 0) {
+    const auto total = static_cast<double>(c.total);
     for (auto& [key, v] : out.share) v /= total;
     out.four_plus /= total;
   }
   return out;
+}
+
+}  // namespace
+
+ApsPerDay aps_per_day(const Dataset& ds, const std::vector<UserDay>& days,
+                      const UserClassifier& classes) {
+  const std::vector<UserClass> klass = class_table(
+      ds.devices.size(), static_cast<std::size_t>(ds.num_days()), days,
+      classes);
+  return aps_per_day_finalize(aps_per_day_counts(ds, klass, 0));
+}
+
+ApsPerDay aps_per_day(const query::DataSource& src,
+                      const std::vector<UserDay>& days,
+                      const UserClassifier& classes) {
+  if (const Dataset* ds = src.dataset_or_null()) {
+    return aps_per_day(*ds, days, classes);
+  }
+  // The class table spans the whole campaign (user-days carry global
+  // device ids); each shard scan rebases its local ids into it.
+  const std::vector<UserClass> klass =
+      class_table(src.n_devices(), static_cast<std::size_t>(src.num_days()),
+                  days, classes);
+  return aps_per_day_finalize(src.reduce<ApsPerDayCounts>(
+      [&](const Dataset& block, std::size_t base) {
+        return aps_per_day_counts(block, klass, base);
+      },
+      [](ApsPerDayCounts& acc, ApsPerDayCounts&& p) { acc.merge(p); }));
+}
+
+HpoBreakdown hpo_breakdown(const Dataset& ds, const ApClassification& cls) {
+  return hpo_finalize(hpo_counts(ds, cls));
+}
+
+HpoBreakdown hpo_breakdown(const query::DataSource& src,
+                           const ApClassification& cls) {
+  if (const Dataset* ds = src.dataset_or_null()) {
+    return hpo_breakdown(*ds, cls);
+  }
+  return hpo_finalize(src.reduce<HpoCounts>(
+      [&](const Dataset& block, std::size_t) {
+        return hpo_counts(block, cls);
+      },
+      [](HpoCounts& acc, HpoCounts&& p) { acc.merge(p); }));
 }
 
 AssociationDurations association_durations(const Dataset& ds,
@@ -151,11 +246,39 @@ AssociationDurations association_durations(const Dataset& ds,
   return out;
 }
 
-BandFractions band_fractions(const Dataset& ds, const ApClassification& cls) {
+AssociationDurations association_durations(const query::DataSource& src,
+                                           const ApClassification& cls) {
+  if (const Dataset* ds = src.dataset_or_null()) {
+    return association_durations(*ds, cls);
+  }
+  // Durations are emitted per device in device order, so appending
+  // shard partials in shard order matches the in-memory emission order.
+  AssociationDurations out;
+  src.fold<AssociationDurations>(
+      [&](const Dataset& block, std::size_t) {
+        return association_durations(block, cls);
+      },
+      [&](AssociationDurations&& p, std::size_t) {
+        auto append = [](std::vector<double>& into, std::vector<double>& from) {
+          if (into.empty()) {
+            into = std::move(from);
+          } else {
+            into.insert(into.end(), from.begin(), from.end());
+          }
+        };
+        append(out.home_hours, p.home_hours);
+        append(out.public_hours, p.public_hours);
+        append(out.office_hours, p.office_hours);
+      });
+  return out;
+}
+
+BandFractions band_fractions(std::span<const ApInfo> aps,
+                             const ApClassification& cls) {
   int home5 = 0, home_n = 0, office5 = 0, office_n = 0, pub5 = 0, pub_n = 0;
-  for (std::size_t i = 0; i < ds.aps.size(); ++i) {
+  for (std::size_t i = 0; i < aps.size(); ++i) {
     if (!cls.associated[i]) continue;
-    const bool is5 = ds.aps[i].band == Band::B5GHz;
+    const bool is5 = aps[i].band == Band::B5GHz;
     switch (cls.ap_class[i]) {
       case ApClass::Home:
         ++home_n;
@@ -178,6 +301,16 @@ BandFractions band_fractions(const Dataset& ds, const ApClassification& cls) {
   if (office_n > 0) f.office = static_cast<double>(office5) / office_n;
   if (pub_n > 0) f.publik = static_cast<double>(pub5) / pub_n;
   return f;
+}
+
+BandFractions band_fractions(const Dataset& ds, const ApClassification& cls) {
+  return band_fractions(std::span<const ApInfo>(ds.aps), cls);
+}
+
+BandFractions band_fractions(const query::DataSource& src,
+                             const ApClassification& cls) {
+  // The AP universe is resident in both backends — no sample scan.
+  return band_fractions(std::span<const ApInfo>(src.aps()), cls);
 }
 
 }  // namespace tokyonet::analysis

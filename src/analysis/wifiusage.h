@@ -6,10 +6,12 @@
 
 #include <array>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "analysis/classify.h"
 #include "analysis/common.h"
+#include "analysis/query/fwd.h"
 #include "core/records.h"
 
 namespace tokyonet::analysis {
@@ -25,6 +27,9 @@ struct ApsPerDay {
 [[nodiscard]] ApsPerDay aps_per_day(const Dataset& ds,
                                     const std::vector<UserDay>& days,
                                     const UserClassifier& classes);
+[[nodiscard]] ApsPerDay aps_per_day(const query::DataSource& src,
+                                    const std::vector<UserDay>& days,
+                                    const UserClassifier& classes);
 
 /// Table 5: breakdown of associated ESSID combinations per user-day.
 /// Key: (home, public, other) distinct-ESSID counts; value: share of
@@ -37,6 +42,8 @@ struct HpoBreakdown {
 
 [[nodiscard]] HpoBreakdown hpo_breakdown(const Dataset& ds,
                                          const ApClassification& cls);
+[[nodiscard]] HpoBreakdown hpo_breakdown(const query::DataSource& src,
+                                         const ApClassification& cls);
 
 /// Fig 13: consecutive association durations (hours) with one AP, by
 /// inferred AP class.
@@ -48,6 +55,8 @@ struct AssociationDurations {
 
 [[nodiscard]] AssociationDurations association_durations(
     const Dataset& ds, const ApClassification& cls);
+[[nodiscard]] AssociationDurations association_durations(
+    const query::DataSource& src, const ApClassification& cls);
 
 /// Fig 14: fraction of associated *unique* APs operating at 5 GHz, by
 /// class (office from the Other/office estimate).
@@ -58,6 +67,11 @@ struct BandFractions {
 };
 
 [[nodiscard]] BandFractions band_fractions(const Dataset& ds,
+                                           const ApClassification& cls);
+/// The band split needs only the (resident) AP universe.
+[[nodiscard]] BandFractions band_fractions(std::span<const ApInfo> aps,
+                                           const ApClassification& cls);
+[[nodiscard]] BandFractions band_fractions(const query::DataSource& src,
                                            const ApClassification& cls);
 
 }  // namespace tokyonet::analysis

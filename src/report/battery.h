@@ -4,8 +4,9 @@
 //
 // Each render_* takes exactly the analysis products its figure prints;
 // the registered figure functions compute those products from a
-// FigureContext, the sharded battery from a ShardedContext. Same
-// products in, byte-identical canonical JSON out.
+// FigureContext whose AnalysisContext may sit on either query backend
+// (in-memory or sharded). Same products in, byte-identical canonical
+// JSON out.
 #pragma once
 
 #include "analysis/aggregate.h"

@@ -10,7 +10,7 @@ namespace {
 
 Table app_table(const FigureContext& ctx, bool rx) {
   const analysis::AppBreakdown b = analysis::app_breakdown(
-      ctx.dataset(), ctx.analysis().classification(),
+      ctx.source(), ctx.analysis().classification(),
       ctx.analysis().home_cells());
 
   static const char* kContexts[] = {"Cell home", "Cell other", "WiFi home",
@@ -52,10 +52,10 @@ Table table07(const FigureContext& ctx) {
 void register_app_figures(FigureRegistry& r) {
   r.add({"table06", "top app categories by download (RX) volume per context",
          "Table 6 (top app categories by RX volume)",
-         {Year::Y2013, Year::Y2014, Year::Y2015}, &table06});
+         {Year::Y2013, Year::Y2014, Year::Y2015}, &table06, true});
   r.add({"table07", "top app categories by upload (TX) volume per context",
          "Table 7 (top app categories by TX volume)",
-         {Year::Y2013, Year::Y2014, Year::Y2015}, &table07});
+         {Year::Y2013, Year::Y2014, Year::Y2015}, &table07, true});
 }
 
 }  // namespace tokyonet::report

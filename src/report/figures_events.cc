@@ -49,13 +49,13 @@ namespace {
 Table fig18(const FigureContext& ctx) {
   const auto& det = ctx.analysis().updates();
   const analysis::UpdateTiming u = analysis::analyze_update_timing(
-      ctx.dataset(), det, ctx.analysis().classification());
+      ctx.analysis().devices(), det, ctx.analysis().classification());
   return render_fig18(det, u);
 }
 
 Table fig19(const FigureContext& ctx) {
-  const analysis::CapAnalysis c =
-      analysis::analyze_cap(ctx.dataset(), ctx.analysis().days());
+  const analysis::CapAnalysis c = analysis::analyze_cap(
+      ctx.source().n_devices(), ctx.analysis().days());
 
   Table t({"year", "daily / 3-day mean", "CDF capped", "CDF others"});
   for (const double ratio : {0.01, 0.03, 0.1, 0.3, 0.5, 1.0, 2.0, 5.0, 10.0}) {
@@ -76,7 +76,7 @@ Table fig19(const FigureContext& ctx) {
 
 Table sec42(const FigureContext& ctx) {
   const analysis::BatteryAnalysis b =
-      analysis::battery_analysis(ctx.dataset());
+      analysis::battery_analysis(ctx.source());
   const auto level = b.mean_level.ratio_series();
   static const char* kDays[] = {"Sat", "Sun", "Mon", "Tue", "Wed", "Thu",
                                 "Fri"};
@@ -105,13 +105,13 @@ Table sec42(const FigureContext& ctx) {
 
 void register_event_figures(FigureRegistry& r) {
   r.add({"fig18", "iOS 8.2 software update timing (CDF/PDF)",
-         "Fig 18 (software update timing, Sec 3.7)", {Year::Y2015}, &fig18});
+         "Fig 18 (software update timing, Sec 3.7)", {Year::Y2015}, &fig18, true});
   r.add({"fig19", "soft bandwidth cap: daily vs 3-day-mean download CDFs",
          "Fig 19 (soft bandwidth cap effect, Sec 3.8)",
-         {Year::Y2014, Year::Y2015}, &fig19});
+         {Year::Y2014, Year::Y2015}, &fig19, true});
   r.add({"sec42_battery", "weekly battery-level profile and WiFi-state check",
          "Sec 4.2 (battery levels vs WiFi state)",
-         {Year::Y2013, Year::Y2014, Year::Y2015}, &sec42});
+         {Year::Y2013, Year::Y2014, Year::Y2015}, &sec42, true});
 }
 
 }  // namespace tokyonet::report

@@ -28,12 +28,12 @@ namespace {
 constexpr Year kEveryYear[] = {Year::Y2013, Year::Y2014, Year::Y2015};
 
 Table table01(const FigureContext& ctx) {
-  const Dataset& ds = ctx.dataset();
-  return render_table01(ctx.year(), ds.num_days(), analysis::overview(ds));
+  const auto& src = ctx.source();
+  return render_table01(ctx.year(), src.num_days(), analysis::overview(src));
 }
 
 Table table02(const FigureContext& ctx) {
-  const analysis::Demographics d = analysis::demographics(ctx.dataset());
+  const analysis::Demographics d = analysis::demographics(ctx.source());
   Table t({"year", "occupation", "share [%]"});
   for (int o = 0; o < kNumOccupations; ++o) {
     t.add_row({Value::integer(year_number(ctx.year())),
@@ -45,7 +45,7 @@ Table table02(const FigureContext& ctx) {
 }
 
 Table table08(const FigureContext& ctx) {
-  const analysis::SurveyApUsage u = analysis::survey_ap_usage(ctx.dataset());
+  const analysis::SurveyApUsage u = analysis::survey_ap_usage(ctx.source());
   static const char* kPaperYes[] = {"70.4/72.9/78.2", "31.6/25.6/28.0",
                                     "44.9/47.9/53.6"};
   Table t({"year", "location", "answer", "share [%]", "paper yes"});
@@ -64,7 +64,7 @@ Table table08(const FigureContext& ctx) {
 }
 
 Table table09(const FigureContext& ctx) {
-  const analysis::SurveyReasons r = analysis::survey_reasons(ctx.dataset());
+  const analysis::SurveyReasons r = analysis::survey_reasons(ctx.source());
   Table t({"year", "location", "reason", "share [%]"});
   for (int loc = 0; loc < kNumSurveyLocations; ++loc) {
     const auto l = static_cast<std::size_t>(loc);
@@ -96,16 +96,16 @@ Table table09(const FigureContext& ctx) {
 void register_overview_figures(FigureRegistry& r) {
   r.add({"table01", "dataset overview: devices per OS and LTE share",
          "Table 1 (dataset overview)",
-         {kEveryYear[0], kEveryYear[1], kEveryYear[2]}, &table01});
+         {kEveryYear[0], kEveryYear[1], kEveryYear[2]}, &table01, true});
   r.add({"table02", "user-survey demographics (occupation mix)",
          "Table 2 (user demographics)",
-         {kEveryYear[0], kEveryYear[1], kEveryYear[2]}, &table02});
+         {kEveryYear[0], kEveryYear[1], kEveryYear[2]}, &table02, true});
   r.add({"table08", "survey: self-reported WiFi AP usage per location",
          "Table 8 (survey: associated WiFi APs)",
-         {kEveryYear[0], kEveryYear[1], kEveryYear[2]}, &table08});
+         {kEveryYear[0], kEveryYear[1], kEveryYear[2]}, &table08, true});
   r.add({"table09", "survey: reasons for WiFi unavailability per location",
          "Table 9 (survey: reasons for unavailability)",
-         {kEveryYear[0], kEveryYear[1], kEveryYear[2]}, &table09});
+         {kEveryYear[0], kEveryYear[1], kEveryYear[2]}, &table09, true});
 }
 
 }  // namespace tokyonet::report

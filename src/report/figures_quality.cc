@@ -27,7 +27,7 @@ namespace {
 
 Table fig15(const FigureContext& ctx) {
   const analysis::RssiAnalysis r = analysis::rssi_analysis(
-      ctx.dataset(), ctx.analysis().classification());
+      ctx.source(), ctx.analysis().classification());
   const auto home = r.home_pdf();
   const auto pub = r.public_pdf();
 
@@ -47,7 +47,7 @@ Table fig15(const FigureContext& ctx) {
 
 Table fig16(const FigureContext& ctx) {
   const analysis::ChannelAnalysis c = analysis::channel_analysis(
-      ctx.dataset(), ctx.analysis().classification());
+      ctx.source(), ctx.analysis().classification());
 
   Table t({"year", "channel", "home PMF", "public PMF"});
   for (int ch = 1; ch <= 13; ++ch) {
@@ -64,7 +64,7 @@ Table fig16(const FigureContext& ctx) {
 
 Table fig17(const FigureContext& ctx) {
   const analysis::ScanAvailability s =
-      analysis::scan_availability(ctx.dataset());
+      analysis::scan_availability(ctx.source());
   const auto a24 = s.ccdf_all_24();
   const auto s24 = s.ccdf_strong_24();
   const auto a5 = s.ccdf_all_5();
@@ -83,7 +83,8 @@ Table fig17(const FigureContext& ctx) {
 }
 
 Table sec35(const FigureContext& ctx) {
-  return render_sec35(ctx.year(), analysis::offload_opportunity(ctx.dataset()));
+  return render_sec35(ctx.year(),
+                      analysis::offload_opportunity(ctx.source()));
 }
 
 }  // namespace
@@ -91,15 +92,15 @@ Table sec35(const FigureContext& ctx) {
 void register_quality_figures(FigureRegistry& r) {
   r.add({"fig15", "RSSI PDFs of associated 2.4 GHz home and public APs",
          "Fig 15 (RSSI PDFs of associated APs, 2015)", {Year::Y2015},
-         &fig15});
+         &fig15, true});
   r.add({"fig16", "PMF of associated 2.4 GHz channels, home vs public",
          "Fig 16 (associated 2.4 GHz channels)", {Year::Y2013, Year::Y2015},
-         &fig16});
+         &fig16, true});
   r.add({"fig17", "CCDFs of detected public WiFi networks per scan",
-         "Fig 17 (public WiFi availability, 2015)", {Year::Y2015}, &fig17});
+         "Fig 17 (public WiFi availability, 2015)", {Year::Y2015}, &fig17, true});
   r.add({"sec35_opportunity", "stable public-WiFi offload opportunity",
          "Sec 3.5 (offloadable traffic estimate)",
-         {Year::Y2013, Year::Y2014, Year::Y2015}, &sec35});
+         {Year::Y2013, Year::Y2014, Year::Y2015}, &sec35, true});
 }
 
 }  // namespace tokyonet::report

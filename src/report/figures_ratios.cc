@@ -77,7 +77,7 @@ Table fig08(const FigureContext& ctx) {
 
 Table fig09(const FigureContext& ctx) {
   const analysis::WifiStateProfiles p =
-      analysis::compute_wifi_states(ctx.dataset());
+      analysis::compute_wifi_states(ctx.source());
   const auto user = p.android_user.ratio_series();
   const auto off = p.android_off.ratio_series();
   const auto avail = p.android_available.ratio_series();
@@ -104,7 +104,8 @@ Table fig09(const FigureContext& ctx) {
       "in 2015]",
       p.ios_user.mean_ratio(), p.android_user.mean_ratio()));
   if (ctx.year() == Year::Y2015) {
-    const auto carriers = analysis::ios_wifi_user_by_carrier(ctx.dataset());
+    const auto carriers =
+        analysis::ios_wifi_user_by_carrier(ctx.source());
     t.notes.push_back(strf(
         "iOS WiFi-user share by carrier: %.2f / %.2f / %.2f   [paper: no "
         "carrier difference]",
@@ -127,7 +128,7 @@ void register_ratio_figures(FigureRegistry& r) {
          &fig08});
   r.add({"fig09", "Android WiFi interface states and iOS WiFi users",
          "Fig 9 (WiFi interface states by OS)", {Year::Y2013, Year::Y2015},
-         &fig09});
+         &fig09, true});
 }
 
 }  // namespace tokyonet::report

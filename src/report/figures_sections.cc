@@ -11,7 +11,7 @@ namespace {
 
 Table sec41(const FigureContext& ctx) {
   const analysis::OffloadImpact o = analysis::offload_impact(
-      ctx.dataset(), ctx.analysis().days(), ctx.analysis().classification());
+      ctx.source(), ctx.analysis().days(), ctx.analysis().classification());
 
   Table t({"year", "metric", "value", "paper 2015"});
   const Value year = Value::integer(year_number(ctx.year()));
@@ -32,7 +32,7 @@ Table sec41(const FigureContext& ctx) {
 
 Table sec43(const FigureContext& ctx) {
   const analysis::SharedApAnalysis s = analysis::detect_shared_aps(
-      ctx.dataset(), ctx.analysis().classification());
+      ctx.source(), ctx.analysis().classification());
 
   Table t({"year", "associated public APs", "shared boxes",
            "networks on shared hardware"});
@@ -53,10 +53,10 @@ Table sec43(const FigureContext& ctx) {
 void register_section_figures(FigureRegistry& r) {
   r.add({"sec41_offload", "impact of home WiFi offload on RBB traffic",
          "Sec 4.1 (impact of home WiFi offload)",
-         {Year::Y2013, Year::Y2014, Year::Y2015}, &sec41});
+         {Year::Y2013, Year::Y2014, Year::Y2015}, &sec41, true});
   r.add({"sec43_shared_aps", "multi-provider shared public APs",
          "Sec 4.3 (multi-provider shared APs)",
-         {Year::Y2013, Year::Y2014, Year::Y2015}, &sec43});
+         {Year::Y2013, Year::Y2014, Year::Y2015}, &sec43, true});
 }
 
 }  // namespace tokyonet::report

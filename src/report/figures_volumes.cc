@@ -74,17 +74,22 @@ Table render_fig05(Year year, const analysis::UserTypeStats& s,
 namespace {
 
 Table fig02(const FigureContext& ctx) {
-  const Dataset& ds = ctx.dataset();
-  const auto cell_rx = analysis::aggregate_series(ds, analysis::Stream::CellRx);
-  const auto cell_tx = analysis::aggregate_series(ds, analysis::Stream::CellTx);
-  const auto wifi_rx = analysis::aggregate_series(ds, analysis::Stream::WifiRx);
-  const auto wifi_tx = analysis::aggregate_series(ds, analysis::Stream::WifiTx);
-  const analysis::WeekSplit cell_split =
-      analysis::weekday_weekend_split(ds, analysis::Stream::CellRx);
-  const analysis::WeekSplit wifi_split =
-      analysis::weekday_weekend_split(ds, analysis::Stream::WifiRx);
-  return render_fig02(ds.calendar, ds.num_days(), cell_rx, cell_tx, wifi_rx,
-                      wifi_tx, cell_split, wifi_split);
+  const auto& src = ctx.source();
+  const analysis::AllStreamSums sums = analysis::aggregate_all_streams(src);
+  const auto series = [&](analysis::Stream s) {
+    return analysis::hourly_series_from_sums(
+        sums.hour_sums[static_cast<std::size_t>(s)]);
+  };
+  const auto cell_rx = series(analysis::Stream::CellRx);
+  const auto cell_tx = series(analysis::Stream::CellTx);
+  const auto wifi_rx = series(analysis::Stream::WifiRx);
+  const auto wifi_tx = series(analysis::Stream::WifiTx);
+  const analysis::WeekSplit cell_split = analysis::weekday_weekend_split(
+      cell_rx, src.calendar(), src.num_days());
+  const analysis::WeekSplit wifi_split = analysis::weekday_weekend_split(
+      wifi_rx, src.calendar(), src.num_days());
+  return render_fig02(src.calendar(), src.num_days(), cell_rx, cell_tx,
+                      wifi_rx, wifi_tx, cell_split, wifi_split);
 }
 
 Table fig03(const FigureContext& ctx) {
@@ -132,7 +137,7 @@ Table fig04(const FigureContext& ctx) {
 Table fig05(const FigureContext& ctx) {
   const auto& days = ctx.analysis().days();
   const analysis::UserTypeStats s =
-      analysis::user_type_stats(ctx.dataset(), days);
+      analysis::user_type_stats(ctx.source().n_devices(), days);
   const auto heat = analysis::user_day_heatmap(days, 3);
   return render_fig05(ctx.year(), s, heat);
 }
@@ -141,15 +146,15 @@ Table fig05(const FigureContext& ctx) {
 
 void register_volume_figures(FigureRegistry& r) {
   r.add({"fig02", "aggregated traffic volume over the first campaign week",
-         "Fig 2 (aggregated traffic volume, 2015)", {Year::Y2015}, &fig02});
+         "Fig 2 (aggregated traffic volume, 2015)", {Year::Y2015}, &fig02, true});
   r.add({"fig03", "CDFs of daily total traffic per user (RX and TX)",
          "Fig 3 (CDFs of daily total traffic per user)",
-         {Year::Y2013, Year::Y2014, Year::Y2015}, &fig03});
+         {Year::Y2013, Year::Y2014, Year::Y2015}, &fig03, true});
   r.add({"fig04", "CDFs of daily traffic per interface type + headline facts",
-         "Fig 4 (daily volume per type, 2015)", {Year::Y2015}, &fig04});
+         "Fig 4 (daily volume per type, 2015)", {Year::Y2015}, &fig04, true});
   r.add({"fig05", "user-day heat map mass + cellular/WiFi user-type split",
          "Fig 5 (daily traffic volume per user)", {Year::Y2013, Year::Y2015},
-         &fig05});
+         &fig05, true});
 }
 
 }  // namespace tokyonet::report

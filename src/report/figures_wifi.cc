@@ -48,7 +48,7 @@ Table fig10(const FigureContext& ctx) {
            "max APs per cell"});
   for (const ApClass c : {ApClass::Home, ApClass::Public}) {
     const analysis::ApDensityMap m = analysis::ap_density_map(
-        ctx.dataset(), ctx.analysis().classification(), c, cells);
+        ctx.source(), ctx.analysis().classification(), c, cells);
     t.add_row({Value::integer(year_number(ctx.year())),
                Value::text(std::string(to_string(c))),
                Value::integer(m.cells_with_ap), Value::integer(m.cells_with_100),
@@ -61,28 +61,28 @@ Table fig10(const FigureContext& ctx) {
 }
 
 Table fig11(const FigureContext& ctx) {
-  const Dataset& ds = ctx.dataset();
+  const auto& src = ctx.source();
   const auto& cls = ctx.analysis().classification();
   const auto home_rx =
-      analysis::location_series(ds, cls, {ApClass::Home, false}, true);
+      analysis::location_series(src, cls, {ApClass::Home, false}, true);
   const auto home_tx =
-      analysis::location_series(ds, cls, {ApClass::Home, false}, false);
+      analysis::location_series(src, cls, {ApClass::Home, false}, false);
   const auto pub_rx =
-      analysis::location_series(ds, cls, {ApClass::Public, false}, true);
+      analysis::location_series(src, cls, {ApClass::Public, false}, true);
   const auto pub_tx =
-      analysis::location_series(ds, cls, {ApClass::Public, false}, false);
+      analysis::location_series(src, cls, {ApClass::Public, false}, false);
   const auto off_rx =
-      analysis::location_series(ds, cls, {ApClass::Other, true}, true);
+      analysis::location_series(src, cls, {ApClass::Other, true}, true);
   const auto off_tx =
-      analysis::location_series(ds, cls, {ApClass::Other, true}, false);
+      analysis::location_series(src, cls, {ApClass::Other, true}, false);
 
   Table t({"year", "date", "hour", "Home RX", "Home TX", "Public RX",
            "Public TX", "Office RX", "Office TX"});
-  for (int day = 0; day < 8 && day < ds.num_days(); ++day) {
+  for (int day = 0; day < 8 && day < src.num_days(); ++day) {
     for (int hour = 0; hour < 24; hour += 6) {
       const auto i = static_cast<std::size_t>(day * 24 + hour);
       t.add_row({Value::integer(year_number(ctx.year())),
-                 Value::text(ds.calendar.day_label(day)),
+                 Value::text(src.calendar().day_label(day)),
                  Value::text(std::to_string(hour) + ":00"),
                  Value::real(home_rx.mbps[i], 2), Value::real(home_tx.mbps[i], 2),
                  Value::real(pub_rx.mbps[i], 3), Value::real(pub_tx.mbps[i], 3),
@@ -92,7 +92,7 @@ Table fig11(const FigureContext& ctx) {
   }
 
   const analysis::WifiLocationShares s =
-      analysis::wifi_location_shares(ds, cls);
+      analysis::wifi_location_shares(src, cls);
   t.notes.push_back(strf(
       "WiFi volume shares: home %.1f%%, public %.1f%%, office %.1f%%, "
       "other %.1f%%   [paper 2015: home 95%%, public+office ~4%%]",
@@ -102,7 +102,7 @@ Table fig11(const FigureContext& ctx) {
 
 Table fig12(const FigureContext& ctx) {
   const analysis::ApsPerDay a =
-      analysis::aps_per_day(ctx.dataset(), ctx.analysis().days(),
+      analysis::aps_per_day(ctx.source(), ctx.analysis().days(),
                             ctx.analysis().classifier());
   static const char* kClasses[] = {"all", "heavy", "light"};
 
@@ -123,7 +123,7 @@ Table fig12(const FigureContext& ctx) {
 
 Table fig13(const FigureContext& ctx) {
   const analysis::AssociationDurations d = analysis::association_durations(
-      ctx.dataset(), ctx.analysis().classification());
+      ctx.source(), ctx.analysis().classification());
   const stats::Ecdf home(d.home_hours);
   const stats::Ecdf office(d.office_hours);
   const stats::Ecdf pub(d.public_hours);
@@ -145,7 +145,7 @@ Table fig13(const FigureContext& ctx) {
 
 Table fig14(const FigureContext& ctx) {
   const analysis::BandFractions f = analysis::band_fractions(
-      ctx.dataset(), ctx.analysis().classification());
+      ctx.source(), ctx.analysis().classification());
 
   Table t({"year", "location", "5 GHz share", "paper 2015"});
   const Value year = Value::integer(year_number(ctx.year()));
@@ -167,7 +167,7 @@ Table table04(const FigureContext& ctx) {
 
 Table table05(const FigureContext& ctx) {
   const analysis::HpoBreakdown h = analysis::hpo_breakdown(
-      ctx.dataset(), ctx.analysis().classification());
+      ctx.source(), ctx.analysis().classification());
 
   Table t({"year", "#ESSIDs", "HPO", "share"});
   const Value year = Value::integer(year_number(ctx.year()));
@@ -192,25 +192,25 @@ Table table05(const FigureContext& ctx) {
 void register_wifi_figures(FigureRegistry& r) {
   r.add({"fig10", "associated unique APs per 5 km grid cell",
          "Fig 10 (associated APs per 5 km cell)", {Year::Y2013, Year::Y2015},
-         &fig10});
+         &fig10, true});
   r.add({"fig11", "WiFi traffic volume at home/public/office APs",
          "Fig 11 (WiFi traffic by AP location)", {Year::Y2013, Year::Y2015},
-         &fig11});
+         &fig11, true});
   r.add({"fig12", "number of APs a device associates with per day",
          "Fig 12 (associated APs per user per day)",
-         {Year::Y2013, Year::Y2014, Year::Y2015}, &fig12});
+         {Year::Y2013, Year::Y2014, Year::Y2015}, &fig12, true});
   r.add({"fig13", "CCDFs of consecutive WiFi association time per AP class",
          "Fig 13 (CCDFs of WiFi association time)",
-         {Year::Y2013, Year::Y2015}, &fig13});
+         {Year::Y2013, Year::Y2015}, &fig13, true});
   r.add({"fig14", "5 GHz share of associated APs per location",
          "Fig 14 (5 GHz share of associated APs)",
-         {Year::Y2013, Year::Y2014, Year::Y2015}, &fig14});
+         {Year::Y2013, Year::Y2014, Year::Y2015}, &fig14, true});
   r.add({"table04", "number of estimated APs by inferred class",
          "Table 4 (number of estimated APs)",
-         {Year::Y2013, Year::Y2014, Year::Y2015}, &table04});
+         {Year::Y2013, Year::Y2014, Year::Y2015}, &table04, true});
   r.add({"table05", "ESSID class combinations per user-day",
          "Table 5 (ESSID combinations per user-day)",
-         {Year::Y2013, Year::Y2014, Year::Y2015}, &table05});
+         {Year::Y2013, Year::Y2014, Year::Y2015}, &table05, true});
 }
 
 }  // namespace tokyonet::report

@@ -17,6 +17,10 @@ const analysis::AnalysisContext& FigureContext::analysis(Year y) const {
   return runner_->analysis(y);
 }
 
+const analysis::query::DataSource& FigureContext::source(Year y) const {
+  return runner_->analysis(y).source();
+}
+
 FigureRegistry::FigureRegistry() {
   register_macro_figures(*this);
   register_overview_figures(*this);

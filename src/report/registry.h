@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/query/fwd.h"
 #include "core/types.h"
 #include "report/table.h"
 
@@ -43,13 +44,20 @@ class FigureContext {
   [[nodiscard]] Year year() const { return *year_; }
   [[nodiscard]] std::optional<Year> year_opt() const noexcept { return year_; }
 
-  /// Memoized dataset / analysis context for any campaign year.
+  /// Memoized dataset / analysis context for any campaign year. The
+  /// dataset is only available in-memory (throws std::logic_error out
+  /// of core); source() works in both backends and is what out_of_core
+  /// figures consume.
   [[nodiscard]] const Dataset& dataset(Year y) const;
   [[nodiscard]] const analysis::AnalysisContext& analysis(Year y) const;
+  [[nodiscard]] const analysis::query::DataSource& source(Year y) const;
   /// Shorthands for the target year.
   [[nodiscard]] const Dataset& dataset() const { return dataset(year()); }
   [[nodiscard]] const analysis::AnalysisContext& analysis() const {
     return analysis(year());
+  }
+  [[nodiscard]] const analysis::query::DataSource& source() const {
+    return source(year());
   }
 
  private:
@@ -68,6 +76,13 @@ struct FigureSpec {
   /// several years (e.g. Table 3's growth rates).
   std::vector<Year> years;
   FigureFn fn = nullptr;
+  /// True when the figure consumes only FigureContext::source() and the
+  /// context intermediates — it can run over a sharded store without
+  /// ever materializing the campaign (`fig run --out-of-core`). Figures
+  /// whose kernels need the resident Dataset (e.g. the Fig 6-8 ratio
+  /// scans, whose floating-point accumulation order is not
+  /// shard-decomposable) stay false.
+  bool out_of_core = false;
 
   [[nodiscard]] bool per_year() const noexcept { return !years.empty(); }
   [[nodiscard]] bool applies_to(Year y) const noexcept {

@@ -41,9 +41,48 @@ io::SnapshotResult Runner::adopt_shards(Year year,
   return {};
 }
 
-const Dataset& Runner::dataset(Year year) {
+io::SnapshotResult Runner::adopt_shards_out_of_core(
+    Year year, const std::filesystem::path& dir,
+    std::size_t resident_shards) {
+  const int i = static_cast<int>(year);
+  assert(ds_[i] == nullptr && external_src_[i] == nullptr &&
+         "adopt_shards_out_of_core() must precede resolution");
+  auto store = std::make_unique<io::ShardedDataset>();
+  if (io::SnapshotResult r = io::ShardedDataset::open(dir, *store); !r.ok()) {
+    return r;
+  }
+  if (store->year() != year) {
+    std::string err = "shard store ";
+    err += dir.string();
+    err += " holds the ";
+    err += std::to_string(year_number(store->year()));
+    err += " campaign, not ";
+    err += std::to_string(year_number(year));
+    return {std::move(err)};
+  }
+  store_[i] = std::move(store);
+  shard_src_[i] = std::make_unique<analysis::query::ShardedSource>(
+      *store_[i], resident_shards);
+  external_src_[i] = shard_src_[i].get();
+  return {};
+}
+
+void Runner::adopt_source(Year year,
+                          const analysis::query::DataSource& src) {
+  const int i = static_cast<int>(year);
+  assert(ds_[i] == nullptr && external_src_[i] == nullptr &&
+         "adopt_source() must precede resolution");
+  external_src_[i] = &src;
+}
+
+void Runner::resolve(Year year) {
   const int i = static_cast<int>(year);
   std::call_once(once_[i], [&] {
+    if (external_src_[i] != nullptr) {
+      ctx_[i] =
+          std::make_unique<analysis::AnalysisContext>(*external_src_[i]);
+      return;
+    }
     if (adopted_[i] != nullptr) {
       ds_[i] = std::move(adopted_[i]);
     } else {
@@ -63,11 +102,21 @@ const Dataset& Runner::dataset(Year year) {
     }
     ctx_[i] = std::make_unique<analysis::AnalysisContext>(*ds_[i]);
   });
+}
+
+const Dataset& Runner::dataset(Year year) {
+  resolve(year);
+  const int i = static_cast<int>(year);
+  if (ds_[i] == nullptr) {
+    throw std::logic_error(
+        "campaign " + std::to_string(year_number(year)) +
+        " runs out of core: figures must consume analysis().source()");
+  }
   return *ds_[i];
 }
 
 const analysis::AnalysisContext& Runner::analysis(Year year) {
-  (void)dataset(year);  // ensure materialized
+  resolve(year);
   return *ctx_[static_cast<int>(year)];
 }
 

@@ -17,7 +17,9 @@
 #include <vector>
 
 #include "analysis/context.h"
+#include "analysis/query/source.h"
 #include "core/records.h"
+#include "io/shard_store.h"
 #include "io/snapshot.h"
 #include "report/registry.h"
 
@@ -44,11 +46,20 @@ class Runner {
   [[nodiscard]] const Options& options() const noexcept { return opt_; }
 
   /// Memoized campaign for `year`: simulated (or cache-loaded) at most
-  /// once per Runner, thread-safely.
+  /// once per Runner, thread-safely. Throws std::logic_error when the
+  /// year runs out of core (adopt_shards_out_of_core / adopt_source) —
+  /// figures flagged FigureSpec::out_of_core never call this.
   [[nodiscard]] const Dataset& dataset(Year year);
 
-  /// Memoized analysis context over dataset(year).
+  /// Memoized analysis context over `year`'s campaign (in-memory or
+  /// out-of-core; analysis(year).source() is the backend-agnostic view).
   [[nodiscard]] const analysis::AnalysisContext& analysis(Year year);
+
+  /// True when `year`'s campaign was installed as an out-of-core source
+  /// (dataset(year) would throw).
+  [[nodiscard]] bool out_of_core(Year year) const noexcept {
+    return external_src_[static_cast<int>(year)] != nullptr;
+  }
 
   /// Installs an externally loaded dataset (CSV import, snapshot) as
   /// `year`'s campaign. Must be called before the first dataset(year)
@@ -65,6 +76,20 @@ class Runner {
       Year year, const std::filesystem::path& dir,
       std::size_t resident_shards = 1);
 
+  /// Opens a sharded campaign store and installs it as `year`'s
+  /// campaign WITHOUT materializing it: every figure flagged
+  /// FigureSpec::out_of_core then runs through a query::ShardedSource
+  /// holding at most `resident_shards + 1` shards resident (exactly one
+  /// at resident_shards = 0), byte-identical to the in-memory run.
+  /// Must precede the first dataset()/analysis() resolution for `year`.
+  [[nodiscard]] io::SnapshotResult adopt_shards_out_of_core(
+      Year year, const std::filesystem::path& dir,
+      std::size_t resident_shards = 1);
+
+  /// Installs an externally owned source (must outlive the Runner) as
+  /// `year`'s campaign. Same contract as adopt_shards_out_of_core.
+  void adopt_source(Year year, const analysis::query::DataSource& src);
+
   /// Renders one figure. For per-year figures `year` must be set (any
   /// campaign year is accepted — `spec.years` lists the paper's
   /// defaults, not a hard restriction); for longitudinal figures it
@@ -79,11 +104,17 @@ class Runner {
   [[nodiscard]] Table run_stacked(const FigureSpec& spec);
 
  private:
+  /// Builds `year`'s context (and dataset, when in memory) exactly once.
+  void resolve(Year year);
+
   Options opt_;
 
   std::once_flag once_[kNumYears];
   std::unique_ptr<Dataset> adopted_[kNumYears];
   std::unique_ptr<Dataset> ds_[kNumYears];
+  std::unique_ptr<io::ShardedDataset> store_[kNumYears];
+  std::unique_ptr<analysis::query::ShardedSource> shard_src_[kNumYears];
+  const analysis::query::DataSource* external_src_[kNumYears] = {};
   std::unique_ptr<analysis::AnalysisContext> ctx_[kNumYears];
 };
 

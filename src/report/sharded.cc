@@ -3,64 +3,35 @@
 #include <string_view>
 #include <utility>
 
-#include "analysis/sharded.h"
-#include "report/battery.h"
+#include "analysis/query/source.h"
 #include "report/registry.h"
+#include "report/runner.h"
 
 namespace tokyonet::report {
-namespace {
-
-// Mirror of Runner::run's metadata stamping, so canonical JSON from the
-// out-of-core path compares byte-for-byte against the in-memory run.
-Table stamp(Table t, std::string_view id, Year year) {
-  const FigureSpec* spec = FigureRegistry::instance().find(id);
-  t.id = spec != nullptr ? spec->id : std::string(id);
-  if (spec != nullptr) {
-    if (t.title.empty()) t.title = spec->title;
-    if (t.paper_ref.empty()) t.paper_ref = spec->paper_ref;
-  }
-  t.year = year_number(year);
-  return t;
-}
-
-}  // namespace
 
 io::SnapshotResult run_sharded_battery(io::ShardedDataset& store,
                                        std::vector<Table>& out,
-                                       const analysis::ShardedScanOptions& scan) {
+                                       const OutOfCoreOptions& opt) {
   out.clear();
-  analysis::ShardedContext ctx(store);
-  if (io::SnapshotResult r = ctx.scan(scan); !r.ok()) return r;
+  const Year year = store.year();
+  analysis::query::ShardedSource src(store, opt.resident_shards);
+  Runner runner;
+  runner.adopt_source(year, src);
 
-  const Year year = ctx.year();
-  out.push_back(
-      stamp(render_table01(year, ctx.num_days(), ctx.overview()), "table01",
-            year));
-
-  const analysis::HourlySeries cell_rx = ctx.series(analysis::Stream::CellRx);
-  const analysis::HourlySeries cell_tx = ctx.series(analysis::Stream::CellTx);
-  const analysis::HourlySeries wifi_rx = ctx.series(analysis::Stream::WifiRx);
-  const analysis::HourlySeries wifi_tx = ctx.series(analysis::Stream::WifiTx);
-  const analysis::WeekSplit cell_split = analysis::weekday_weekend_split(
-      cell_rx, ctx.calendar(), ctx.num_days());
-  const analysis::WeekSplit wifi_split = analysis::weekday_weekend_split(
-      wifi_rx, ctx.calendar(), ctx.num_days());
-  out.push_back(stamp(render_fig02(ctx.calendar(), ctx.num_days(), cell_rx,
-                                   cell_tx, wifi_rx, wifi_tx, cell_split,
-                                   wifi_split),
-                      "fig02", year));
-
-  out.push_back(
-      stamp(render_fig05(year, ctx.user_types(), ctx.heatmap()), "fig05",
-            year));
-  out.push_back(
-      stamp(render_table04(year, ctx.classification()), "table04", year));
-  out.push_back(
-      stamp(render_sec35(year, ctx.offload()), "sec35_opportunity", year));
-  if (year == Year::Y2015) {
-    out.push_back(stamp(render_fig18(ctx.updates(), ctx.update_timing()),
-                        "fig18", year));
+  static const char* kBattery[] = {"table01", "fig02",
+                                   "fig05",   "table04",
+                                   "sec35_opportunity", "fig18"};
+  std::vector<Table> tables;
+  try {
+    for (const char* id : kBattery) {
+      if (std::string_view(id) == "fig18" && year != Year::Y2015) continue;
+      const FigureSpec* spec = FigureRegistry::instance().find(id);
+      tables.push_back(runner.run(*spec, year));
+    }
+  } catch (const analysis::query::SourceError& e) {
+    return e.result();
   }
+  out = std::move(tables);
   return {};
 }
 

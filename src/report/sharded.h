@@ -1,30 +1,40 @@
 // Out-of-core §3 battery over a sharded campaign store.
 //
-// run_sharded_battery() is the bounded-memory counterpart of rendering
-// the report's headline figures through Runner: one ShardedContext
-// scan (analysis/sharded.h), then the shared render_* functions
-// (report/battery.h) with registry metadata stamped exactly as
-// Runner::run stamps it — so each emitted Table's canonical JSON is
-// byte-identical to the in-memory run over the materialized campaign.
+// run_sharded_battery() renders the headline figures through the same
+// Runner + FigureRegistry path as the in-memory CLI, with the campaign
+// installed as a query::ShardedSource instead of a materialized
+// Dataset — so each emitted Table's canonical JSON is byte-identical to
+// the in-memory run, and the battery is just the registry entries that
+// carry FigureSpec::out_of_core (no figure-specific shard code).
 #pragma once
 
 #include <vector>
 
-#include "analysis/sharded.h"
 #include "io/shard_store.h"
 #include "io/snapshot.h"
 #include "report/table.h"
 
 namespace tokyonet::report {
 
+/// How many shards the out-of-core scan may keep resident (the K of
+/// DESIGN.md §5j, --resident-shards / TOKYONET_RESIDENT_SHARDS):
+///   0  strict sequential — one shard resident at a time (the PR 8
+///      memory bound);
+///   K  K >= 1: an io::ShardPrefetcher keeps one load in flight while
+///      up to K scanner threads produce partials; peak residency is at
+///      most K + 1 shards.
+/// Results are byte-identical at every (threads, shards, K).
+struct OutOfCoreOptions {
+  std::size_t resident_shards = 1;
+};
+
 /// Renders the headline battery (table01, fig02, fig05, table04,
 /// sec35_opportunity, + fig18 for the 2015 campaign) out-of-core.
-/// `store` must be open; peak memory is `scan.resident_shards + 1`
-/// shards (one at resident_shards = 0) plus O(devices+aps)
-/// accumulators, and the emitted tables are byte-identical at every
-/// residency budget. On failure `out` is left empty.
+/// `store` must be open; peak memory is `opt.resident_shards + 1`
+/// shards plus O(devices+aps) intermediates. On failure `out` is left
+/// empty.
 [[nodiscard]] io::SnapshotResult run_sharded_battery(
     io::ShardedDataset& store, std::vector<Table>& out,
-    const analysis::ShardedScanOptions& scan = {});
+    const OutOfCoreOptions& opt = {});
 
 }  // namespace tokyonet::report

@@ -87,7 +87,8 @@ class LogHist2d {
   /// addition. Cells hold integer counts (add() increments by 1), so
   /// the doubles are exact up to 2^53 and merging per-shard partials in
   /// any grouping reproduces the single-pass histogram byte-identically
-  /// (analysis/sharded.h relies on this).
+  /// (the out-of-core query backend, analysis/query/source.h, relies
+  /// on this).
   void merge(const LogHist2d& other) noexcept;
 
   [[nodiscard]] int bins() const noexcept { return bins_; }

@@ -15,7 +15,8 @@
 #include <string>
 #include <vector>
 
-#include "analysis/sharded.h"
+#include "analysis/context.h"
+#include "analysis/query/source.h"
 #include "core/records.h"
 #include "core/scenario.h"
 #include "io/snapshot.h"
@@ -409,17 +410,22 @@ TEST(ShardPipeline, ScanErrorIsCleanAtEveryResidency) {
 
   for (const std::size_t k : {std::size_t{0}, std::size_t{1},
                               std::size_t{4}}) {
-    analysis::ShardedContext ctx(store);
-    const io::SnapshotResult r = ctx.scan({k});
-    EXPECT_FALSE(r.ok()) << "resident_shards=" << k;
-    EXPECT_NE(r.error.find("checksum"), std::string::npos)
-        << "resident_shards=" << k << ": " << r.error;
-    EXPECT_TRUE(ctx.devices().empty()) << "resident_shards=" << k;
+    analysis::query::ShardedSource src(store, k);
+    analysis::AnalysisContext ctx(src);
+    try {
+      (void)ctx.devices();
+      ADD_FAILURE() << "scan must fail, resident_shards=" << k;
+    } catch (const analysis::query::SourceError& e) {
+      EXPECT_NE(e.result().error.find("checksum"), std::string::npos)
+          << "resident_shards=" << k << ": " << e.result().error;
+    }
 
     std::vector<report::Table> tables;
     const io::SnapshotResult b =
         report::run_sharded_battery(store, tables, {k});
     EXPECT_FALSE(b.ok()) << "resident_shards=" << k;
+    EXPECT_NE(b.error.find("checksum"), std::string::npos)
+        << "resident_shards=" << k << ": " << b.error;
     EXPECT_TRUE(tables.empty()) << "resident_shards=" << k;
   }
 }

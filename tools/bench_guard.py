@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Kernel-battery regression guard over two run_bench.sh BENCH JSONs.
+
+Compares every kernel timing present in both a baseline BENCH file (the
+committed trajectory record, e.g. BENCH_2026-08-07.json) and a current
+one, and fails when any kernel regressed by more than the threshold
+(default 5%).
+
+Machine-speed normalization: CI rarely runs on the machine that
+recorded the baseline, so raw ratios mostly measure the hardware. By
+default each kernel's ratio current/baseline is compared against the
+*median* ratio across all kernels — a kernel regresses when it got
+slower than the fleet-wide speed shift by more than the threshold.
+A uniform slowdown (new machine, thermal throttle) passes; one kernel
+falling behind its peers fails. Pass --absolute when baseline and
+current come from the same machine and raw ratios are meaningful.
+
+Usage:
+  bench_guard.py baseline.json current.json [--threshold PCT]
+                 [--absolute] [--allow-regression]
+
+Exit codes: 0 no regression (or --allow-regression), 1 regression,
+2 bad usage / unreadable input.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_kernels(path):
+    """{(bench, kernel): real_time_ns} from a run_bench.sh BENCH JSON."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_guard: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    out = {}
+    for bench, record in data.get("benches", {}).items():
+        for kernel, entry in record.get("kernels", {}).items():
+            t = entry.get("real_time")
+            if t is None:
+                continue
+            out[(bench, kernel)] = t * unit_ns.get(entry.get("time_unit", "ns"), 1.0)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="allowed regression in percent (default 5)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw ratios (same-machine runs) instead "
+                             "of normalizing by the median ratio")
+    parser.add_argument("--allow-regression", action="store_true",
+                        help="report regressions but exit 0 (override for "
+                             "intentional perf trades; record why in the PR)")
+    args = parser.parse_args()
+
+    base = load_kernels(args.baseline)
+    cur = load_kernels(args.current)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("bench_guard: no kernels shared between "
+              f"{args.baseline} and {args.current}", file=sys.stderr)
+        sys.exit(2)
+
+    ratios = {k: cur[k] / base[k] for k in shared if base[k] > 0}
+    median = 1.0 if args.absolute else statistics.median(ratios.values())
+    limit = median * (1.0 + args.threshold / 100.0)
+
+    regressions = []
+    for key, ratio in sorted(ratios.items(), key=lambda kv: -kv[1]):
+        if ratio > limit:
+            regressions.append((key, ratio))
+
+    mode = "absolute" if args.absolute else f"median-normalized ({median:.3f}x)"
+    print(f"bench_guard: {len(ratios)} kernels compared, {mode}, "
+          f"threshold {args.threshold:.1f}%")
+    dropped = sorted(set(base) - set(cur))
+    if dropped:
+        # A kernel that vanished cannot regress silently either.
+        print(f"bench_guard: note: {len(dropped)} baseline kernels absent "
+              f"from current run (first: {dropped[0][0]}/{dropped[0][1]})")
+    for (bench, kernel), ratio in regressions:
+        print(f"  REGRESSION {bench}/{kernel}: {ratio:.3f}x baseline "
+              f"(limit {limit:.3f}x)")
+    if not regressions:
+        print("bench_guard: OK — no kernel regressed past the threshold")
+        return 0
+    if args.allow_regression:
+        print(f"bench_guard: {len(regressions)} regression(s) waived "
+              "(--allow-regression)")
+        return 0
+    print(f"bench_guard: FAILED — {len(regressions)} kernel(s) regressed "
+          f"more than {args.threshold:.1f}%", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

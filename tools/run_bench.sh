@@ -9,7 +9,9 @@
 #
 # Usage: tools/run_bench.sh [--cache-dir DIR] [--smoke] [--allow-debug]
 #                           [--shard-demo SCALE]
-#                           [--out-of-core-demo SCALE] [build_dir] [out.json]
+#                           [--out-of-core-demo SCALE]
+#                           [--baseline FILE] [--allow-regression]
+#                           [build_dir] [out.json]
 #   --cache-dir DIR  enable the on-disk campaign cache: pre-warm DIR via
 #                    `tokyonet snapshot warm`, then run every bench with
 #                    TOKYONET_CACHE_DIR=DIR so campaigns are mmap-loaded
@@ -34,6 +36,14 @@
 #                    (prefetch pipeline) and 4 (K-parallel scan),
 #                    recording wall time and peak RSS of each under
 #                    "out_of_core" in the JSON.
+#   --baseline FILE  after writing out.json, run tools/bench_guard.py
+#                    against FILE (normally the committed
+#                    BENCH_2026-08-07.json) and fail if any kernel
+#                    regressed more than 5% relative to the run-wide
+#                    median speed shift. This is the CI bench gate.
+#   --allow-regression
+#                    report --baseline regressions but exit 0 anyway
+#                    (intentional perf trades; record why in the PR).
 #   build_dir        defaults to ./build; configured + built at
 #                    CMAKE_BUILD_TYPE=Release automatically if missing
 #   out.json         defaults to BENCH_$(date +%Y%m%d).json in the repo root
@@ -48,6 +58,8 @@ smoke=0
 allow_debug=0
 shard_demo_scale=""
 ooc_demo_scale=""
+baseline=""
+allow_regression=0
 positional=()
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -64,6 +76,11 @@ while [ $# -gt 0 ]; do
     --out-of-core-demo)
       [ $# -ge 2 ] || { echo "error: --out-of-core-demo needs a scale" >&2; exit 2; }
       ooc_demo_scale="$2"; shift 2 ;;
+    --baseline)
+      [ $# -ge 2 ] || { echo "error: --baseline needs a file" >&2; exit 2; }
+      baseline="$2"; shift 2 ;;
+    --allow-regression)
+      allow_regression=1; shift ;;
     -*)
       echo "error: unknown flag $1" >&2; exit 2 ;;
     *)
@@ -410,3 +427,15 @@ with open(out_json, "w") as f:
     f.write("\n")
 print(f"wrote {out_json} ({len(result['benches'])} benches)")
 PY
+
+# Kernel-battery regression gate: every kernel in the baseline BENCH
+# JSON must still be within 5% of the run-wide median speed shift
+# (bench_guard.py normalizes away machine differences). A deliberate
+# perf trade ships with --allow-regression and a note in the PR.
+if [ -n "${baseline}" ]; then
+  guard_args=("${baseline}" "${out_json}")
+  if [ "${allow_regression}" -eq 1 ]; then
+    guard_args+=(--allow-regression)
+  fi
+  python3 "${repo_root}/tools/bench_guard.py" "${guard_args[@]}"
+fi

@@ -2,23 +2,31 @@
 //
 //   tokyonet fig list [--ids]
 //       Enumerate the figure registry: every paper figure/table
-//       reproduction with its id, years and paper reference.
+//       reproduction with its id, years, paper reference and whether it
+//       can run out-of-core (the `ooc` column).
 //
 //   tokyonet fig run <id> [--year Y] [--scale S] [--seed N]
 //                    [--format text|csv|json] [--shard-dir DIR]
-//                    [--resident-shards K]
+//                    [--out-of-core] [--resident-shards K]
 //       Render one registered reproduction. Without --year a per-year
 //       figure is stacked over all its paper years; longitudinal
 //       figures take no --year. With --shard-dir the campaign comes
 //       from a sharded store instead of simulation
 //       (--resident-shards >= 1 overlaps shard loads with the rebase).
+//       Adding --out-of-core renders the figure by scanning shards with
+//       bounded memory (never materializing the campaign); figures
+//       whose kernels need the resident dataset are rejected with exit
+//       2 and the list of supported ids.
 //
 //   tokyonet fig all [--format text|csv|json] [--shard-dir DIR]
-//                    [--resident-shards K]
+//                    [--out-of-core] [--resident-shards K]
 //   tokyonet fig all --update-goldens [--goldens DIR]
 //   tokyonet fig all --check-goldens [--goldens DIR]
 //       Render the whole catalog, or write / byte-compare the golden
 //       canonical-JSON files (always at the pinned golden scale).
+//       With --shard-dir --out-of-core, render every out-of-core
+//       capable figure for the store's campaign year with bounded
+//       memory.
 //
 //   tokyonet simulate --year 2015 [--scale S] [--seed N] --out DIR
 //       Simulate a campaign and export it as CSV (observable data only).
@@ -94,6 +102,7 @@
 #include <utility>
 
 #include "analysis/incremental.h"
+#include "analysis/query/source.h"
 #include "ingest/replay.h"
 #include "ingest/server.h"
 #include "ingest/tcp.h"
@@ -161,9 +170,9 @@ int usage() {
                "  tokyonet fig list [--ids]\n"
                "  tokyonet fig run <id> [--year Y] [--scale S] [--seed N] "
                "[--format text|csv|json] [--shard-dir DIR] "
-               "[--resident-shards K]\n"
+               "[--out-of-core] [--resident-shards K]\n"
                "  tokyonet fig all [--format text|csv|json] "
-               "[--shard-dir DIR] [--resident-shards K]\n"
+               "[--shard-dir DIR] [--out-of-core] [--resident-shards K]\n"
                "  tokyonet fig all --update-goldens|--check-goldens "
                "[--goldens DIR]\n"
                "  tokyonet simulate --year 2013|2014|2015 [--scale S] "
@@ -374,11 +383,13 @@ int snapshot_failure_code(const std::string& path) {
   return std::filesystem::exists(path, ec) ? kExitVerify : kExitLoad;
 }
 
-// Installs the campaign held by shard directory `dir` into `runner`
-// (materialized) and reports its year. Returns kExitOk or the exit
-// code to fail with.
+// Installs the campaign held by shard directory `dir` into `runner` —
+// materialized, or with `out_of_core` as a query::ShardedSource the
+// figures scan with bounded memory — and reports its year. Returns
+// kExitOk or the exit code to fail with.
 int adopt_shard_dir(report::Runner& runner, const std::string& dir,
-                    std::size_t resident_shards, Year& out_year) {
+                    std::size_t resident_shards, bool out_of_core,
+                    Year& out_year) {
   io::ShardManifest m;
   const io::SnapshotResult r = io::read_shard_manifest(dir, m);
   if (!r.ok()) {
@@ -391,14 +402,31 @@ int adopt_shard_dir(report::Runner& runner, const std::string& dir,
                  dir.c_str(), m.year);
     return kExitVerify;
   }
-  const io::SnapshotResult a = runner.adopt_shards(*year, dir,
-                                                   resident_shards);
+  const io::SnapshotResult a =
+      out_of_core
+          ? runner.adopt_shards_out_of_core(*year, dir, resident_shards)
+          : runner.adopt_shards(*year, dir, resident_shards);
   if (!a.ok()) {
     std::fprintf(stderr, "shard store: %s\n", a.error.c_str());
     return snapshot_failure_code(dir);
   }
   out_year = *year;
   return kExitOk;
+}
+
+// The non-negotiable precondition of --out-of-core figure rendering: a
+// store to scan, and a figure whose kernels are shard-decomposable.
+// Prints the supported ids on rejection so the caller can pick one.
+int reject_non_ooc_figure(const report::FigureSpec& spec) {
+  std::fprintf(stderr,
+               "%s cannot run out-of-core (its kernels need the resident "
+               "dataset); supported ids:\n",
+               spec.id.c_str());
+  for (const report::FigureSpec& s :
+       report::FigureRegistry::instance().figures()) {
+    if (s.out_of_core) std::fprintf(stderr, "  %s\n", s.id.c_str());
+  }
+  return kExitUsage;
 }
 
 // ---------------------------------------------------------------------
@@ -422,9 +450,10 @@ int cmd_fig_list(const Args& args) {
     }
     return kExitOk;
   }
-  io::TextTable table({"id", "years", "paper ref", "title"});
+  io::TextTable table({"id", "years", "ooc", "paper ref", "title"});
   for (const report::FigureSpec& spec : registry.figures()) {
-    table.add_row({spec.id, years_label(spec), spec.paper_ref, spec.title});
+    table.add_row({spec.id, years_label(spec), spec.out_of_core ? "yes" : "-",
+                   spec.paper_ref, spec.title});
   }
   table.print();
   std::printf("\n%zu reproductions; render one with "
@@ -459,6 +488,13 @@ int cmd_fig_run(const Args& args) {
                  args.figure_id.c_str());
     return kExitUsage;
   }
+  if (args.out_of_core) {
+    if (args.shard_dir.empty()) {
+      std::fprintf(stderr, "--out-of-core needs --shard-dir\n");
+      return kExitUsage;
+    }
+    if (!spec->out_of_core) return reject_non_ooc_figure(*spec);
+  }
   std::optional<Year> year;
   if (args.year) {
     if (!spec->per_year()) {
@@ -476,8 +512,16 @@ int cmd_fig_run(const Args& args) {
   if (!args.shard_dir.empty()) {
     Year store_year;
     const int rc = adopt_shard_dir(runner, args.shard_dir,
-                                   args.resident_shards, store_year);
+                                   args.resident_shards, args.out_of_core,
+                                   store_year);
     if (rc != kExitOk) return rc;
+    if (args.out_of_core && year && *year != store_year) {
+      // The other years would have to be simulated in memory, defeating
+      // the bounded-memory point of --out-of-core.
+      std::fprintf(stderr,
+                   "--out-of-core renders the store's campaign year only\n");
+      return kExitUsage;
+    }
     // A per-year figure defaults to the store's campaign year instead
     // of stacking (the other years would have to be simulated).
     if (spec->per_year() && !year) year = store_year;
@@ -521,21 +565,35 @@ int cmd_fig_all(const Args& args) {
     return kExitOk;
   }
 
+  if (args.out_of_core && args.shard_dir.empty()) {
+    std::fprintf(stderr, "--out-of-core needs --shard-dir\n");
+    return kExitUsage;
+  }
   report::Runner runner(runner_options(args));
+  std::optional<Year> store_year;
   if (!args.shard_dir.empty()) {
-    Year store_year;
+    Year y;
     const int rc = adopt_shard_dir(runner, args.shard_dir,
-                                   args.resident_shards, store_year);
+                                   args.resident_shards, args.out_of_core, y);
     if (rc != kExitOk) return rc;
+    store_year = y;
   }
   const auto& registry = report::FigureRegistry::instance();
   bool first = true;
   for (const report::FigureSpec& spec : registry.figures()) {
+    // Out of core, the catalog narrows to the shard-decomposable
+    // figures for the store's campaign year — everything else would
+    // materialize or simulate a campaign.
+    if (args.out_of_core &&
+        (!spec.out_of_core || !spec.applies_to(*store_year))) {
+      continue;
+    }
     if (!first && args.format == "text") std::printf("\n");
     first = false;
-    if (!render_table(runner.run_stacked(spec), args.format)) {
-      return kExitUsage;
-    }
+    const report::Table table = args.out_of_core
+                                    ? runner.run(spec, *store_year)
+                                    : runner.run_stacked(spec);
+    if (!render_table(table, args.format)) return kExitUsage;
   }
   return kExitOk;
 }
@@ -613,10 +671,11 @@ int cmd_simulate(const Args& args) {
   return kExitOk;
 }
 
-// The headline battery computed out-of-core: one ShardedContext scan
-// with at most --resident-shards + 1 shards resident (one when K = 0).
-// Same tables (byte-identical canonical JSON) as the in-memory report
-// at every K, bounded memory.
+// The headline battery computed out-of-core: the registry's battery
+// figures rendered over a query::ShardedSource with at most
+// --resident-shards + 1 shards resident (one when K = 0). Same tables
+// (byte-identical canonical JSON) as the in-memory report at every K,
+// bounded memory.
 int cmd_report_out_of_core(const Args& args) {
   io::ShardedDataset store;
   const io::SnapshotResult r = io::ShardedDataset::open(args.shard_dir, store);
@@ -657,7 +716,7 @@ int cmd_report(const Args& args) {
   Year year;
   if (!args.shard_dir.empty()) {
     const int rc = adopt_shard_dir(runner, args.shard_dir,
-                                   args.resident_shards, year);
+                                   args.resident_shards, false, year);
     if (rc != kExitOk) return rc;
   } else if (!args.in_dir.empty()) {
     Dataset ds;
@@ -1059,6 +1118,12 @@ int main(int argc, char** argv) {
     if (args.command == "years") return cmd_years(args);
     if (args.command == "snapshot") return cmd_snapshot(args);
     if (args.command == "ingest") return cmd_ingest(args);
+  } catch (const analysis::query::SourceError& e) {
+    // An out-of-core scan lost its store mid-figure (truncated shard,
+    // checksum flip, deleted file): load/verify semantics, not a crash.
+    std::fprintf(stderr, "tokyonet: %s\n", e.what());
+    return args.shard_dir.empty() ? kExitLoad
+                                  : snapshot_failure_code(args.shard_dir);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tokyonet: %s\n", e.what());
     return kExitFailure;
